@@ -1,0 +1,15 @@
+"""Figure 11: MSID stages leave R.U. and SpMV latency nearly unchanged."""
+
+from repro.experiments import fig11
+
+
+def test_bench_fig11_msid_effect(benchmark, print_table):
+    table = benchmark.pedantic(fig11.run, rounds=1, iterations=1)
+    print_table(table)
+    lat_columns = [i for i, h in enumerate(table.headers) if h.startswith("lat@")]
+    ru_columns = [i for i, h in enumerate(table.headers) if h.startswith("RU@")]
+    for row in table.rows:
+        for i in lat_columns:
+            assert abs(row[i] - 1.0) < 0.25, row
+        spread = max(row[i] for i in ru_columns) - min(row[i] for i in ru_columns)
+        assert spread < 0.15, row

@@ -1,0 +1,15 @@
+"""Figure 12: resource underutilization vs sampling rate (decreasing)."""
+
+from repro.experiments import fig12
+
+
+def test_bench_fig12_sampling_rate(benchmark, print_table, print_text):
+    table = benchmark.pedantic(fig12.run, rounds=1, iterations=1)
+    print_table(table)
+    print_text(table.render_series("ID", "S=32"))
+
+    mean = table.rows[-1]
+    values = list(mean[1:])
+    # Finer sampling tracks the row-length profile better on average.
+    assert values[-1] < values[0]
+    assert values[-1] < values[len(values) // 2]

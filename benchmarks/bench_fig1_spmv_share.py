@@ -1,0 +1,14 @@
+"""Figure 1: SpMV's share of solver compute latency per (dataset, solver)."""
+
+import numpy as np
+
+from repro.experiments import fig1
+
+
+def test_bench_fig1_spmv_share(benchmark, print_table):
+    table = benchmark.pedantic(fig1.run, rounds=1, iterations=1)
+    print_table(table)
+    shares = table.column("spmv_share")
+    # SpMV is the dominant kernel across solvers and datasets.
+    assert np.mean(shares) > 0.5
+    assert np.quantile(shares, 0.1) > 0.3

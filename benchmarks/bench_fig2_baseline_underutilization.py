@@ -1,0 +1,15 @@
+"""Figure 2: baseline SpMV resource underutilization vs fixed unroll factor."""
+
+import numpy as np
+
+from repro.experiments import fig2
+
+
+def test_bench_fig2_baseline_underutilization(benchmark, print_table):
+    table = benchmark.pedantic(fig2.run, rounds=1, iterations=1)
+    print_table(table)
+    assert len(table.rows) == 25
+    # No single static unroll factor is optimal for every dataset.
+    assert len(set(table.column("best URB"))) > 1
+    # Oversized static unrolls waste most of the fabric.
+    assert np.mean(table.column("URB=64")) > np.mean(table.column("URB=4"))

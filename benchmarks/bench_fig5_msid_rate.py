@@ -1,0 +1,14 @@
+"""Figure 5: reconfiguration rate vs MSID chain stages (flat past rOpt=8)."""
+
+from repro.experiments import fig5
+
+
+def test_bench_fig5_msid_rate(benchmark, print_table):
+    table = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+    print_table(table)
+    mean = table.rows[-1]
+    assert mean[0] == "MEAN"
+    rates = list(mean[1:])
+    # Monotone non-increasing, saturating after rOpt=8.
+    assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+    assert rates[-3] - rates[-1] < (rates[0] - rates[-3]) / 2

@@ -1,0 +1,22 @@
+"""Figure 6: latency speedup of Acamar over the static design per SpMV_URB.
+
+Paper shape: up to 11.61x at URB=1, decaying with baseline resources,
+near-constant past URB=16; GMEAN row aggregates across datasets.
+"""
+
+from repro.experiments import fig6
+
+
+def test_bench_fig6_speedup(benchmark, print_table, print_text):
+    table = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+    print_table(table)
+    print_text(table.render_series("ID", "URB=1"))
+
+    gmean = table.rows[-1]
+    assert gmean[0] == "GMEAN"
+    values = list(gmean[1:])
+    assert values[0] > 3.0          # large win vs a 1-MAC baseline
+    assert values[0] > values[2]    # decaying
+    assert abs(values[-1] - values[-2]) < 0.15  # flat for URB > 32
+    per_dataset_max = max(max(row[1:]) for row in table.rows[:-1])
+    assert per_dataset_max > 6.0    # paper: up to 11.61x

@@ -1,0 +1,13 @@
+"""Figure 7: resource-underutilization improvement ratio vs baseline URB."""
+
+from repro.experiments import fig7
+
+
+def test_bench_fig7_ru_improvement(benchmark, print_table):
+    table = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+    print_table(table)
+    for row in table.rows:
+        # Improvement grows as the baseline over-allocates.
+        assert row[-1] > row[1]
+    best = max(max(row[1:]) for row in table.rows)
+    assert best > 2.0  # paper: up to ~3x

@@ -1,0 +1,13 @@
+"""Figure 9: achieved compute throughput as a fraction of peak."""
+
+from repro.experiments import fig9
+
+
+def test_bench_fig9_throughput(benchmark, print_table):
+    table = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    print_table(table)
+    mean = table.rows[-1]
+    acamar_mean, gpu_mean = mean[1], mean[3]
+    assert 0.55 < acamar_mean < 0.95   # paper: ~70% average
+    assert max(row[1] for row in table.rows[:-1]) > 0.70  # paper: up to 83%
+    assert gpu_mean < 0.02             # GPU: a few percent at most

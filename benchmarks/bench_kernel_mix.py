@@ -1,0 +1,22 @@
+"""Extension: per-kernel compute-time breakdown across the whole suite."""
+
+import numpy as np
+
+from repro.experiments import kernel_mix
+
+
+def test_bench_kernel_mix(benchmark, print_table):
+    table = benchmark.pedantic(kernel_mix.run, rounds=1, iterations=1)
+    print_table(table)
+    for row in table.rows:
+        shares = row[2:]
+        assert 0.97 < sum(shares) < 1.03, row  # shares partition the time
+        assert row[2] > 0.5, row  # SpMV dominates every solver
+    # Jacobi spends dense time in scale/vadd, Krylov methods in dot/axpy.
+    jacobi_rows = [r for r in table.rows if r[1] == "jacobi"]
+    krylov_rows = [r for r in table.rows if r[1] in ("cg", "bicgstab")]
+    headers = table.headers
+    dot_i, scale_i = headers.index("dot"), headers.index("scale")
+    assert all(r[dot_i] == 0 for r in jacobi_rows)
+    assert np.mean([r[dot_i] for r in krylov_rows]) > 0.02
+    assert all(r[scale_i] > 0 for r in jacobi_rows)

@@ -1,0 +1,55 @@
+"""Cross-validation: pipeline simulator vs analytic model, full suite.
+
+Two independent implementations of the Dynamic SpMV kernel's timing exist
+(the analytic slot count and the event-driven pipeline).  This bench runs
+both over every Table II stand-in under its Acamar plan and asserts they
+agree within the pipeline's drain tail on all 25 — the strongest internal-
+consistency check the cost model has.
+"""
+
+from repro.experiments import runner
+from repro.experiments.report import ExperimentTable
+from repro.fpga import SpMVPipelineSimulator
+from repro.fpga.cost_model import operator_row_lengths
+
+
+def run(keys=None) -> ExperimentTable:
+    model = runner.performance_model()
+    simulator = SpMVPipelineSimulator(model.device)
+    table = ExperimentTable(
+        experiment_id="Validation V1",
+        title="Pipeline simulator vs analytic cycle model (one sweep)",
+        headers=("ID", "pipeline_cycles", "analytic_cycles", "delta",
+                 "pipeline_occupancy"),
+    )
+    for key in runner.resolve_keys(keys):
+        problem = runner.problem(key)
+        result = runner.acamar_result(key)
+        lengths = operator_row_lengths(problem.matrix, result.final.solver)
+        pipeline_c, analytic_c = simulator.validate_against_analytic(
+            lengths, result.plan
+        )
+        trace = SpMVPipelineSimulator(
+            model.device, include_reconfiguration=False
+        ).simulate(lengths, result.plan)
+        table.add_row(
+            key, pipeline_c, analytic_c, pipeline_c - analytic_c,
+            trace.occupancy,
+        )
+    deltas = [abs(row[3]) for row in table.rows]
+    table.add_note(
+        f"largest disagreement {max(deltas):.0f} cycles (drain tail); "
+        "the two timing models are independent implementations of the "
+        "same hardware"
+    )
+    return table
+
+
+def test_bench_model_crossvalidation(benchmark, print_table):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(table)
+    assert len(table.rows) == 25
+    for row in table.rows:
+        assert abs(row[3]) < 100, row          # within the drain tail
+        assert row[1] / row[2] < 1.05          # never more than 5% apart
+        assert 0.0 < row[4] <= 1.0

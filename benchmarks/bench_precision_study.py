@@ -1,0 +1,17 @@
+"""Extension: Table II's failures are structural, not a 32-bit artifact."""
+
+from repro.experiments import precision_study
+
+
+def test_bench_precision_study(benchmark, print_table):
+    table = benchmark.pedantic(precision_study.run, rounds=1, iterations=1)
+    print_table(table)
+    flips = sum(table.column("changed"))
+    # Precision flips at most a couple of marginal Krylov outcomes; the
+    # overwhelming majority of Table II's pattern is precision-invariant.
+    assert flips <= 3
+    # And fp64 never breaks a previously-converging solver.
+    for row in table.rows:
+        for i in range(1, 4):
+            if row[i]:          # converged in fp32 ...
+                assert row[i + 3], row  # ... must converge in fp64

@@ -1,0 +1,30 @@
+"""Golden-band regression guard: the repo's own numbers must not drift.
+
+`bench_summary` checks the paper's (loose) shape claims; this bench pins
+the measured headline values within 10% of the recorded reference
+(`benchmarks/reference_bands.json`).  An intentional model change should
+update the bands via `python -m repro.experiments.regression --update`.
+"""
+
+from repro.experiments.regression import check_regression
+from repro.experiments.report import ExperimentTable
+
+
+def run() -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id="Validation V2",
+        title="Golden-band regression check (10% tolerance)",
+        headers=("metric", "reference", "measured", "within band"),
+    )
+    for check in check_regression():
+        table.add_row(
+            check.name, check.reference, check.measured, check.within_band
+        )
+    return table
+
+
+def test_bench_regression_guard(benchmark, print_table):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(table)
+    drifted = [row for row in table.rows if not row[3]]
+    assert not drifted, f"metrics drifted out of band: {drifted}"

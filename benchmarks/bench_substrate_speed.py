@@ -1,0 +1,67 @@
+"""Microbenchmarks of the Python substrate itself (pytest-benchmark).
+
+These are the only benchmarks that time *this library's* execution speed
+(everything else regenerates paper data from cycle models).  They keep
+the from-scratch SpMV honest against scipy's C implementation and catch
+accidental algorithmic regressions in the hot paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FineGrainedReconfigurationUnit
+from repro.config import AcamarConfig
+from repro.datasets.generators import sdd_matrix
+from repro.fpga import ALVEO_U55C, spmv_sweep
+
+
+@pytest.fixture(scope="module")
+def big_matrix():
+    return sdd_matrix(4096, 12.0, seed=99)
+
+
+def test_bench_csr_matvec(benchmark, big_matrix):
+    x = np.random.default_rng(0).standard_normal(4096)
+    result = benchmark(big_matrix.matvec, x)
+    assert result.shape == (4096,)
+
+
+def test_bench_csr_matvec_vs_scipy(benchmark, big_matrix):
+    scipy_sparse = pytest.importorskip("scipy.sparse")
+    reference = scipy_sparse.csr_matrix(
+        (big_matrix.data, big_matrix.indices, big_matrix.indptr),
+        shape=big_matrix.shape,
+    )
+    x = np.random.default_rng(0).standard_normal(4096)
+    ours = big_matrix.matvec(x)
+    theirs = benchmark(reference.dot, x)
+    np.testing.assert_allclose(ours, theirs, rtol=1e-10)
+
+
+def test_bench_plan_construction(benchmark, big_matrix):
+    unit = FineGrainedReconfigurationUnit(AcamarConfig())
+    plan = benchmark(unit.plan, big_matrix)
+    assert plan.sets
+
+
+def test_bench_cycle_model_sweep(benchmark, big_matrix):
+    lengths = big_matrix.row_lengths()
+    report = benchmark(spmv_sweep, lengths, 8, ALVEO_U55C)
+    assert report.cycles > 0
+
+
+def test_bench_cg_solve(benchmark, big_matrix):
+    from repro.solvers import ConjugateGradientSolver
+
+    b = big_matrix.matvec(
+        np.random.default_rng(0).standard_normal(4096)
+    ).astype(np.float32)
+
+    def solve_once():
+        # symmetric? sdd_matrix(symmetric=False) -> use bicgstab-safe jacobi
+        from repro.solvers import JacobiSolver
+
+        return JacobiSolver().solve(big_matrix, b)
+
+    result = benchmark.pedantic(solve_once, rounds=3, iterations=1)
+    assert result.converged

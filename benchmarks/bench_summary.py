@@ -1,0 +1,9 @@
+"""The reproduction's bottom line: every paper claim, checked at once."""
+
+from repro.experiments.summary import run
+
+
+def test_bench_summary(benchmark, print_table):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(table)
+    assert all(table.column("holds")), "a paper claim no longer holds"

@@ -1,0 +1,17 @@
+"""Table I: regenerate the convergence-criteria catalog and verify the
+executable criteria against the Table II stand-ins."""
+
+from repro.datasets import load_matrix
+from repro.experiments import table1
+from repro.solvers.criteria import criterion_for
+
+
+def test_bench_table1_criteria(benchmark, print_table):
+    table = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    print_table(table)
+    assert len(table.rows) == 11
+    # Spot-check the executable criteria against known stand-ins.
+    assert criterion_for("jacobi").satisfied_by(load_matrix("Wa"))
+    assert not criterion_for("jacobi").satisfied_by(load_matrix("2C"))
+    assert criterion_for("cg").satisfied_by(load_matrix("2C"))
+    assert criterion_for("bicgstab").satisfied_by(load_matrix("If"))

@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper table/figure over all 25 Table II
+stand-ins and prints the series.  Numerical solves are cached in
+``repro.experiments.runner`` across benchmarks, so the whole suite performs
+each dataset's solves exactly once.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def print_table(capsys):
+    """Print an ExperimentTable to the real terminal (outside capture)."""
+
+    def _print(table):
+        with capsys.disabled():
+            print("\n" + table.to_text() + "\n")
+
+    return _print
+
+
+@pytest.fixture
+def print_text(capsys):
+    """Print arbitrary text to the real terminal (outside capture)."""
+
+    def _print(text):
+        with capsys.disabled():
+            print(text + "\n")
+
+    return _print

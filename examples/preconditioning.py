@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Preconditioning study: how far beyond the paper's solvers can you go?
+
+The paper's hardware ships plain CG; its Table I lists preconditioned CG
+in the wider design space.  This example runs PCG with every available
+preconditioner on two systems — a PDE mesh (where ILU(0) shines) and a
+badly row-scaled SPD matrix (where even the one-multiply Jacobi diagonal
+is transformative) — and reports iterations, SpMV passes, and the
+preconditioner's per-apply cost.
+
+Run:  python examples/preconditioning.py
+"""
+
+import numpy as np
+
+from repro.datasets import poisson_2d
+from repro.datasets.generators import spd_clique_matrix
+from repro.datasets.problem import manufacture_problem
+from repro.solvers import PreconditionedCGSolver
+from repro.solvers.preconditioners import PRECONDITIONER_REGISTRY, make_preconditioner
+from repro.sparse import COOMatrix
+
+
+def rescaled_spd_problem(n=1024, spread=1.5, seed=5):
+    """SPD cliques with lognormal row/column scales: kappa blows up."""
+    base = spd_clique_matrix(n, 6.0, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    scale = np.exp(rng.normal(0.0, spread, n))
+    coo = base.to_coo()
+    matrix = COOMatrix(
+        base.shape, coo.rows, coo.cols,
+        coo.data * scale[coo.rows] * scale[coo.cols],
+    ).to_csr()
+    return manufacture_problem(f"rescaled_spd_{n}", matrix, seed=seed)
+
+
+def study(problem) -> None:
+    print(f"=== {problem.name}  (n={problem.n}, nnz={problem.nnz}) ===")
+    print(f"{'preconditioner':16s} {'status':14s} {'iters':>6s} "
+          f"{'apply cost':>11s} {'fwd error':>10s}")
+    for name in PRECONDITIONER_REGISTRY:
+        solver = PreconditionedCGSolver(preconditioner=name, max_iterations=3000)
+        result = solver.solve(problem.matrix, problem.b)
+        cost = make_preconditioner(name, problem.matrix).apply_cost_elements()
+        error = (
+            f"{problem.relative_error(result.x):.1e}" if result.converged else "-"
+        )
+        print(f"{name:16s} {result.status.value:14s} {result.iterations:>6d} "
+              f"{cost:>11d} {error:>10s}")
+    print()
+
+
+def main() -> None:
+    study(poisson_2d(40))
+    study(rescaled_spd_problem())
+    print("takeaway: a one-multiply diagonal preconditioner fixes row")
+    print("scaling for free; ILU(0) buys another ~3x on mesh problems at")
+    print("two extra triangular sweeps per iteration.")
+
+
+if __name__ == "__main__":
+    main()

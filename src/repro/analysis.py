@@ -1,0 +1,160 @@
+"""Convergence-history analysis and divergence diagnostics.
+
+Utilities for inspecting what a solve *did*: residual-trajectory
+summaries, convergence-rate estimates, and a diagnosis helper that
+explains a failed solve in terms of the structural properties the Matrix
+Structure unit checks — the "why did my solver diverge" tooling a user of
+the accelerator reaches for first.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solvers.base import SolveResult, SolveStatus
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.properties import analyze_properties
+
+
+@dataclass(frozen=True)
+class ResidualSummary:
+    """Trajectory statistics of one solve's relative-residual history."""
+
+    iterations: int
+    initial: float
+    final: float
+    best: float
+    peak: float
+    peak_over_initial: float
+    monotone: bool
+    rate: float
+    """Geometric per-iteration contraction factor estimated from the
+    first-to-best residual drop (1.0 means no progress)."""
+
+
+def summarize_residuals(result: SolveResult) -> ResidualSummary:
+    """Summarize a solve's residual trajectory."""
+    history = np.asarray(result.residual_history, dtype=np.float64)
+    if len(history) == 0:
+        return ResidualSummary(
+            iterations=0, initial=math.inf, final=math.inf, best=math.inf,
+            peak=math.inf, peak_over_initial=math.inf, monotone=True, rate=1.0,
+        )
+    finite = history[np.isfinite(history)]
+    initial = float(history[0])
+    best = float(finite.min()) if len(finite) else math.inf
+    peak = float(finite.max()) if len(finite) else math.inf
+    best_index = int(np.argmin(np.where(np.isfinite(history), history, np.inf)))
+    if best_index > 0 and initial > 0 and best > 0:
+        rate = float((best / initial) ** (1.0 / best_index))
+    else:
+        rate = 1.0
+    monotone = bool(np.all(history[1:] <= history[:-1] * (1 + 1e-12)))
+    return ResidualSummary(
+        iterations=len(history),
+        initial=initial,
+        final=float(history[-1]),
+        best=best,
+        peak=peak,
+        peak_over_initial=peak / initial if initial > 0 else math.inf,
+        monotone=monotone,
+        rate=min(rate, 1.0) if math.isfinite(rate) else 1.0,
+    )
+
+
+def iterations_to_tolerance(summary: ResidualSummary, tolerance: float) -> float:
+    """Extrapolate how many iterations the observed rate needs for ``tol``.
+
+    Returns ``inf`` when the trajectory shows no contraction.
+    """
+    if summary.rate >= 1.0 or summary.initial <= 0:
+        return math.inf
+    if summary.best <= tolerance:
+        return float(summary.iterations)
+    return math.log(tolerance / summary.initial) / math.log(summary.rate)
+
+
+def render_residual_history(
+    result: SolveResult, width: int = 64, height: int = 8
+) -> str:
+    """ASCII log-scale plot of a solve's residual trajectory.
+
+    Rows are log10(residual) bands (top = worst), columns are iteration
+    buckets; useful for eyeballing divergence spikes and stagnation
+    plateaus in a terminal.  Returns a multi-line string.
+    """
+    history = np.asarray(result.residual_history, dtype=np.float64)
+    finite = history[np.isfinite(history) & (history > 0)]
+    if len(finite) == 0:
+        return "(no finite residuals recorded)"
+    logs = np.log10(np.clip(history, finite.min() * 1e-3, None))
+    logs = np.where(np.isfinite(logs), logs, np.log10(finite.max()) + 1)
+    lo, hi = float(logs.min()), float(logs.max())
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    # Bucket iterations into columns (max of each bucket, to keep spikes).
+    buckets = np.array_split(logs, min(width, len(logs)))
+    column_values = np.array([b.max() for b in buckets])
+    lines = []
+    for row in range(height, 0, -1):
+        threshold = lo + (hi - lo) * (row - 0.5) / height
+        cells = "".join("#" if v >= threshold else " " for v in column_values)
+        label = f"10^{lo + (hi - lo) * row / height:+6.1f} |"
+        lines.append(label + cells)
+    lines.append(" " * 10 + "+" + "-" * len(column_values))
+    lines.append(
+        " " * 11 + f"iterations 1..{len(history)} "
+        f"(final {result.final_residual:.2e})"
+    )
+    return "\n".join(lines)
+
+
+def diagnose_failure(matrix: CSRMatrix, result: SolveResult) -> str:
+    """Human-readable explanation of a failed solve.
+
+    Cross-references the terminal status with the matrix's structural
+    properties and the solver's Table I requirement.
+    """
+    if result.converged:
+        return f"{result.solver} converged in {result.iterations} iterations."
+    props = analyze_properties(matrix)
+    summary = summarize_residuals(result)
+    reasons: list[str] = []
+    if result.status is SolveStatus.BREAKDOWN:
+        reasons.append(
+            f"{result.solver} hit a numerical breakdown (a recurrence "
+            "denominator vanished)"
+        )
+    elif result.status is SolveStatus.DIVERGED:
+        reasons.append(
+            f"{result.solver} diverged: the residual grew to "
+            f"{summary.peak_over_initial:.1e}x its initial value"
+        )
+    else:
+        reasons.append(
+            f"{result.solver} stagnated: best residual {summary.best:.2e} "
+            f"after {summary.iterations} iterations"
+        )
+    if result.solver == "jacobi" and not props.strictly_diagonally_dominant:
+        reasons.append(
+            "the matrix is not strictly diagonally dominant (Eq. 1), so "
+            "Jacobi's convergence guarantee does not apply"
+        )
+    if result.solver in ("cg", "pcg", "sor") and not props.symmetric:
+        reasons.append(
+            "the matrix is non-symmetric, violating the symmetric-"
+            "positive-definite requirement (Eq. 2-3)"
+        )
+    if result.solver in ("bicgstab", "bicg") and props.symmetric:
+        reasons.append(
+            "the matrix is symmetric — if it is also indefinite, the "
+            "one-sided stabilization steps cannot damp both spectrum halves"
+        )
+    suggestion = (
+        "Acamar's Solver Modifier would fall back to the next untried "
+        "configuration; run repro.core.Acamar to get the automatic recovery."
+    )
+    return "; ".join(reasons) + ". " + suggestion

@@ -1,0 +1,12 @@
+"""Baseline designs the paper compares against.
+
+- :class:`~repro.baselines.static_design.StaticDesign` — the static FPGA
+  accelerator: one fixed solver, one fixed SpMV unroll factor
+  (``SpMV_URB``), the same optimized dense units as Acamar, and no
+  reconfiguration of any kind.
+- The GPU baseline lives in :mod:`repro.gpu`.
+"""
+
+from repro.baselines.static_design import StaticDesign, run_solver_portfolio
+
+__all__ = ["StaticDesign", "run_solver_portfolio"]

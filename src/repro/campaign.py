@@ -1,0 +1,170 @@
+"""Campaign runner: Acamar over a whole collection of systems.
+
+A deployment evaluates the accelerator against *its* workload population,
+not single matrices.  :func:`run_campaign` takes any mix of problem
+sources — Table II keys, ``.mtx`` paths, or in-memory
+:class:`~repro.datasets.problem.Problem` objects — solves each with
+Acamar, costs it on the FPGA model, and aggregates a
+:class:`CampaignReport` (convergence rate, solver mix, latency and
+utilization statistics).  The CSV export plugs into the same downstream
+tooling as the experiment exports.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.config import AcamarConfig
+from repro.core import Acamar
+from repro.datasets import load_problem, manufacture_problem
+from repro.datasets.problem import Problem
+from repro.datasets.suite import dataset_keys
+from repro.errors import DatasetError
+from repro.fpga import PerformanceModel, mean_underutilization
+from repro.metrics import achieved_throughput_fraction
+
+ProblemSource = Union[str, Path, Problem]
+
+
+@dataclass(frozen=True)
+class CampaignEntry:
+    """Outcome of one campaign solve."""
+
+    name: str
+    n: int
+    nnz: int
+    converged: bool
+    solver_sequence: tuple[str, ...]
+    iterations: int
+    compute_ms: float
+    reconfig_ms: float
+    underutilization: float
+    throughput: float
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate over all campaign entries."""
+
+    entries: list[CampaignEntry]
+
+    @property
+    def convergence_rate(self) -> float:
+        if not self.entries:
+            return 0.0
+        return sum(e.converged for e in self.entries) / len(self.entries)
+
+    @property
+    def solver_mix(self) -> dict[str, int]:
+        """How often each solver produced the final (converging) result."""
+        mix: dict[str, int] = {}
+        for entry in self.entries:
+            final = entry.solver_sequence[-1]
+            mix[final] = mix.get(final, 0) + 1
+        return mix
+
+    @property
+    def mean_underutilization(self) -> float:
+        if not self.entries:
+            return 0.0
+        return float(np.mean([e.underutilization for e in self.entries]))
+
+    @property
+    def mean_throughput(self) -> float:
+        if not self.entries:
+            return 0.0
+        return float(np.mean([e.throughput for e in self.entries]))
+
+    @property
+    def total_compute_ms(self) -> float:
+        return sum(e.compute_ms for e in self.entries)
+
+    def to_csv(self, path: str | Path) -> Path:
+        path = Path(path)
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow([
+                "name", "n", "nnz", "converged", "solver_sequence",
+                "iterations", "compute_ms", "reconfig_ms",
+                "underutilization", "throughput",
+            ])
+            for e in self.entries:
+                writer.writerow([
+                    e.name, e.n, e.nnz, e.converged,
+                    "->".join(e.solver_sequence), e.iterations,
+                    f"{e.compute_ms:.6f}", f"{e.reconfig_ms:.6f}",
+                    f"{e.underutilization:.6f}", f"{e.throughput:.6f}",
+                ])
+        return path
+
+    def summary_lines(self) -> list[str]:
+        return [
+            f"systems solved        : {len(self.entries)}",
+            f"convergence rate      : {self.convergence_rate:.0%}",
+            f"solver mix            : {self.solver_mix}",
+            f"mean underutilization : {self.mean_underutilization:.1%}",
+            f"mean throughput       : {self.mean_throughput:.1%}",
+            f"total compute         : {self.total_compute_ms:.3f} ms",
+        ]
+
+
+def _resolve(source: ProblemSource, seed: int) -> Problem:
+    if isinstance(source, Problem):
+        return source
+    text = str(source)
+    if text.endswith(".mtx") or text.endswith(".mtx.gz"):
+        from repro.sparse.io import read_matrix_market
+
+        matrix = read_matrix_market(text)
+        return manufacture_problem(Path(text).stem, matrix, seed=seed)
+    if text in dataset_keys():
+        return load_problem(text)
+    raise DatasetError(
+        f"cannot resolve problem source {source!r}: expected a Table II "
+        "key, a .mtx path, or a Problem instance"
+    )
+
+
+def run_campaign(
+    sources: Iterable[ProblemSource],
+    config: AcamarConfig | None = None,
+    seed: int = 1,
+) -> CampaignReport:
+    """Solve every source with Acamar and aggregate the results."""
+    config = config if config is not None else AcamarConfig()
+    acamar = Acamar(config)
+    model = PerformanceModel()
+    entries: list[CampaignEntry] = []
+    for source in sources:
+        problem = _resolve(source, seed)
+        result = acamar.solve(problem.matrix, problem.b)
+        latency = model.acamar_latency(problem.matrix, result)
+        lengths = problem.matrix.row_lengths()
+        entries.append(
+            CampaignEntry(
+                name=problem.name,
+                n=problem.n,
+                nnz=problem.nnz,
+                converged=result.converged,
+                solver_sequence=result.solver_sequence,
+                iterations=result.final.iterations,
+                compute_ms=latency.compute_seconds * 1e3,
+                reconfig_ms=sum(
+                    a.reconfig_seconds for a in latency.attempts
+                ) * 1e3,
+                underutilization=mean_underutilization(
+                    lengths, result.plan.unroll_for_rows
+                ),
+                throughput=achieved_throughput_fraction(
+                    latency.final.spmv_report,
+                    latency.final.loop_sweeps,
+                    model.device,
+                ),
+            )
+        )
+    return CampaignReport(entries=entries)

@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-datasets``
+    Print the Table II stand-in registry.
+``solve``
+    Run Acamar (or a single fixed solver) on a dataset or generated
+    problem and print the decision trace plus modeled performance.
+``experiment``
+    Regenerate one paper table/figure (``table2``, ``fig6``, …) over all
+    datasets or a subset.
+``experiments``
+    Regenerate everything, in the paper's order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import Acamar, AcamarConfig
+from repro.baselines import StaticDesign
+from repro.datasets import dataset_keys, dataset_spec, load_problem, poisson_2d
+from repro.experiments import ALL_EXPERIMENTS
+from repro.fpga import PerformanceModel
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Acamar (MICRO 2024) reproduction — simulation CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-datasets", help="print the Table II stand-in registry")
+
+    solve = sub.add_parser("solve", help="solve one problem with Acamar")
+    source = solve.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", help="Table II key, e.g. 2C")
+    source.add_argument(
+        "--poisson", type=int, metavar="N", help="2-D Poisson on an NxN grid"
+    )
+    solve.add_argument(
+        "--solver",
+        help="bypass the Matrix Structure unit and run this fixed solver",
+    )
+    solve.add_argument("--sampling-rate", type=int, default=32)
+    solve.add_argument("--r-opt", type=int, default=8)
+    solve.add_argument("--msid-tolerance", type=float, default=0.15)
+    solve.add_argument("--max-iterations", type=int, default=4000)
+    solve.add_argument(
+        "--counters", action="store_true",
+        help="print the hardware-counter snapshot after the solve",
+    )
+    solve.add_argument(
+        "--config", metavar="FILE",
+        help="JSON file of AcamarConfig fields (overridden by flags)",
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment.add_argument(
+        "name", choices=sorted(ALL_EXPERIMENTS), help="experiment id"
+    )
+    experiment.add_argument(
+        "--keys",
+        help="comma-separated dataset subset (default: all 25)",
+    )
+    experiment.add_argument(
+        "--chart", metavar="COLUMN",
+        help="also render the named numeric column as ASCII bars",
+    )
+
+    sub.add_parser("experiments", help="regenerate every table and figure")
+    sub.add_parser(
+        "summary", help="run everything and print the paper-claim checklist"
+    )
+    export = sub.add_parser(
+        "export", help="write every experiment table as CSV + JSON"
+    )
+    export.add_argument("directory", help="output directory")
+    export.add_argument("--keys", help="comma-separated dataset subset")
+    return parser
+
+
+def _cmd_list_datasets() -> int:
+    print(f"{'key':4s} {'dataset':20s} {'paper dim':10s} {'n':>5s} structure")
+    for key in dataset_keys():
+        spec = dataset_spec(key)
+        print(
+            f"{spec.key:4s} {spec.name:20s} {spec.paper_dim:10s} "
+            f"{spec.n:>5d} {spec.structure}"
+        )
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.config:
+        import json
+
+        with open(args.config) as fh:
+            config = AcamarConfig.from_dict(json.load(fh))
+        config = config.with_overrides(
+            sampling_rate=args.sampling_rate,
+            r_opt=args.r_opt,
+            msid_tolerance=args.msid_tolerance,
+            max_iterations=args.max_iterations,
+        )
+    else:
+        config = AcamarConfig(
+            sampling_rate=args.sampling_rate,
+            r_opt=args.r_opt,
+            msid_tolerance=args.msid_tolerance,
+            max_iterations=args.max_iterations,
+        )
+    if args.dataset:
+        problem = load_problem(args.dataset)
+    else:
+        problem = poisson_2d(args.poisson)
+    print(f"problem: {problem.name}  n={problem.n}  nnz={problem.nnz}")
+
+    model = PerformanceModel()
+    if args.solver:
+        design = StaticDesign(args.solver, spmv_urb=8, config=config)
+        result = design.solve(problem.matrix, problem.b)
+        latency = design.latency(problem.matrix, result, model)
+        print(f"fixed solver {args.solver!r}: {result.status.value} "
+              f"after {result.iterations} iterations "
+              f"(residual {result.final_residual:.2e})")
+        print(f"modeled compute latency: {latency.compute_seconds * 1e3:.3f} ms")
+        return 0 if result.converged else 1
+
+    acamar = Acamar(config)
+    result = acamar.solve(problem.matrix, problem.b)
+    print(f"matrix structure: {result.selection.reason}")
+    print(f"solver sequence: {' -> '.join(result.solver_sequence)}")
+    print(f"outcome: {result.final.status.value} after "
+          f"{result.final.iterations} iterations "
+          f"(residual {result.final.final_residual:.2e})")
+    plan = result.plan
+    print(f"plan: {len(plan.sets)} sets, {plan.reconfiguration_count} "
+          f"reconfigurations/sweep (MSID removed {plan.msid.events_removed})")
+    latency = model.acamar_latency(problem.matrix, result)
+    print(f"modeled compute latency: {latency.compute_seconds * 1e3:.3f} ms "
+          f"(+{latency.final.reconfig_seconds * 1e3:.3f} ms reconfiguration)")
+    if args.counters:
+        from repro.fpga.counters import collect_counters
+
+        print("\nperformance counters:")
+        for line in collect_counters(problem.matrix, result, model).to_lines():
+            print(f"  {line}")
+    return 0 if result.converged else 1
+
+
+def _parse_keys(raw: str | None) -> tuple[str, ...] | None:
+    if raw is None:
+        return None
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module = ALL_EXPERIMENTS[args.name]
+    keys = _parse_keys(args.keys)
+    table = module.run(keys) if args.name != "table1" else module.run()
+    print(table.to_text())
+    if args.chart:
+        print()
+        print(table.render_series(table.headers[0], args.chart))
+    return 0
+
+
+def _cmd_experiments() -> int:
+    for name, module in ALL_EXPERIMENTS.items():
+        print(module.run().to_text())
+        print()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list-datasets":
+        return _cmd_list_datasets()
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "experiments":
+        return _cmd_experiments()
+    if args.command == "summary":
+        from repro.experiments.summary import run as run_summary
+
+        table = run_summary()
+        print(table.to_text())
+        return 0 if all(table.column("holds")) else 1
+    if args.command == "export":
+        from repro.experiments.export import export_all
+
+        files = export_all(args.directory, _parse_keys(args.keys))
+        print(f"wrote {len(files)} files to {args.directory}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

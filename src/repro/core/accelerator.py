@@ -1,0 +1,175 @@
+"""The Acamar accelerator: both decision loops wired together.
+
+:class:`Acamar` reproduces Figure 3's control flow in software:
+
+1. the **Matrix Structure unit** inspects the CSR input and selects the
+   initial Reconfigurable Solver configuration (Solver Decision loop),
+2. the **Fine-Grained Reconfiguration unit** traces row lengths, runs the
+   MSID chain and emits the Dynamic SpMV kernel's unroll schedule
+   (Resource Decision loop),
+3. the **Reconfigurable Solver** runs until convergence or divergence,
+4. on divergence the **Solver Modifier unit** picks the next untried
+   solver and the **Initialize unit** resets the iterate; the loop repeats
+   until convergence or until every configuration has been attempted.
+
+The numerical outcome plus the full decision trace (attempts, plan,
+selection) is returned as an :class:`AcamarResult`, which the FPGA cost
+model consumes to produce latency / utilization numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import AcamarConfig
+from repro.core.finegrained import FineGrainedReconfigurationUnit, ReconfigurationPlan
+from repro.core.matrix_structure import MatrixStructureUnit, SolverSelection
+from repro.core.solver_modifier import SolverModifierUnit
+from repro.solvers import make_solver
+from repro.solvers.base import OpCounter, SolveResult
+from repro.solvers.monitor import scaled_setup_iterations
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class SolverAttempt:
+    """One Reconfigurable Solver run, with what selected it."""
+
+    solver: str
+    selected_by: str  # "matrix_structure" | "solver_modifier"
+    result: SolveResult
+
+
+@dataclass
+class AcamarResult:
+    """Full outcome of an Acamar solve.
+
+    Attributes
+    ----------
+    selection:
+        The Matrix Structure unit's initial decision.
+    plan:
+        The Dynamic SpMV kernel's unroll schedule.
+    attempts:
+        Every solver run in order; the last one is the final result.
+    """
+
+    selection: SolverSelection
+    plan: ReconfigurationPlan
+    attempts: tuple[SolverAttempt, ...]
+
+    @property
+    def final(self) -> SolveResult:
+        return self.attempts[-1].result
+
+    @property
+    def converged(self) -> bool:
+        return self.final.converged
+
+    @property
+    def x(self) -> np.ndarray:
+        return self.final.x
+
+    @property
+    def solver_sequence(self) -> tuple[str, ...]:
+        """Solvers in attempt order (length > 1 means the Modifier fired)."""
+        return tuple(a.solver for a in self.attempts)
+
+    @property
+    def solver_reconfigurations(self) -> int:
+        """Full solver-level fabric reconfigurations (attempts - 1)."""
+        return max(0, len(self.attempts) - 1)
+
+    @property
+    def spmv_reconfigurations(self) -> int:
+        """Fine-grained Dynamic-SpMV reconfiguration events per sweep."""
+        return self.plan.reconfiguration_count
+
+    def total_ops(self) -> OpCounter:
+        """Kernel tally across all attempts (for the cost models)."""
+        merged = OpCounter()
+        for attempt in self.attempts:
+            merged = merged.merged_with(attempt.result.ops)
+        return merged
+
+
+class Acamar:
+    """Dynamically reconfigurable accelerator front-end.
+
+    Parameters
+    ----------
+    config:
+        Accelerator parameters; defaults to the paper's Section V values.
+
+    Examples
+    --------
+    >>> from repro import Acamar, AcamarConfig
+    >>> from repro.datasets import poisson_2d
+    >>> problem = poisson_2d(32)
+    >>> result = Acamar().solve(problem.matrix, problem.b)
+    >>> result.converged
+    True
+    """
+
+    def __init__(
+        self,
+        config: AcamarConfig | None = None,
+        structure_policy: str = "symmetry_first",
+    ) -> None:
+        self.config = config if config is not None else AcamarConfig()
+        self.matrix_structure = MatrixStructureUnit(policy=structure_policy)
+        self.fine_grained = FineGrainedReconfigurationUnit(self.config)
+
+    def _make_solver(self, name: str, n_rows: int):
+        extra = dict(self.config.solver_options.get(name, {}))
+        return make_solver(
+            name,
+            tolerance=self.config.tolerance,
+            max_iterations=self.config.max_iterations,
+            setup_iterations=scaled_setup_iterations(
+                n_rows, self.config.setup_iterations
+            ),
+            dtype=self.config.dtype,
+            **extra,
+        )
+
+    def plan(self, matrix: CSRMatrix) -> ReconfigurationPlan:
+        """Run only the Resource Decision loop (no numerics)."""
+        return self.fine_grained.plan(matrix)
+
+    def solve(
+        self,
+        matrix: CSRMatrix,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+    ) -> AcamarResult:
+        """Solve ``Ax = b`` with robust convergence.
+
+        Runs the structure-selected solver first and falls back through the
+        Solver Modifier's preference order until one converges (Table II's
+        Acamar column) or all configurations are exhausted.
+        """
+        selection = self.matrix_structure.select_solver(matrix)
+        plan = self.fine_grained.plan(matrix)
+        modifier = SolverModifierUnit(self.config.solver_fallback_order)
+        attempts: list[SolverAttempt] = []
+        solver_name: str | None = selection.solver
+        selected_by = "matrix_structure"
+        while solver_name is not None:
+            solver = self._make_solver(solver_name, matrix.shape[0])
+            result = solver.solve(matrix, b, x0)
+            attempts.append(
+                SolverAttempt(
+                    solver=solver_name, selected_by=selected_by, result=result
+                )
+            )
+            modifier.mark_tried(solver_name)
+            if result.converged:
+                break
+            solver_name = modifier.next_solver()
+            selected_by = "solver_modifier"
+        return AcamarResult(
+            selection=selection, plan=plan, attempts=tuple(attempts)
+        )

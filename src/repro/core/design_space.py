@@ -1,0 +1,139 @@
+"""Design-space exploration of the Resource Decision loop.
+
+Section VII of the paper sweeps ``SamplingRate`` and ``rOpt`` one at a
+time; this module runs the full cross product (plus the MSID tolerance)
+for a given matrix, evaluates each configuration on the three competing
+objectives —
+
+- **SpMV sweep cycles** (compute latency),
+- **Eq. 5 resource underutilization** (fabric waste),
+- **per-sweep reconfiguration time** (ICAP overhead),
+
+— and extracts the Pareto-efficient set.  It is the tool a deployment
+engineer would use to pick per-workload parameters instead of the
+paper's one-size defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.config import AcamarConfig
+from repro.core.finegrained import FineGrainedReconfigurationUnit
+from repro.fpga.cost_model import PerformanceModel, plan_event_unrolls
+from repro.fpga.device import ALVEO_U55C, FPGADevice
+from repro.fpga.utilization import mean_underutilization
+from repro.sparse.csr import CSRMatrix
+
+DEFAULT_SAMPLING_RATES = (4, 8, 16, 32, 64, 128)
+DEFAULT_ROPTS = (0, 2, 4, 8)
+DEFAULT_TOLERANCES = (0.05, 0.15, 0.3, 0.6)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated Resource-Decision-loop configuration."""
+
+    sampling_rate: int
+    r_opt: int
+    msid_tolerance: float
+    spmv_cycles: float
+    underutilization: float
+    reconfig_events: int
+    reconfig_seconds: float
+
+    @property
+    def objectives(self) -> tuple[float, float, float]:
+        """Minimization tuple used for Pareto comparison."""
+        return (self.spmv_cycles, self.underutilization, self.reconfig_seconds)
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Weakly better in every objective, strictly better in one."""
+        mine, theirs = self.objectives, other.objectives
+        return all(a <= b for a, b in zip(mine, theirs)) and any(
+            a < b for a, b in zip(mine, theirs)
+        )
+
+
+def evaluate_point(
+    matrix: CSRMatrix,
+    sampling_rate: int,
+    r_opt: int,
+    msid_tolerance: float,
+    device: FPGADevice = ALVEO_U55C,
+) -> DesignPoint:
+    """Cost one configuration of the Resource Decision loop."""
+    config = AcamarConfig(
+        sampling_rate=sampling_rate,
+        r_opt=r_opt,
+        msid_tolerance=msid_tolerance,
+    )
+    plan = FineGrainedReconfigurationUnit(config).plan(matrix)
+    model = PerformanceModel(device)
+    lengths = matrix.row_lengths()
+    sweep = model.spmv_unit_sweep(lengths, plan.unroll_for_rows)
+    events = plan_event_unrolls(plan)
+    return DesignPoint(
+        sampling_rate=sampling_rate,
+        r_opt=r_opt,
+        msid_tolerance=msid_tolerance,
+        spmv_cycles=sweep.cycles,
+        underutilization=mean_underutilization(lengths, plan.unroll_for_rows),
+        reconfig_events=len(events),
+        reconfig_seconds=model.reconfig.plan_overhead_seconds(events),
+    )
+
+
+def explore(
+    matrix: CSRMatrix,
+    sampling_rates: Sequence[int] = DEFAULT_SAMPLING_RATES,
+    ropts: Sequence[int] = DEFAULT_ROPTS,
+    tolerances: Sequence[float] = DEFAULT_TOLERANCES,
+    device: FPGADevice = ALVEO_U55C,
+) -> list[DesignPoint]:
+    """Evaluate the full configuration grid for one matrix."""
+    points = []
+    for sampling_rate in sampling_rates:
+        for r_opt in ropts:
+            for tolerance in tolerances:
+                points.append(
+                    evaluate_point(matrix, sampling_rate, r_opt, tolerance, device)
+                )
+    return points
+
+
+def pareto_front(points: Iterable[DesignPoint]) -> list[DesignPoint]:
+    """Non-dominated subset, ordered by SpMV cycles."""
+    points = list(points)
+    front = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    # Deduplicate identical objective tuples (grid points often tie).
+    seen: set[tuple[float, float, float]] = set()
+    unique = []
+    for p in sorted(front, key=lambda p: p.objectives):
+        if p.objectives not in seen:
+            seen.add(p.objectives)
+            unique.append(p)
+    return unique
+
+
+def recommend(
+    matrix: CSRMatrix,
+    reconfig_budget_seconds: float,
+    device: FPGADevice = ALVEO_U55C,
+    **grid,
+) -> DesignPoint:
+    """Pick the lowest-latency Pareto point within a reconfiguration budget.
+
+    Falls back to the globally cheapest-to-reconfigure point when nothing
+    fits the budget.
+    """
+    front = pareto_front(explore(matrix, device=device, **grid))
+    feasible = [p for p in front if p.reconfig_seconds <= reconfig_budget_seconds]
+    if feasible:
+        return min(feasible, key=lambda p: p.spmv_cycles)
+    return min(front, key=lambda p: p.reconfig_seconds)

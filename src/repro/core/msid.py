@@ -1,0 +1,125 @@
+"""Multi-Stage Iterative Decision (MSID) chain — paper Algorithm 4.
+
+The Row Length Trace produces one optimal unroll factor per set of rows
+(the ``tBuffer``).  Reconfiguring the Dynamic SpMV kernel at *every* set
+boundary where the factor changes would be prohibitively slow, so the MSID
+chain smooths the trace: at each stage, an entry whose normalized
+difference from its predecessor is within ``tolerance`` adopts the
+predecessor's value, extending runs of equal factors and thereby removing
+reconfiguration events.  Each additional stage lets runs propagate one
+entry further, which is why the reconfiguration rate is monotone
+non-increasing in the stage count and saturates (paper Figure 5, flat after
+``rOpt = 8``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def msid_stage(buffer: np.ndarray, tolerance: float, stable_prefix: int) -> np.ndarray:
+    """One stage of Algorithm 4 (lines 5–16).
+
+    Entries below ``stable_prefix`` are copied verbatim (lines 5–7); every
+    later entry ``k`` compares against its predecessor in the *previous*
+    stage's buffer (line 10) and adopts the predecessor's value when the
+    normalized difference ``|buf[k]/buf[k-1] - 1|`` is within ``tolerance``
+    (lines 11–14).
+    """
+    if tolerance < 0:
+        raise ConfigurationError(f"tolerance must be >= 0, got {tolerance}")
+    previous = np.asarray(buffer, dtype=np.float64)
+    result = previous.copy()
+    start = max(1, stable_prefix)
+    for k in range(start, len(previous)):
+        predecessor = previous[k - 1]
+        if predecessor == 0:
+            continue
+        diff = abs(previous[k] / predecessor - 1.0)
+        if diff <= tolerance:
+            result[k] = predecessor
+    return result
+
+
+def run_msid_chain(
+    buffer: np.ndarray, stages: int, tolerance: float
+) -> list[np.ndarray]:
+    """Run the full MSID chain and return every stage's tBuffer.
+
+    ``stages == 0`` disables the optimization (the result is the input
+    trace).  The returned list has ``stages + 1`` entries: index 0 is the
+    raw trace, index ``t`` the buffer after stage ``t``.
+    """
+    if stages < 0:
+        raise ConfigurationError(f"stages must be >= 0, got {stages}")
+    history = [np.asarray(buffer, dtype=np.float64).copy()]
+    for t in range(1, stages + 1):
+        history.append(msid_stage(history[-1], tolerance, stable_prefix=t))
+    return history
+
+
+def reconfiguration_events(buffer: np.ndarray) -> int:
+    """Number of SpMV-kernel reconfigurations a tBuffer demands.
+
+    The first set loads the initial configuration; every subsequent value
+    change is one partial-reconfiguration event.
+    """
+    buffer = np.asarray(buffer)
+    if len(buffer) < 2:
+        return 0
+    return int(np.count_nonzero(buffer[1:] != buffer[:-1]))
+
+
+def reconfiguration_rate(buffer: np.ndarray) -> float:
+    """Reconfiguration events per set boundary (0..1), Figure 5's y-axis."""
+    buffer = np.asarray(buffer)
+    boundaries = len(buffer) - 1
+    if boundaries <= 0:
+        return 0.0
+    return reconfiguration_events(buffer) / boundaries
+
+
+@dataclass(frozen=True)
+class MSIDResult:
+    """Outcome of an MSID-chain run."""
+
+    initial: np.ndarray
+    final: np.ndarray
+    stages: int
+    tolerance: float
+    initial_events: int
+    final_events: int
+
+    @property
+    def events_removed(self) -> int:
+        """Reconfigurations eliminated by the chain."""
+        return self.initial_events - self.final_events
+
+
+class MSIDChain:
+    """The MSID Chain unit: wraps Algorithm 4 with event accounting."""
+
+    def __init__(self, stages: int, tolerance: float) -> None:
+        if stages < 0:
+            raise ConfigurationError(f"stages must be >= 0, got {stages}")
+        if tolerance < 0:
+            raise ConfigurationError(f"tolerance must be >= 0, got {tolerance}")
+        self.stages = int(stages)
+        self.tolerance = float(tolerance)
+
+    def optimize(self, buffer: np.ndarray) -> MSIDResult:
+        """Smooth ``buffer`` and report the reconfiguration-event change."""
+        history = run_msid_chain(buffer, self.stages, self.tolerance)
+        initial, final = history[0], history[-1]
+        return MSIDResult(
+            initial=initial,
+            final=final,
+            stages=self.stages,
+            tolerance=self.tolerance,
+            initial_events=reconfiguration_events(initial),
+            final_events=reconfiguration_events(final),
+        )

@@ -1,0 +1,48 @@
+"""Solver Modifier unit: runtime solver switching on divergence.
+
+The paper's hardware keeps a temporary register with one bit per solver;
+when the Reconfigurable Solver diverges, the unit selects "the solver whose
+corresponding bit is low" — i.e. the next configuration that has not yet
+been attempted — and triggers the Initialize unit to reset the solve.  This
+class reproduces that mechanism: a tried-set plus a fixed preference order
+over the untried solvers.
+"""
+
+from __future__ import annotations
+
+from repro.config import DEFAULT_SOLVER_FALLBACK_ORDER
+
+
+class SolverModifierUnit:
+    """Tracks attempted solvers and yields the next fallback."""
+
+    def __init__(
+        self, fallback_order: tuple[str, ...] = DEFAULT_SOLVER_FALLBACK_ORDER
+    ) -> None:
+        self.fallback_order = tuple(fallback_order)
+        self._tried: set[str] = set()
+
+    @property
+    def tried(self) -> frozenset[str]:
+        """Solvers whose register bit is already high."""
+        return frozenset(self._tried)
+
+    def mark_tried(self, solver: str) -> None:
+        """Raise the register bit for ``solver``."""
+        self._tried.add(solver)
+
+    def next_solver(self) -> str | None:
+        """The next untried solver in preference order, or ``None``.
+
+        ``None`` means every configuration has been attempted — the
+        accelerator reports failure for this input (does not occur for the
+        paper's Table II datasets, whose Acamar column is all ✓).
+        """
+        for solver in self.fallback_order:
+            if solver not in self._tried:
+                return solver
+        return None
+
+    def reset(self) -> None:
+        """Clear the register (new input matrix)."""
+        self._tried.clear()

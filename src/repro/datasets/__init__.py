@@ -1,0 +1,79 @@
+"""Workload generation: Table II stand-ins and scientific-computing problems.
+
+- :mod:`~repro.datasets.suite` — the 25 SuiteSparse stand-ins of Table II,
+- :mod:`~repro.datasets.generators` — the structural-class matrix
+  constructions behind them,
+- :mod:`~repro.datasets.pde` / :mod:`~repro.datasets.graph` /
+  :mod:`~repro.datasets.optimization` — the three ``Ax = b`` problem
+  streams Section II-A motivates,
+- :mod:`~repro.datasets.problem` — the shared :class:`Problem` container.
+"""
+
+from repro.datasets.generators import (
+    balanced_indefinite_matrix,
+    ill_conditioned_spd_matrix,
+    sample_row_lengths,
+    sdd_indefinite_matrix,
+    sdd_matrix,
+    spd_clique_matrix,
+    spd_clique_skew_matrix,
+)
+from repro.datasets.graph import (
+    grounded_laplacian_system,
+    laplacian_matrix,
+    random_graph_edges,
+    regularized_laplacian_system,
+)
+from repro.datasets.optimization import (
+    network_flow_system,
+    normal_equations_system,
+    sparse_design_matrix,
+)
+from repro.datasets.pde import (
+    convection_diffusion_2d,
+    convection_diffusion_2d_matrix,
+    poisson_2d,
+    poisson_2d_matrix,
+    poisson_3d,
+    poisson_3d_matrix,
+)
+from repro.datasets.problem import Problem, manufacture_problem
+from repro.datasets.suite import (
+    DatasetSpec,
+    dataset_keys,
+    dataset_spec,
+    load_extra,
+    load_matrix,
+    load_problem,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "Problem",
+    "balanced_indefinite_matrix",
+    "convection_diffusion_2d",
+    "convection_diffusion_2d_matrix",
+    "dataset_keys",
+    "dataset_spec",
+    "grounded_laplacian_system",
+    "ill_conditioned_spd_matrix",
+    "laplacian_matrix",
+    "load_extra",
+    "load_matrix",
+    "load_problem",
+    "manufacture_problem",
+    "network_flow_system",
+    "normal_equations_system",
+    "poisson_2d",
+    "poisson_2d_matrix",
+    "poisson_3d",
+    "poisson_3d_matrix",
+    "random_graph_edges",
+    "regularized_laplacian_system",
+    "sample_row_lengths",
+    "sdd_indefinite_matrix",
+    "sdd_matrix",
+    "sparse_design_matrix",
+    "spd_clique_matrix",
+    "spd_clique_skew_matrix",
+]

@@ -1,0 +1,357 @@
+"""Random sparse-matrix generators for the Table II stand-ins.
+
+SuiteSparse matrices cannot be downloaded in this environment, so each
+Table II dataset is replaced by a synthetic matrix engineered to land in
+the same *structural class* — the only thing the paper's results depend on
+(Section 2 of DESIGN.md).  The constructions and the solver behaviour they
+force:
+
+``sdd_matrix``
+    Strictly diagonally dominant (Eq. 1), optionally symmetric.  Jacobi
+    and Gauss-Seidel converge; with a positive diagonal and symmetry the
+    matrix is SPD so CG converges too.
+``spd_clique_matrix``
+    Symmetric positive definite but *not* diagonally dominant: a union of
+    positive-coupling cliques with diagonal ``1 + margin``.  Each size-m
+    clique contributes an eigenvalue ``m + margin`` while the diagonal
+    stays at ``1 + margin``, so the Jacobi iteration matrix has spectral
+    radius ``(m - 1)/(1 + margin) > 1`` — Jacobi diverges, CG converges.
+``spd_clique_skew_matrix``
+    The previous construction plus a skew-symmetric coupling: no longer
+    symmetric (CG fails), Jacobi still divergent, but the symmetric part
+    remains positive definite so BiCG-STAB converges.
+``sdd_indefinite_matrix``
+    Strictly diagonally dominant with *mixed-sign* diagonal entries and a
+    non-symmetric pattern: Jacobi converges (dominance bounds the
+    iteration matrix), CG fails (non-symmetric/indefinite), and the
+    symmetric part is indefinite, which stalls BiCG-STAB's GMRES(1)
+    smoothing step (``omega = (As, s)/(As, As)`` crosses zero).
+``ill_conditioned_spd_matrix``
+    SPD with a tiny definiteness margin: CG's optimal short recurrence
+    still reaches 1e-5 in fp32, while BiCG-STAB's irregular residual
+    peaks amplify rounding and stagnate or trip the divergence monitor.
+
+All generators take an integer seed and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def sample_row_lengths(
+    n: int,
+    mean_nnz: float,
+    rng: np.random.Generator,
+    spread: float = 0.6,
+    min_nnz: int = 1,
+    max_nnz: int | None = None,
+    correlation: float = 0.95,
+) -> np.ndarray:
+    """Skewed (lognormal), spatially-correlated NNZ/row sample.
+
+    Real scientific matrices have uneven NNZ/row — the very irregularity
+    that causes resource underutilization (Section III-B) — *and* the
+    unevenness is spatially correlated along the row index (mesh regions,
+    variable bands), which is what makes the Row Length Trace's per-set
+    averages informative.  The log-lengths follow an AR(1) process with
+    the given ``correlation``; ``correlation=0`` recovers an i.i.d.
+    lognormal profile.
+    """
+    if mean_nnz < min_nnz:
+        raise ConfigurationError(
+            f"mean_nnz ({mean_nnz}) must be >= min_nnz ({min_nnz})"
+        )
+    if not 0.0 <= correlation < 1.0:
+        raise ConfigurationError(
+            f"correlation must be in [0, 1), got {correlation}"
+        )
+    noise = rng.standard_normal(n)
+    z = np.empty(n)
+    z[0] = noise[0]
+    scale = np.sqrt(1.0 - correlation**2)
+    for i in range(1, n):
+        z[i] = correlation * z[i - 1] + scale * noise[i]
+    mu = np.log(mean_nnz) - 0.5 * spread**2
+    lengths = np.round(np.exp(mu + spread * z)).astype(np.int64)
+    cap = max_nnz if max_nnz is not None else max(min_nnz, n - 1)
+    return np.clip(lengths, min_nnz, cap)
+
+
+def _random_offdiag_pattern(
+    n: int, row_lengths: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random off-diagonal coordinates with the requested row lengths."""
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    for i, k in enumerate(row_lengths):
+        k = int(min(k, n - 1))
+        if k <= 0:
+            continue
+        choices = rng.choice(n - 1, size=k, replace=False)
+        choices = np.where(choices >= i, choices + 1, choices)  # skip diagonal
+        rows.append(np.full(k, i, dtype=np.int64))
+        cols.append(choices.astype(np.int64))
+    if not rows:
+        return np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+    return np.concatenate(rows), np.concatenate(cols)
+
+
+def _assemble(
+    n: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    diag: np.ndarray,
+    permute: bool,
+    rng: np.random.Generator,
+) -> CSRMatrix:
+    """Add a diagonal, optionally relabel rows/columns, and build CSR."""
+    all_rows = np.concatenate([rows, np.arange(n)])
+    all_cols = np.concatenate([cols, np.arange(n)])
+    all_vals = np.concatenate([vals, diag])
+    if permute:
+        perm = rng.permutation(n)
+        all_rows = perm[all_rows]
+        all_cols = perm[all_cols]
+    return COOMatrix((n, n), all_rows, all_cols, all_vals).canonical().to_csr()
+
+
+def sdd_matrix(
+    n: int,
+    mean_nnz: float,
+    seed: int,
+    symmetric: bool = False,
+    dominance: float = 1.3,
+    spread: float = 0.6,
+) -> CSRMatrix:
+    """Strictly diagonally dominant matrix (positive diagonal).
+
+    With ``symmetric=True`` the result is SPD (all three solvers
+    converge); otherwise it is doubly dominant but non-symmetric (Jacobi
+    and BiCG-STAB converge, CG fails).
+    """
+    if dominance <= 1.0:
+        raise ConfigurationError(f"dominance must be > 1, got {dominance}")
+    rng = np.random.default_rng(seed)
+    lengths = sample_row_lengths(n, mean_nnz, rng, spread)
+    rows, cols = _random_offdiag_pattern(n, lengths, rng)
+    vals = rng.uniform(0.5, 1.5, size=len(rows)) * rng.choice([-1.0, 1.0], len(rows))
+    if symmetric:
+        keep = rows < cols
+        rows, cols, vals = rows[keep], cols[keep], vals[keep]
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+        vals = np.concatenate([vals, vals])
+    # Deduplicate before computing row sums so dominance holds exactly.
+    coo = COOMatrix((n, n), rows, cols, vals).canonical()
+    row_abs = np.zeros(n)
+    np.add.at(row_abs, coo.rows, np.abs(coo.data))
+    col_abs = np.zeros(n)
+    np.add.at(col_abs, coo.cols, np.abs(coo.data))
+    # Dominance in rows guarantees Jacobi; dominance in columns as well
+    # keeps the symmetric part positive definite for BiCG-STAB.
+    diag = dominance * np.maximum(np.maximum(row_abs, col_abs), 1.0)
+    return _assemble(n, coo.rows, coo.cols, coo.data, diag, False, rng)
+
+
+def _clique_pattern(
+    n: int,
+    clique_mean: float,
+    rng: np.random.Generator,
+    clique_min: int = 3,
+    clique_max: int = 24,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Partition rows into cliques; return the off-diagonal clique pairs."""
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    start = 0
+    while start < n:
+        size = int(
+            np.clip(round(rng.lognormal(np.log(clique_mean), 0.4)), clique_min, clique_max)
+        )
+        size = min(size, n - start)
+        if size >= 2:
+            members = np.arange(start, start + size)
+            grid_r, grid_c = np.meshgrid(members, members, indexing="ij")
+            off = grid_r != grid_c
+            rows.append(grid_r[off].ravel())
+            cols.append(grid_c[off].ravel())
+        start += max(size, 1)
+    if not rows:
+        return np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+    return np.concatenate(rows), np.concatenate(cols)
+
+
+def spd_clique_matrix(
+    n: int,
+    clique_mean: float,
+    seed: int,
+    margin: float = 0.5,
+    coupling: float = 1.0,
+    clique_min: int = 3,
+    clique_max: int = 24,
+) -> CSRMatrix:
+    """SPD but not diagonally dominant: Jacobi diverges, CG converges.
+
+    Each clique block is ``coupling * (J - I) + (1 + margin) I`` (``J`` the
+    all-ones matrix): eigenvalues ``coupling*(m-1) + 1 + margin`` (once)
+    and ``1 + margin - coupling`` (m-1 times), so the matrix is PD for
+    ``margin > coupling - 1`` while the Jacobi iteration matrix has
+    spectral radius ``coupling*(m-1)/(1+margin) > 1`` for cliques of three
+    or more rows.
+    """
+    if margin <= coupling - 1.0:
+        raise ConfigurationError(
+            f"need margin > coupling - 1 for positive definiteness, got "
+            f"margin={margin}, coupling={coupling}"
+        )
+    rng = np.random.default_rng(seed)
+    rows, cols = _clique_pattern(n, clique_mean, rng, clique_min, clique_max)
+    vals = np.full(len(rows), coupling)
+    diag = np.full(n, 1.0 + margin)
+    # Block ordering is kept (no relabeling): FEM-style matrices exhibit
+    # exactly this row-length locality, which the Row Length Trace exploits.
+    return _assemble(n, rows, cols, vals, diag, False, rng)
+
+
+def spd_clique_skew_matrix(
+    n: int,
+    clique_mean: float,
+    seed: int,
+    gamma: float = 0.5,
+    margin: float = 0.5,
+    pairs_per_row: float = 2.0,
+) -> CSRMatrix:
+    """Non-symmetric with PD symmetric part: only BiCG-STAB converges.
+
+    Adds ``gamma``-scaled skew-symmetric couplings to the SPD clique base;
+    the symmetric part is untouched (still PD, so BiCG-STAB's smoothing
+    steps make progress) but symmetry is broken (CG fails) and the Jacobi
+    spectral radius stays above one.
+    """
+    rng = np.random.default_rng(seed)
+    base_rows, base_cols = _clique_pattern(n, clique_mean, rng)
+    base_vals = np.full(len(base_rows), 1.0)
+    n_pairs = int(n * pairs_per_row)
+    i = rng.integers(0, n, size=n_pairs)
+    j = rng.integers(0, n, size=n_pairs)
+    keep = i != j
+    i, j = i[keep], j[keep]
+    w = gamma * rng.uniform(0.5, 1.5, size=len(i))
+    rows = np.concatenate([base_rows, i, j])
+    cols = np.concatenate([base_cols, j, i])
+    vals = np.concatenate([base_vals, w, -w])
+    diag = np.full(n, 1.0 + margin)
+    return _assemble(n, rows, cols, vals, diag, False, rng)
+
+
+def sdd_indefinite_matrix(
+    n: int,
+    mean_nnz: float,
+    seed: int,
+    neg_fraction: float = 0.5,
+    dominance: float = 1.05,
+    spread: float = 0.6,
+    magnitude_spread: float = 1.5,
+) -> CSRMatrix:
+    """SDD with mixed-sign diagonal and heterogeneous row scales:
+    Jacobi converges, CG and BiCG-STAB fail.
+
+    ``neg_fraction`` of the rows get a negative dominant diagonal, making
+    the spectrum straddle the origin; ``magnitude_spread`` rescales whole
+    rows by lognormal factors.  Jacobi is per-row scale-invariant and its
+    iteration matrix stays below one by strict dominance, so it converges
+    regardless.  CG fails on the non-symmetric indefinite operator.
+    BiCG-STAB's stabilization factors ``(1 - omega z)`` can damp only one
+    side of the origin at a time — with a wide, badly-scaled two-sided
+    spectrum the method stagnates or trips the divergence monitor
+    (verified empirically per fixed seed in the dataset tests).
+    """
+    rng = np.random.default_rng(seed)
+    lengths = sample_row_lengths(n, mean_nnz, rng, spread)
+    rows, cols = _random_offdiag_pattern(n, lengths, rng)
+    vals = rng.uniform(0.5, 1.5, size=len(rows)) * rng.choice([-1.0, 1.0], len(rows))
+    coo = COOMatrix((n, n), rows, cols, vals).canonical()
+    row_abs = np.zeros(n)
+    np.add.at(row_abs, coo.rows, np.abs(coo.data))
+    signs = np.where(rng.random(n) < neg_fraction, -1.0, 1.0)
+    magnitudes = np.exp(rng.normal(0.0, magnitude_spread, n))
+    diag = signs * dominance * np.maximum(row_abs, 1.0) * magnitudes
+    data = coo.data * magnitudes[coo.rows]
+    return _assemble(n, coo.rows, coo.cols, data, diag, False, rng)
+
+
+def balanced_indefinite_matrix(
+    n: int,
+    seed: int,
+    mean_nnz: float = 6.0,
+    coupling: float = 2.0,
+    magnitude_spread: float = 0.5,
+) -> CSRMatrix:
+    """Symmetric indefinite with origin-symmetric spectrum:
+    CG converges, Jacobi and BiCG-STAB fail.
+
+    The matrix is ``[[D, C], [C, -D]]`` with ``C`` symmetric and ``D``
+    positive diagonal.  Conjugating by ``swap ∘ diag(I, -I)`` maps it to
+    its negation, so the spectrum is exactly symmetric about the origin:
+    CG's optimal residual polynomial can exploit the symmetry (an even
+    polynomial in the operator), while BiCG-STAB's degree-one smoothing
+    factors amplify whichever half of the spectrum ``omega`` is not
+    targeting, and the heterogeneous row scales (``magnitude_spread``)
+    push it past the divergence monitor.  The ``coupling`` strength breaks
+    diagonal dominance, so Jacobi diverges.  The regime is narrow — the
+    suite pins a verified seed per dataset.
+    """
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    rows_list: list[np.ndarray] = []
+    cols_list: list[np.ndarray] = []
+    for i in range(half):
+        k = max(1, int(rng.lognormal(np.log(mean_nnz), 0.5)))
+        chosen = rng.choice(half, size=min(k, half), replace=False)
+        rows_list.append(np.full(len(chosen), i, dtype=np.int64))
+        cols_list.append(chosen.astype(np.int64))
+    r = np.concatenate(rows_list)
+    c = np.concatenate(cols_list)
+    v = rng.uniform(0.5, 1.5, len(r)) * coupling
+    # Symmetrize C and scale rows/columns by matched magnitudes so the
+    # +/- pairing (and hence the spectral symmetry) is preserved.
+    r_sym = np.concatenate([r, c])
+    c_sym = np.concatenate([c, r])
+    v_sym = np.concatenate([v, v]) * 0.5
+    scale = np.exp(rng.normal(0.0, magnitude_spread, half))
+    v_sym = v_sym * scale[r_sym] * scale[c_sym]
+    diag_mag = scale * scale
+    rows = np.concatenate([r_sym, half + r_sym, np.arange(half), half + np.arange(half)])
+    cols = np.concatenate([half + c_sym, c_sym, np.arange(half), half + np.arange(half)])
+    vals = np.concatenate([v_sym, v_sym, diag_mag, -diag_mag])
+    return COOMatrix((n, n), rows, cols, vals).canonical().to_csr()
+
+
+def ill_conditioned_spd_matrix(
+    n: int,
+    clique_mean: float,
+    seed: int,
+    margin: float = 2e-3,
+    coupling: float = 1.0,
+) -> CSRMatrix:
+    """Nearly-singular SPD: CG converges in fp32, BiCG-STAB does not.
+
+    Same clique construction as :func:`spd_clique_matrix` but with the
+    clique coupling shaped so the smallest eigenvalue is ``margin``:
+    block ``coupling*(J - I) + (coupling - 1 + 1 + margin) I``.  The huge
+    condition number makes BiCG-STAB's residual polynomial (a product of
+    locally-minimizing GMRES(1) factors) oscillate with large peaks that,
+    in 32-bit arithmetic, either stagnate above the 1e-5 threshold or trip
+    the divergence monitor; CG's globally optimal polynomial still grinds
+    through.
+    """
+    rng = np.random.default_rng(seed)
+    rows, cols = _clique_pattern(n, clique_mean, rng, clique_min=3, clique_max=40)
+    vals = np.full(len(rows), coupling)
+    diag = np.full(n, coupling + margin)
+    return _assemble(n, rows, cols, vals, diag, True, rng)

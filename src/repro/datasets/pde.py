@@ -1,0 +1,137 @@
+"""PDE discretizations (Section II-A's motivating workload).
+
+Finite-difference discretizations that reduce PDEs to ``Ax = b``, exactly
+as the paper's introduction describes: the 2-D/3-D Poisson equation (heat
+conduction, electrostatics) on a regular grid with Dirichlet boundaries,
+and a convection–diffusion operator whose upwinded convection term makes
+the matrix non-symmetric — the case where the Matrix Structure unit routes
+to BiCG-STAB.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.problem import Problem, manufacture_problem
+from repro.errors import ConfigurationError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def poisson_2d_matrix(nx: int, ny: int | None = None) -> CSRMatrix:
+    """Five-point Laplacian on an ``nx × ny`` interior grid (Dirichlet).
+
+    The classic SPD model problem: diagonal 4, neighbors -1.  It is
+    weakly (not strictly) diagonally dominant and irreducible, so Jacobi
+    still converges — slowly, which is what makes solver choice matter.
+    """
+    ny = ny if ny is not None else nx
+    if nx < 1 or ny < 1:
+        raise ConfigurationError(f"grid must be at least 1x1, got {nx}x{ny}")
+    n = nx * ny
+    index = np.arange(n).reshape(ny, nx)
+    rows = [np.arange(n)]
+    cols = [np.arange(n)]
+    vals = [np.full(n, 4.0)]
+    # Horizontal couplings.
+    left, right = index[:, :-1].ravel(), index[:, 1:].ravel()
+    rows += [left, right]
+    cols += [right, left]
+    vals += [np.full(len(left), -1.0)] * 2
+    # Vertical couplings.
+    up, down = index[:-1, :].ravel(), index[1:, :].ravel()
+    rows += [up, down]
+    cols += [down, up]
+    vals += [np.full(len(up), -1.0)] * 2
+    return COOMatrix(
+        (n, n), np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    ).to_csr()
+
+
+def poisson_3d_matrix(nx: int, ny: int | None = None, nz: int | None = None) -> CSRMatrix:
+    """Seven-point Laplacian on an ``nx × ny × nz`` interior grid."""
+    ny = ny if ny is not None else nx
+    nz = nz if nz is not None else nx
+    if min(nx, ny, nz) < 1:
+        raise ConfigurationError(f"grid must be at least 1x1x1, got {nx}x{ny}x{nz}")
+    n = nx * ny * nz
+    index = np.arange(n).reshape(nz, ny, nx)
+    rows = [np.arange(n)]
+    cols = [np.arange(n)]
+    vals = [np.full(n, 6.0)]
+    for axis in range(3):
+        lo = np.moveaxis(index, axis, 0)[:-1].ravel()
+        hi = np.moveaxis(index, axis, 0)[1:].ravel()
+        rows += [lo, hi]
+        cols += [hi, lo]
+        vals += [np.full(len(lo), -1.0)] * 2
+    return COOMatrix(
+        (n, n), np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    ).to_csr()
+
+
+def convection_diffusion_2d_matrix(
+    nx: int, peclet: float = 10.0, ny: int | None = None
+) -> CSRMatrix:
+    """Upwinded convection–diffusion on a 2-D grid (non-symmetric).
+
+    Discretizes ``-Δu + p ∂u/∂x`` with first-order upwinding of the
+    convective term.  ``peclet`` is the cell Péclet number ``p·h``; larger
+    values make the matrix more non-symmetric, steering the Matrix
+    Structure unit away from CG.
+    """
+    ny = ny if ny is not None else nx
+    if nx < 1 or ny < 1:
+        raise ConfigurationError(f"grid must be at least 1x1, got {nx}x{ny}")
+    if peclet < 0:
+        raise ConfigurationError(f"peclet must be >= 0, got {peclet}")
+    n = nx * ny
+    index = np.arange(n).reshape(ny, nx)
+    rows = [np.arange(n)]
+    cols = [np.arange(n)]
+    vals = [np.full(n, 4.0 + peclet)]
+    left, right = index[:, :-1].ravel(), index[:, 1:].ravel()
+    # Flow in +x: upwind difference takes (1 + peclet) from the left
+    # neighbor, 1 from the right.
+    rows += [right, left]
+    cols += [left, right]
+    vals += [np.full(len(left), -(1.0 + peclet)), np.full(len(left), -1.0)]
+    up, down = index[:-1, :].ravel(), index[1:, :].ravel()
+    rows += [up, down]
+    cols += [down, up]
+    vals += [np.full(len(up), -1.0)] * 2
+    return COOMatrix(
+        (n, n), np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    ).to_csr()
+
+
+def poisson_2d(nx: int, ny: int | None = None, seed: int = 1) -> Problem:
+    """2-D Poisson problem with a manufactured solution."""
+    matrix = poisson_2d_matrix(nx, ny)
+    return manufacture_problem(
+        f"poisson_2d_{nx}x{ny if ny else nx}",
+        matrix,
+        seed=seed,
+        metadata={"kind": "pde", "grid": (nx, ny if ny else nx)},
+    )
+
+
+def poisson_3d(nx: int, ny: int | None = None, nz: int | None = None,
+               seed: int = 1) -> Problem:
+    """3-D Poisson problem with a manufactured solution."""
+    matrix = poisson_3d_matrix(nx, ny, nz)
+    return manufacture_problem(
+        f"poisson_3d_{nx}", matrix, seed=seed,
+        metadata={"kind": "pde", "grid": (nx, ny or nx, nz or nx)},
+    )
+
+
+def convection_diffusion_2d(
+    nx: int, peclet: float = 10.0, seed: int = 1
+) -> Problem:
+    """Non-symmetric convection–diffusion problem."""
+    matrix = convection_diffusion_2d_matrix(nx, peclet)
+    return manufacture_problem(
+        f"convection_diffusion_{nx}_pe{peclet:g}", matrix, seed=seed,
+        metadata={"kind": "pde", "peclet": peclet},
+    )

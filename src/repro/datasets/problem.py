@@ -1,0 +1,82 @@
+"""The ``Ax = b`` problem container shared by datasets and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass
+class Problem:
+    """One linear system instance.
+
+    Attributes
+    ----------
+    name:
+        Dataset or generator identifier.
+    matrix:
+        The sparse coefficient matrix ``A`` (CSR).
+    b:
+        Right-hand side.
+    x_true:
+        The vector used to manufacture ``b`` (``b = A x_true``) when known;
+        lets examples and tests report forward error, not just residual.
+    metadata:
+        Free-form provenance (generator parameters, paper row, grid size).
+    """
+
+    name: str
+    matrix: CSRMatrix
+    b: np.ndarray
+    x_true: np.ndarray | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def nnz(self) -> int:
+        return self.matrix.nnz
+
+    def relative_error(self, x: np.ndarray) -> float:
+        """Forward error ``‖x - x_true‖ / ‖x_true‖`` (requires x_true)."""
+        if self.x_true is None:
+            raise ValueError(f"problem {self.name!r} has no known x_true")
+        denominator = float(np.linalg.norm(self.x_true))
+        if denominator == 0.0:
+            return float(np.linalg.norm(x))
+        return float(np.linalg.norm(np.asarray(x, dtype=np.float64) - self.x_true))\
+            / denominator
+
+    def residual_norm(self, x: np.ndarray) -> float:
+        """True relative residual ``‖b - Ax‖ / ‖b‖`` recomputed exactly."""
+        r = self.b.astype(np.float64) - self.matrix.matvec(
+            np.asarray(x, dtype=np.float64)
+        )
+        b_norm = float(np.linalg.norm(self.b.astype(np.float64)))
+        return float(np.linalg.norm(r)) / (b_norm if b_norm else 1.0)
+
+
+def manufacture_problem(
+    name: str,
+    matrix: CSRMatrix,
+    seed: int = 1,
+    dtype: np.dtype | type = np.float32,
+    metadata: dict[str, Any] | None = None,
+) -> Problem:
+    """Build a problem with a manufactured solution ``b = A x_true``."""
+    rng = np.random.default_rng(seed)
+    x_true = rng.standard_normal(matrix.shape[0])
+    b = matrix.matvec(x_true).astype(dtype)
+    return Problem(
+        name=name,
+        matrix=matrix,
+        b=b,
+        x_true=x_true,
+        metadata=dict(metadata or {}),
+    )

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the Acamar reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch the whole family with one clause while still being able
+to discriminate between matrix-format problems, solver breakdowns, and
+simulation misconfiguration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SparseFormatError(ReproError):
+    """A sparse-matrix container was constructed from inconsistent arrays.
+
+    Raised, for example, when a CSR ``indptr`` is not monotone, when column
+    indices fall outside the matrix shape, or when the data and index arrays
+    disagree in length.
+    """
+
+
+class ShapeMismatchError(ReproError):
+    """Operands of a sparse/dense operation have incompatible shapes."""
+
+
+class SolverError(ReproError):
+    """Base class for solver-related failures."""
+
+
+class SolverBreakdownError(SolverError):
+    """An iterative solver hit a numerical breakdown (division by ~0).
+
+    Krylov methods such as BiCG-STAB break down when an inner product in a
+    denominator vanishes (rho- or omega-breakdown).  The solver records the
+    breakdown and reports divergence rather than propagating NaNs.
+    """
+
+
+class ConfigurationError(ReproError):
+    """An accelerator or simulation parameter is out of its valid range."""
+
+
+class DatasetError(ReproError):
+    """A dataset stand-in was requested that the registry does not know."""

@@ -1,0 +1,111 @@
+"""Cycle-level FPGA cost model (Alveo u55c class).
+
+Replaces the paper's HLS co-simulation + cycle-level simulator pair with a
+single analytic model: kernel cycle accounting (:mod:`~repro.fpga.kernels`),
+Eq. 5 resource-underutilization metrics (:mod:`~repro.fpga.utilization`),
+ICAP partial-reconfiguration timing (:mod:`~repro.fpga.reconfiguration`),
+and the solver-level :class:`~repro.fpga.cost_model.PerformanceModel`.
+"""
+
+from repro.fpga.cost_model import (
+    AcamarLatencyReport,
+    LatencyReport,
+    PerformanceModel,
+    expand_plan_to_rows,
+    operator_row_lengths,
+    plan_event_unrolls,
+)
+from repro.fpga.device import ALVEO_U55C, FPGADevice
+from repro.fpga.counters import PerfCounters, collect_counters
+from repro.fpga.energy import EnergyModel, EnergyReport
+from repro.fpga.roofline import (
+    RooflinePoint,
+    fpga_roofline,
+    gpu_roofline,
+    spmv_arithmetic_intensity,
+)
+from repro.fpga.host import (
+    EndToEndReport,
+    end_to_end,
+    matrix_transfer_bytes,
+    transfer_seconds,
+    vector_transfer_bytes,
+)
+from repro.fpga.memory import (
+    HBM_BANDWIDTH_BPS,
+    StreamBuffer,
+    max_streaming_unroll,
+    prbuffer_for,
+    streaming_bytes_per_second,
+    tbuffer_for,
+    validate_plan_bandwidth,
+)
+from repro.fpga.pipeline import (
+    PipelineTrace,
+    SetTrace,
+    SpMVPipelineSimulator,
+)
+from repro.fpga.kernels import SweepReport, dense_kernel, spmv_sweep
+from repro.fpga.multitenancy import (
+    DENSE_GEMM_TILE,
+    CoTenancyReport,
+    TenantSpec,
+    co_tenancy,
+)
+from repro.fpga.reconfiguration import (
+    ReconfigurationModel,
+    spmv_bitstream_bytes,
+)
+from repro.fpga.utilization import (
+    mean_underutilization,
+    occupancy_underutilization,
+    row_underutilization,
+    underutilization_improvement_ratio,
+)
+
+__all__ = [
+    "ALVEO_U55C",
+    "EndToEndReport",
+    "EnergyModel",
+    "EnergyReport",
+    "PerfCounters",
+    "RooflinePoint",
+    "CoTenancyReport",
+    "DENSE_GEMM_TILE",
+    "TenantSpec",
+    "co_tenancy",
+    "collect_counters",
+    "fpga_roofline",
+    "gpu_roofline",
+    "spmv_arithmetic_intensity",
+    "HBM_BANDWIDTH_BPS",
+    "end_to_end",
+    "matrix_transfer_bytes",
+    "transfer_seconds",
+    "vector_transfer_bytes",
+    "PipelineTrace",
+    "SetTrace",
+    "SpMVPipelineSimulator",
+    "StreamBuffer",
+    "max_streaming_unroll",
+    "prbuffer_for",
+    "streaming_bytes_per_second",
+    "tbuffer_for",
+    "validate_plan_bandwidth",
+    "AcamarLatencyReport",
+    "FPGADevice",
+    "LatencyReport",
+    "PerformanceModel",
+    "ReconfigurationModel",
+    "SweepReport",
+    "dense_kernel",
+    "expand_plan_to_rows",
+    "mean_underutilization",
+    "occupancy_underutilization",
+    "operator_row_lengths",
+    "plan_event_unrolls",
+    "row_underutilization",
+    "spmv_bitstream_bytes",
+    "spmv_sweep",
+    "underutilization_improvement_ratio",
+]

@@ -1,0 +1,284 @@
+"""Performance model: solver runs → latency / utilization / efficiency.
+
+This is the "cycle-level simulator that takes the performance numbers from
+the HLS co-simulation" of Section V-A.  It replays the kernel tally an
+actual numerical solve recorded (:class:`~repro.solvers.base.OpCounter`)
+through the device's cycle models:
+
+- loop SpMV sweeps are costed with the Dynamic SpMV kernel model under the
+  reconfiguration plan (Acamar) or a fixed ``SpMV_URB`` (static baseline),
+- the Initialize unit's one-off SpMV runs at the static default unroll,
+- dense kernels run on the shared static units,
+- fine-grained reconfiguration events are timed by the ICAP model and kept
+  as a separate component, so experiments can report compute-only speedup
+  (Figure 6) and the allowed-reconfiguration-time budget (Figure 13)
+  independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.accelerator import AcamarResult
+from repro.core.finegrained import ReconfigurationPlan
+from repro.core.initialize import STATIC_INITIALIZE_UNROLL, initialize_spmv_count
+from repro.errors import ConfigurationError
+from repro.fpga.device import ALVEO_U55C, FPGADevice
+from repro.fpga.kernels import EMPTY_SWEEP, SweepReport, dense_kernel, spmv_sweep
+from repro.fpga.reconfiguration import ReconfigurationModel
+from repro.solvers.base import OpCounter, SolveResult
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Timing breakdown of one solver run on the modeled fabric.
+
+    All times in seconds.  ``spmv`` covers the solver-loop SpMV sweeps;
+    ``init`` the Initialize unit (including its static-unroll SpMV);
+    ``dense`` the static dense kernels; ``reconfig`` the fine-grained
+    Dynamic-SpMV reconfiguration events across all sweeps (zero for the
+    static baseline).
+    """
+
+    solver: str
+    iterations: int
+    init_seconds: float
+    spmv_seconds: float
+    dense_seconds: float
+    reconfig_seconds: float
+    spmv_report: SweepReport
+    dense_report: SweepReport
+    loop_sweeps: int
+    reconfig_events: int
+
+    @property
+    def compute_seconds(self) -> float:
+        """Latency excluding reconfiguration (Figure 6's quantity)."""
+        return self.init_seconds + self.spmv_seconds + self.dense_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        """Latency including fine-grained reconfiguration overhead."""
+        return self.compute_seconds + self.reconfig_seconds
+
+    @property
+    def spmv_fraction(self) -> float:
+        """SpMV share of compute latency (Figure 1's quantity)."""
+        if self.compute_seconds == 0:
+            return 0.0
+        return self.spmv_seconds / self.compute_seconds
+
+
+@dataclass(frozen=True)
+class AcamarLatencyReport:
+    """Timing of a full Acamar solve (all attempts + solver swaps)."""
+
+    attempts: tuple[LatencyReport, ...]
+    solver_swap_seconds: float
+
+    @property
+    def final(self) -> LatencyReport:
+        return self.attempts[-1]
+
+    @property
+    def compute_seconds(self) -> float:
+        return sum(a.compute_seconds for a in self.attempts)
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            sum(a.total_seconds for a in self.attempts) + self.solver_swap_seconds
+        )
+
+
+def operator_row_lengths(matrix: CSRMatrix, solver: str) -> np.ndarray:
+    """NNZ/row of the operator the solver's loop SpMV actually sweeps.
+
+    Jacobi's matrix form multiplies by ``T = D^-1 (L + U)``, which drops
+    the stored diagonal; all other solvers sweep ``A`` itself.
+    """
+    lengths = matrix.row_lengths()
+    if solver != "jacobi":
+        return lengths
+    n = min(matrix.shape)
+    row_of = np.repeat(np.arange(matrix.n_rows), lengths)
+    has_diag = np.zeros(matrix.n_rows, dtype=np.int64)
+    on_diag = (row_of == matrix.indices) & (matrix.indices < n)
+    np.add.at(has_diag, row_of[on_diag], 1)
+    return lengths - has_diag
+
+
+def expand_plan_to_rows(plan: ReconfigurationPlan, n_rows: int) -> np.ndarray:
+    """Per-row unroll factors implied by a plan, checked against ``n_rows``."""
+    unrolls = plan.unroll_for_rows
+    if len(unrolls) != n_rows:
+        raise ConfigurationError(
+            f"plan covers {len(unrolls)} rows but the matrix has {n_rows}"
+        )
+    return unrolls
+
+
+def plan_event_unrolls(plan: ReconfigurationPlan) -> list[int]:
+    """Target unroll factor of each per-sweep reconfiguration event.
+
+    Includes the wrap-around event (re-loading the first set's
+    configuration at the start of the next sweep) when the last set's
+    unroll differs from the first's.
+    """
+    events = [s.unroll for s in plan.sets if s.reconfigure]
+    if plan.sets and plan.sets[-1].unroll != plan.sets[0].unroll:
+        events.append(plan.sets[0].unroll)
+    return events
+
+
+class PerformanceModel:
+    """Cost model binding a device to the solver/accelerator abstractions."""
+
+    def __init__(self, device: FPGADevice = ALVEO_U55C) -> None:
+        self.device = device
+        self.reconfig = ReconfigurationModel(device)
+
+    # ------------------------------------------------------------------
+    # Kernel-level reports
+    # ------------------------------------------------------------------
+
+    def spmv_unit_sweep(
+        self, row_lengths: np.ndarray, unroll_per_row: np.ndarray | int
+    ) -> SweepReport:
+        """One SpMV pass with the given per-row unroll assignment."""
+        return spmv_sweep(row_lengths, unroll_per_row, self.device)
+
+    def dense_breakdown(self, ops: OpCounter) -> dict[str, SweepReport]:
+        """Per-kind cycle reports of the dense-kernel invocations."""
+        breakdown: dict[str, SweepReport] = {}
+        for kind in OpCounter.DENSE_KINDS:
+            count = ops.counts.get(kind, 0)
+            if count == 0:
+                continue
+            total = ops.sizes.get(kind, 0)
+            average_length = max(1, total // count)
+            breakdown[kind] = dense_kernel(
+                kind, average_length, self.device
+            ).scaled(count)
+        return breakdown
+
+    def dense_report(self, ops: OpCounter) -> SweepReport:
+        """Aggregate cycle report of all dense-kernel invocations."""
+        reports = list(self.dense_breakdown(ops).values())
+        return SweepReport.combine(reports) if reports else EMPTY_SWEEP
+
+    # ------------------------------------------------------------------
+    # Solver-level latency
+    # ------------------------------------------------------------------
+
+    def solver_latency(
+        self,
+        matrix: CSRMatrix,
+        result: SolveResult,
+        *,
+        plan: ReconfigurationPlan | None = None,
+        urb: int | None = None,
+    ) -> LatencyReport:
+        """Latency of one solver run.
+
+        Exactly one of ``plan`` (Acamar, per-set unrolls + reconfiguration
+        events) or ``urb`` (static baseline, fixed unroll, no events) must
+        be given.
+        """
+        if (plan is None) == (urb is None):
+            raise ConfigurationError("pass exactly one of plan= or urb=")
+        lengths = operator_row_lengths(matrix, result.solver)
+        if plan is not None:
+            unroll_per_row: np.ndarray | int = expand_plan_to_rows(
+                plan, matrix.n_rows
+            )
+            event_unrolls = plan_event_unrolls(plan)
+        else:
+            if urb < 1:
+                raise ConfigurationError(f"urb must be >= 1, got {urb}")
+            unroll_per_row = int(urb)
+            event_unrolls = []
+
+        init_spmvs = min(initialize_spmv_count(result.solver), result.ops.spmv_count())
+        loop_spmvs = result.ops.spmv_count() - init_spmvs
+
+        one_sweep = self.spmv_unit_sweep(lengths, unroll_per_row)
+        loop_report = one_sweep.scaled(loop_spmvs)
+        init_report = self.spmv_unit_sweep(
+            matrix.row_lengths(), STATIC_INITIALIZE_UNROLL
+        ).scaled(init_spmvs)
+        dense = self.dense_report(result.ops)
+
+        reconfig_events = len(event_unrolls) * loop_spmvs
+        reconfig_seconds = (
+            self.reconfig.plan_overhead_seconds(event_unrolls) * loop_spmvs
+        )
+        return LatencyReport(
+            solver=result.solver,
+            iterations=result.iterations,
+            init_seconds=self.device.cycles_to_seconds(init_report.cycles),
+            spmv_seconds=self.device.cycles_to_seconds(loop_report.cycles),
+            dense_seconds=self.device.cycles_to_seconds(dense.cycles),
+            reconfig_seconds=reconfig_seconds,
+            spmv_report=loop_report,
+            dense_report=dense,
+            loop_sweeps=loop_spmvs,
+            reconfig_events=reconfig_events,
+        )
+
+    def acamar_latency(
+        self, matrix: CSRMatrix, acamar_result: AcamarResult
+    ) -> AcamarLatencyReport:
+        """Latency of a full Acamar solve, including Solver Modifier swaps."""
+        attempts = tuple(
+            self.solver_latency(matrix, attempt.result, plan=acamar_result.plan)
+            for attempt in acamar_result.attempts
+        )
+        swaps = acamar_result.solver_reconfigurations
+        return AcamarLatencyReport(
+            attempts=attempts,
+            solver_swap_seconds=swaps * self.reconfig.solver_swap_seconds(),
+        )
+
+    # ------------------------------------------------------------------
+    # Area / efficiency
+    # ------------------------------------------------------------------
+
+    def static_spmv_area_mm2(self, urb: int) -> float:
+        """SpMV-region area of a static design with fixed unroll ``urb``."""
+        return self.device.spmv_region_area_mm2(urb)
+
+    def acamar_spmv_area_mm2(
+        self, matrix: CSRMatrix, plan: ReconfigurationPlan
+    ) -> float:
+        """Time-weighted SpMV-region area under a reconfiguration plan.
+
+        The dynamically reconfigured region only occupies the fabric its
+        *current* configuration needs, so the effective area is each set's
+        region area weighted by the cycles spent in that set; the freed
+        fabric can host a co-running application (Section VI-D).
+        """
+        lengths = matrix.row_lengths().astype(np.int64)
+        total_cycles = 0.0
+        weighted = 0.0
+        for row_set in plan.sets:
+            set_lengths = lengths[row_set.start_row : row_set.stop_row]
+            slots = np.maximum(1, -(-set_lengths // row_set.unroll))
+            cycles = float(slots.sum())
+            total_cycles += cycles
+            weighted += cycles * self.device.spmv_region_area_mm2(row_set.unroll)
+        if total_cycles == 0:
+            return 0.0
+        return weighted / total_cycles
+
+    def performance_efficiency(
+        self, report: SweepReport, area_mm2: float
+    ) -> float:
+        """FLOPS per mm² of SpMV-region fabric (Figure 10's metric)."""
+        if report.cycles == 0 or area_mm2 == 0:
+            return 0.0
+        seconds = self.device.cycles_to_seconds(report.cycles)
+        return report.flops / seconds / area_mm2

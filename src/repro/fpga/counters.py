@@ -1,0 +1,107 @@
+"""Hardware-style performance counters for one accelerated solve.
+
+Real accelerator deployments expose a small set of counters (busy cycles,
+stall cycles, event counts) that operators read instead of re-running a
+simulator.  This module condenses everything the cost models know about a
+solve into one :class:`PerfCounters` snapshot — the view `python -m repro
+solve --counters` prints and the view a monitoring integration would
+export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.accelerator import AcamarResult
+from repro.fpga.cost_model import AcamarLatencyReport, PerformanceModel
+from repro.fpga.utilization import mean_underutilization
+from repro.metrics import achieved_throughput_fraction
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class PerfCounters:
+    """Counter snapshot of one Acamar solve."""
+
+    solver_sequence: tuple[str, ...]
+    iterations: int
+    spmv_sweeps: int
+    spmv_busy_mac_cycles: int
+    spmv_provisioned_mac_cycles: int
+    dense_cycles: int
+    compute_seconds: float
+    reconfig_events: int
+    reconfig_seconds: float
+    solver_swaps: int
+    solver_swap_seconds: float
+    eq5_underutilization: float
+    achieved_throughput: float
+    gflops: float
+
+    @property
+    def spmv_occupancy(self) -> float:
+        if self.spmv_provisioned_mac_cycles == 0:
+            return 1.0
+        return self.spmv_busy_mac_cycles / self.spmv_provisioned_mac_cycles
+
+    def to_lines(self) -> list[str]:
+        """Render as the counter dump the CLI prints."""
+        return [
+            f"solver sequence        : {' -> '.join(self.solver_sequence)}",
+            f"iterations (final)     : {self.iterations}",
+            f"spmv sweeps            : {self.spmv_sweeps}",
+            f"spmv busy MAC-cycles   : {self.spmv_busy_mac_cycles}",
+            f"spmv provisioned       : {self.spmv_provisioned_mac_cycles}"
+            f"  (occupancy {self.spmv_occupancy:.1%})",
+            f"dense-unit cycles      : {self.dense_cycles}",
+            f"compute time           : {self.compute_seconds * 1e3:.3f} ms"
+            f"  ({self.gflops:.2f} GFLOP/s achieved)",
+            f"Eq.5 underutilization  : {self.eq5_underutilization:.1%}",
+            f"achieved throughput    : {self.achieved_throughput:.1%} of peak",
+            f"fine-grained reconfigs : {self.reconfig_events}"
+            f"  ({self.reconfig_seconds * 1e3:.3f} ms ICAP)",
+            f"solver swaps           : {self.solver_swaps}"
+            f"  ({self.solver_swap_seconds * 1e3:.3f} ms)",
+        ]
+
+
+def collect_counters(
+    matrix: CSRMatrix,
+    result: AcamarResult,
+    model: PerformanceModel | None = None,
+) -> PerfCounters:
+    """Assemble the counter snapshot for a finished Acamar solve."""
+    model = model if model is not None else PerformanceModel()
+    latency: AcamarLatencyReport = model.acamar_latency(matrix, result)
+    final = latency.final
+    lengths = matrix.row_lengths()
+    eq5 = mean_underutilization(lengths, result.plan.unroll_for_rows)
+    throughput = achieved_throughput_fraction(
+        final.spmv_report, final.loop_sweeps, model.device
+    )
+    total_flops = sum(
+        a.spmv_report.flops + a.dense_report.flops for a in latency.attempts
+    )
+    compute = latency.compute_seconds
+    return PerfCounters(
+        solver_sequence=result.solver_sequence,
+        iterations=result.final.iterations,
+        spmv_sweeps=sum(a.loop_sweeps for a in latency.attempts),
+        spmv_busy_mac_cycles=int(
+            sum(a.spmv_report.busy_mac_cycles for a in latency.attempts)
+        ),
+        spmv_provisioned_mac_cycles=int(
+            sum(a.spmv_report.provisioned_mac_cycles for a in latency.attempts)
+        ),
+        dense_cycles=int(
+            sum(a.dense_report.cycles for a in latency.attempts)
+        ),
+        compute_seconds=compute,
+        reconfig_events=sum(a.reconfig_events for a in latency.attempts),
+        reconfig_seconds=sum(a.reconfig_seconds for a in latency.attempts),
+        solver_swaps=result.solver_reconfigurations,
+        solver_swap_seconds=latency.solver_swap_seconds,
+        eq5_underutilization=eq5,
+        achieved_throughput=throughput,
+        gflops=(total_flops / compute / 1e9) if compute > 0 else 0.0,
+    )

@@ -1,0 +1,121 @@
+"""Energy model (extension — the paper evaluates area, not energy).
+
+The dynamic-area argument of Figure 10 has an energy corollary the paper
+leaves implicit: a region sized to the workload leaks less.  This module
+prices a solve's energy from the same cycle/area accounting the latency
+model uses:
+
+- **dynamic compute** — per-MAC-operation switching energy,
+- **static leakage** — per-mm² leakage of the *configured* region over
+  the solve's duration (the dynamic region leaks only what is currently
+  configured; the static design leaks its worst-case region always),
+- **memory traffic** — per-byte HBM access energy for the CSR streams,
+- **reconfiguration** — ICAP controller power over the transfer time.
+
+Constants are calibrated to contemporary FPGA-class figures (tens of
+pJ/op, tens of mW/mm² leakage); as with the area model, the meaningful
+outputs are Acamar-vs-baseline *ratios*, not absolute joules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.cost_model import AcamarLatencyReport, LatencyReport
+from repro.fpga.device import ALVEO_U55C, FPGADevice
+
+MAC_ENERGY_J = 8e-12
+"""Dynamic energy of one fp32 multiply-accumulate (8 pJ)."""
+
+DENSE_ELEMENT_ENERGY_J = 4e-12
+"""Dynamic energy per dense-kernel element (simpler datapath)."""
+
+LEAKAGE_W_PER_MM2 = 0.05
+"""Static leakage per mm² of configured fabric (50 mW/mm²)."""
+
+HBM_ENERGY_PER_BYTE_J = 5e-12
+"""HBM2 access energy (~5 pJ/byte)."""
+
+ICAP_POWER_W = 1.0
+"""ICAP controller power while a partial bitstream streams."""
+
+CSR_BYTES_PER_NNZ = 8.0
+"""Value + column-index bytes fetched per stored non-zero per sweep."""
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one solve, in joules."""
+
+    dynamic_compute_j: float
+    static_leakage_j: float
+    memory_j: float
+    reconfig_j: float
+
+    @property
+    def total_j(self) -> float:
+        return (
+            self.dynamic_compute_j
+            + self.static_leakage_j
+            + self.memory_j
+            + self.reconfig_j
+        )
+
+    def energy_delay_product(self, seconds: float) -> float:
+        """EDP in joule-seconds against the given latency."""
+        return self.total_j * seconds
+
+
+class EnergyModel:
+    """Prices solves on a device, given the latency model's reports."""
+
+    def __init__(self, device: FPGADevice = ALVEO_U55C) -> None:
+        self.device = device
+
+    def _report(
+        self,
+        latency: LatencyReport,
+        spmv_area_mm2: float,
+    ) -> EnergyReport:
+        spmv = latency.spmv_report
+        dense = latency.dense_report
+        dynamic = (
+            spmv.busy_mac_cycles * MAC_ENERGY_J
+            + dense.busy_mac_cycles * DENSE_ELEMENT_ENERGY_J
+        )
+        area = spmv_area_mm2 + self.device.fixed_area_mm2
+        static = LEAKAGE_W_PER_MM2 * area * latency.compute_seconds
+        memory = spmv.busy_mac_cycles * CSR_BYTES_PER_NNZ * HBM_ENERGY_PER_BYTE_J
+        reconfig = ICAP_POWER_W * latency.reconfig_seconds
+        return EnergyReport(
+            dynamic_compute_j=dynamic,
+            static_leakage_j=static,
+            memory_j=memory,
+            reconfig_j=reconfig,
+        )
+
+    def static_design(
+        self, latency: LatencyReport, urb: int
+    ) -> EnergyReport:
+        """Energy of a solve on the fixed-unroll baseline."""
+        return self._report(latency, self.device.spmv_region_area_mm2(urb))
+
+    def acamar(
+        self,
+        latency: LatencyReport | AcamarLatencyReport,
+        time_weighted_area_mm2: float,
+    ) -> EnergyReport:
+        """Energy of an Acamar solve (time-weighted configured area)."""
+        if isinstance(latency, AcamarLatencyReport):
+            reports = [
+                self._report(attempt, time_weighted_area_mm2)
+                for attempt in latency.attempts
+            ]
+            return EnergyReport(
+                dynamic_compute_j=sum(r.dynamic_compute_j for r in reports),
+                static_leakage_j=sum(r.static_leakage_j for r in reports),
+                memory_j=sum(r.memory_j for r in reports),
+                reconfig_j=sum(r.reconfig_j for r in reports)
+                + ICAP_POWER_W * latency.solver_swap_seconds,
+            )
+        return self._report(latency, time_weighted_area_mm2)

@@ -1,0 +1,123 @@
+"""Cycle models of the accelerator's compute kernels.
+
+Two kernel families exist in the design:
+
+- the **Dynamic SpMV kernel** — a gather/multiply/reduce pipeline whose
+  MAC count (unroll factor) is set by partial reconfiguration.  A row of
+  ``nnz`` stored values is processed in ``ceil(nnz/U)`` initiation slots;
+  the whole sweep then drains through the adder tree once.
+- the **static dense kernels** (dot, AXPY, scale, element-wise add, norm) —
+  fully pipelined at II=1 over the vector length with a fixed unroll, never
+  reconfigured (they are not the source of underutilization).
+
+Both models return cycles plus busy/provisioned MAC-cycle tallies so the
+throughput and utilization metrics derive from one consistent accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fpga.device import FPGADevice
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Cycle accounting for one pass of a kernel over its data."""
+
+    cycles: float
+    busy_mac_cycles: float
+    provisioned_mac_cycles: float
+    flops: float
+
+    @property
+    def occupancy(self) -> float:
+        """Busy fraction of provisioned MAC-cycles (1 = perfect)."""
+        if self.provisioned_mac_cycles == 0:
+            return 1.0
+        return self.busy_mac_cycles / self.provisioned_mac_cycles
+
+    def scaled(self, repeats: float) -> "SweepReport":
+        """The same sweep executed ``repeats`` times."""
+        return SweepReport(
+            cycles=self.cycles * repeats,
+            busy_mac_cycles=self.busy_mac_cycles * repeats,
+            provisioned_mac_cycles=self.provisioned_mac_cycles * repeats,
+            flops=self.flops * repeats,
+        )
+
+    @staticmethod
+    def combine(reports: list["SweepReport"]) -> "SweepReport":
+        """Sum cycle accounting across sequential kernel executions."""
+        return SweepReport(
+            cycles=sum(r.cycles for r in reports),
+            busy_mac_cycles=sum(r.busy_mac_cycles for r in reports),
+            provisioned_mac_cycles=sum(r.provisioned_mac_cycles for r in reports),
+            flops=sum(r.flops for r in reports),
+        )
+
+
+EMPTY_SWEEP = SweepReport(0.0, 0.0, 0.0, 0.0)
+
+
+def spmv_sweep(
+    row_lengths: np.ndarray,
+    unroll_per_row: np.ndarray | int,
+    device: FPGADevice,
+) -> SweepReport:
+    """One SpMV pass over a matrix with a (possibly per-row) unroll factor.
+
+    ``unroll_per_row`` is a scalar for the static baseline and the per-row
+    expansion of the reconfiguration plan for Acamar.  Reconfiguration time
+    is *not* included here — it is accounted separately so experiments can
+    study compute latency and reconfiguration budget independently
+    (paper Figures 6 and 13).
+    """
+    nnz = np.asarray(row_lengths, dtype=np.int64)
+    unroll = np.broadcast_to(np.asarray(unroll_per_row, dtype=np.int64), nnz.shape)
+    slots = np.maximum(1, -(-nnz // unroll))  # ceil(nnz/U), min 1 per row
+    cycles = float(slots.sum()) + device.pipeline_fill_cycles
+    busy = float(nnz.sum())
+    provisioned = float(np.sum(slots * unroll))
+    return SweepReport(
+        cycles=cycles,
+        busy_mac_cycles=busy,
+        provisioned_mac_cycles=provisioned,
+        flops=2.0 * busy,
+    )
+
+
+_DENSE_FLOPS_PER_ELEMENT: dict[str, float] = {
+    "dot": 2.0,
+    "axpy": 2.0,
+    "norm": 2.0,
+    "vadd": 1.0,
+    "scale": 1.0,
+}
+
+_DENSE_TAIL_CYCLES: dict[str, int] = {
+    # Reduction kernels drain an adder tree after the streaming phase.
+    "dot": 8,
+    "norm": 10,  # adder tree + square root
+    "axpy": 0,
+    "vadd": 0,
+    "scale": 0,
+}
+
+
+def dense_kernel(kind: str, length: int, device: FPGADevice) -> SweepReport:
+    """One execution of a static dense kernel over a length-``length`` vector."""
+    if kind not in _DENSE_FLOPS_PER_ELEMENT:
+        raise KeyError(f"unknown dense kernel {kind!r}")
+    unroll = device.dense_unroll
+    slots = max(1, -(-length // unroll))
+    cycles = float(slots + device.pipeline_fill_cycles + _DENSE_TAIL_CYCLES[kind])
+    busy = float(length)
+    return SweepReport(
+        cycles=cycles,
+        busy_mac_cycles=busy,
+        provisioned_mac_cycles=float(slots * unroll),
+        flops=_DENSE_FLOPS_PER_ELEMENT[kind] * length,
+    )

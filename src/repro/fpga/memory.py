@@ -1,0 +1,124 @@
+"""On-chip buffers and memory-bandwidth feasibility.
+
+Figure 3 of the paper names two on-chip buffers:
+
+- ``tBuffer`` — holds the Row Length Trace's per-set unroll factors (one
+  entry per row set, i.e. ``SamplingRate`` entries per chunk); the MSID
+  chain reads and rewrites it stage by stage.
+- ``prBuffer`` — holds the Dynamic SpMV kernel's output vector for the
+  current chunk until the dense kernels consume it (one fp32 word per
+  row of the chunk).
+
+This module models both as capacity-checked stream buffers, and adds the
+HBM feasibility check that bounds the largest *streamable* unroll factor:
+an unroll-``U`` SpMV consumes ``U`` values + ``U`` column indices per
+cycle, which must fit in the device's sustained memory bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import AcamarConfig
+from repro.errors import ConfigurationError
+from repro.fpga.device import FPGADevice
+
+HBM_BANDWIDTH_BPS = 460e9
+"""Sustained HBM2 bandwidth of the Alveo u55c (16 GB stack, ~460 GB/s)."""
+
+CSR_STREAM_BYTES_PER_LANE = 8
+"""Per-lane per-cycle traffic of the SpMV gather: 4 B value + 4 B index."""
+
+
+@dataclass
+class StreamBuffer:
+    """A bounded on-chip buffer with occupancy tracking.
+
+    The model is deliberately simple — write raises on overflow, read
+    raises on underflow, peak occupancy is recorded — because what the
+    accelerator needs from it is a *sizing check*: does the configured
+    buffer hold what the decision loops produce?
+    """
+
+    name: str
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError(
+                f"{self.name}: capacity must be >= 1, got {self.capacity}"
+            )
+        self._occupancy = 0
+        self._peak = 0
+
+    @property
+    def occupancy(self) -> int:
+        return self._occupancy
+
+    @property
+    def peak_occupancy(self) -> int:
+        return self._peak
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._occupancy
+
+    def write(self, count: int = 1) -> None:
+        """Push ``count`` entries; raises if the buffer would overflow."""
+        if count < 0:
+            raise ConfigurationError(f"{self.name}: negative write of {count}")
+        if self._occupancy + count > self.capacity:
+            raise ConfigurationError(
+                f"{self.name}: overflow — writing {count} into "
+                f"{self.free} free of {self.capacity}"
+            )
+        self._occupancy += count
+        self._peak = max(self._peak, self._occupancy)
+
+    def read(self, count: int = 1) -> None:
+        """Pop ``count`` entries; raises if the buffer would underflow."""
+        if count < 0:
+            raise ConfigurationError(f"{self.name}: negative read of {count}")
+        if count > self._occupancy:
+            raise ConfigurationError(
+                f"{self.name}: underflow — reading {count} of "
+                f"{self._occupancy} held"
+            )
+        self._occupancy -= count
+
+    def drain(self) -> None:
+        """Empty the buffer (chunk boundary)."""
+        self._occupancy = 0
+
+
+def tbuffer_for(config: AcamarConfig) -> StreamBuffer:
+    """The trace buffer sized for one chunk's row sets."""
+    return StreamBuffer("tBuffer", capacity=config.sampling_rate)
+
+
+def prbuffer_for(config: AcamarConfig) -> StreamBuffer:
+    """The partial-result buffer sized for one chunk of output rows."""
+    return StreamBuffer("prBuffer", capacity=config.chunk_size)
+
+
+def streaming_bytes_per_second(unroll: int, device: FPGADevice) -> float:
+    """Sustained DRAM traffic of an unroll-``unroll`` SpMV at full rate."""
+    if unroll < 1:
+        raise ConfigurationError(f"unroll must be >= 1, got {unroll}")
+    return unroll * CSR_STREAM_BYTES_PER_LANE * device.clock_hz
+
+
+def max_streaming_unroll(
+    device: FPGADevice, bandwidth_bps: float = HBM_BANDWIDTH_BPS
+) -> int:
+    """Largest unroll factor the memory system can feed every cycle."""
+    per_lane = CSR_STREAM_BYTES_PER_LANE * device.clock_hz
+    return max(1, int(bandwidth_bps // per_lane))
+
+
+def validate_plan_bandwidth(
+    plan_unrolls, device: FPGADevice, bandwidth_bps: float = HBM_BANDWIDTH_BPS
+) -> bool:
+    """True when every configured unroll factor is memory-feasible."""
+    limit = max_streaming_unroll(device, bandwidth_bps)
+    return all(int(u) <= limit for u in plan_unrolls)

@@ -1,0 +1,183 @@
+"""Event-driven simulation of the Dynamic SpMV kernel pipeline.
+
+The analytic model in :mod:`repro.fpga.kernels` prices a sweep as
+``sum(ceil(nnz/U))`` initiation slots plus a fill constant.  This module
+simulates the same hardware at chunk granularity with explicit pipeline
+structure, so the analytic shortcut can be *validated* rather than
+assumed, and so reconfiguration drains — which the analytic model books
+as pure ICAP transfer time — show their pipeline-level cost:
+
+- a **row fetcher** emits row descriptors from the CSR offsets,
+- an **issue stage** streams each row in chunks of the current unroll
+  factor at II=1,
+- a **MAC array + adder tree** with latency ``mac_latency +
+  ceil(log2(U)) + 1`` produces one partial sum per chunk; a row's value
+  is complete one tree latency after its last chunk issues,
+- a **writeback port** retires at most one row result per cycle into the
+  ``prBuffer``,
+- a **reconfiguration event** (set boundary with a different unroll
+  factor) must wait for the pipeline to drain, stall for the bitstream
+  load, then refill.
+
+The simulator is deterministic and runs in O(total chunks), so whole
+Table II sweeps simulate in milliseconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.finegrained import ReconfigurationPlan
+from repro.errors import ConfigurationError
+from repro.fpga.device import FPGADevice
+from repro.fpga.reconfiguration import ReconfigurationModel
+
+MAC_LATENCY_CYCLES = 4
+"""Pipeline depth of one fp32 multiply-accumulate stage."""
+
+
+def _tree_latency(unroll: int) -> int:
+    """Adder-tree + accumulator latency for an unroll-``unroll`` array."""
+    return MAC_LATENCY_CYCLES + max(1, math.ceil(math.log2(max(unroll, 2)))) + 1
+
+
+@dataclass
+class SetTrace:
+    """Per-row-set results of a pipeline simulation."""
+
+    start_row: int
+    stop_row: int
+    unroll: int
+    issue_cycles: int
+    stall_cycles: int
+
+
+@dataclass
+class PipelineTrace:
+    """Cycle-accurate account of one SpMV sweep.
+
+    ``total_cycles`` covers issue, drain and reconfiguration stalls;
+    ``busy_mac_cycles`` counts useful MAC work; ``reconfig_stall_cycles``
+    is the part of the total spent waiting on DFX loads (including the
+    drain that precedes them).
+    """
+
+    total_cycles: int
+    busy_mac_cycles: int
+    provisioned_mac_cycles: int
+    reconfig_stall_cycles: int
+    writeback_conflict_cycles: int
+    sets: list[SetTrace] = field(default_factory=list)
+
+    @property
+    def occupancy(self) -> float:
+        if self.provisioned_mac_cycles == 0:
+            return 1.0
+        return self.busy_mac_cycles / self.provisioned_mac_cycles
+
+
+class SpMVPipelineSimulator:
+    """Simulates the Dynamic SpMV kernel executing one reconfiguration plan."""
+
+    def __init__(
+        self,
+        device: FPGADevice,
+        include_reconfiguration: bool = True,
+    ) -> None:
+        self.device = device
+        self.include_reconfiguration = bool(include_reconfiguration)
+        self._reconfig = ReconfigurationModel(device)
+
+    def _reconfig_cycles(self, unroll: int) -> int:
+        seconds = self._reconfig.spmv_event_seconds(unroll)
+        return int(math.ceil(seconds * self.device.clock_hz))
+
+    def simulate(
+        self, row_lengths: np.ndarray, plan: ReconfigurationPlan
+    ) -> PipelineTrace:
+        """Run one sweep of the matrix under ``plan``.
+
+        ``row_lengths`` is the NNZ/row profile of the operator actually
+        swept (for Jacobi, the matrix without its diagonal).
+        """
+        lengths = np.asarray(row_lengths, dtype=np.int64)
+        if plan.sets and plan.sets[-1].stop_row != len(lengths):
+            raise ConfigurationError(
+                f"plan covers {plan.sets[-1].stop_row} rows, operator has "
+                f"{len(lengths)}"
+            )
+        cycle = 0  # next free issue cycle
+        last_completion = 0  # when the last in-flight row result lands
+        next_writeback_free = 0
+        busy = 0
+        provisioned = 0
+        reconfig_stall = 0
+        writeback_conflicts = 0
+        sets: list[SetTrace] = []
+
+        for row_set in plan.sets:
+            if row_set.reconfigure and self.include_reconfiguration:
+                # Drain: wait for in-flight rows, then load the bitstream.
+                drain_target = max(cycle, last_completion)
+                load = self._reconfig_cycles(row_set.unroll)
+                reconfig_stall += (drain_target - cycle) + load
+                cycle = drain_target + load
+            unroll = row_set.unroll
+            tree = _tree_latency(unroll)
+            set_start_cycle = cycle
+            set_stall = 0
+            for row in range(row_set.start_row, row_set.stop_row):
+                nnz = int(lengths[row])
+                chunks = max(1, -(-nnz // unroll))
+                # Issue the row's chunks back-to-back at II=1.
+                first_issue = cycle
+                last_issue = first_issue + chunks - 1
+                completion = last_issue + tree
+                # Writeback port: one result per cycle.
+                writeback = max(completion, next_writeback_free)
+                writeback_conflicts += writeback - completion
+                next_writeback_free = writeback + 1
+                last_completion = max(last_completion, writeback)
+                cycle = last_issue + 1
+                busy += nnz
+                provisioned += chunks * unroll
+            sets.append(
+                SetTrace(
+                    start_row=row_set.start_row,
+                    stop_row=row_set.stop_row,
+                    unroll=unroll,
+                    issue_cycles=cycle - set_start_cycle,
+                    stall_cycles=set_stall,
+                )
+            )
+        # A result completing at cycle index c means c+1 cycles elapsed.
+        total = max(cycle, last_completion + 1)
+        return PipelineTrace(
+            total_cycles=int(total),
+            busy_mac_cycles=int(busy),
+            provisioned_mac_cycles=int(provisioned),
+            reconfig_stall_cycles=int(reconfig_stall),
+            writeback_conflict_cycles=int(writeback_conflicts),
+            sets=sets,
+        )
+
+    def validate_against_analytic(
+        self, row_lengths: np.ndarray, plan: ReconfigurationPlan
+    ) -> tuple[float, float]:
+        """Compare pipeline and analytic cycle counts for one sweep.
+
+        Returns ``(pipeline_cycles, analytic_cycles)`` with
+        reconfiguration disabled on both sides; they must agree up to the
+        pipeline's drain tail (a few tens of cycles), which tests assert.
+        """
+        from repro.fpga.kernels import spmv_sweep
+
+        simulator = SpMVPipelineSimulator(
+            self.device, include_reconfiguration=False
+        )
+        trace = simulator.simulate(row_lengths, plan)
+        analytic = spmv_sweep(row_lengths, plan.unroll_for_rows, self.device)
+        return float(trace.total_cycles), float(analytic.cycles)

@@ -1,0 +1,68 @@
+"""Partial-reconfiguration timing model (Xilinx DFX over ICAP).
+
+Section VIII-A: the Alveo u55c's ICAP core transfers partial bitstreams at
+6.4 Gb/s (200 MHz), and reconfiguration time is directly proportional to
+bitstream size.  Acamar performs two kinds of reconfiguration:
+
+- **solver-level** (Solver Decision loop): the whole Reconfigurable Solver
+  region is swapped — a large bitstream;
+- **fine-grained** (Resource Decision loop, Nested DFX): only the Dynamic
+  SpMV kernel region is swapped — a small bitstream whose size grows with
+  the provisioned unroll factor.
+
+Bitstream sizes are modeled affinely in the region's MAC count; the
+constants put fine-grained events in the hundreds-of-microseconds range
+and solver swaps in the milliseconds, consistent with UltraScale+ partial
+bitstream sizes for regions of this scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.fpga.device import FPGADevice
+
+SPMV_REGION_BASE_BYTES = 65536
+"""Fixed partial-bitstream overhead of the Dynamic SpMV region (frames for
+control logic, stream interfaces)."""
+
+SPMV_REGION_BYTES_PER_MAC = 24576
+"""Additional bitstream bytes per provisioned MAC unit."""
+
+SOLVER_REGION_BYTES = 4 * 1024 * 1024
+"""Partial bitstream of the full Reconfigurable Solver region."""
+
+
+def spmv_bitstream_bytes(unroll: int) -> int:
+    """Partial-bitstream size for an unroll-``unroll`` SpMV configuration."""
+    if unroll < 1:
+        raise ConfigurationError(f"unroll must be >= 1, got {unroll}")
+    return SPMV_REGION_BASE_BYTES + SPMV_REGION_BYTES_PER_MAC * unroll
+
+
+@dataclass(frozen=True)
+class ReconfigurationModel:
+    """Times DFX events against a device's ICAP bandwidth."""
+
+    device: FPGADevice
+
+    def transfer_seconds(self, bitstream_bytes: int) -> float:
+        """Bitstream-load time at the ICAP's sustained bandwidth."""
+        return 8.0 * bitstream_bytes / self.device.icap_bandwidth_bps
+
+    def spmv_event_seconds(self, unroll: int) -> float:
+        """One fine-grained (Nested DFX) Dynamic-SpMV reconfiguration."""
+        return self.transfer_seconds(spmv_bitstream_bytes(unroll))
+
+    def solver_swap_seconds(self) -> float:
+        """One full Reconfigurable Solver swap (Solver Modifier event)."""
+        return self.transfer_seconds(SOLVER_REGION_BYTES)
+
+    def plan_overhead_seconds(self, unrolls_at_events: list[int]) -> float:
+        """Total fine-grained overhead of one sweep's reconfiguration events.
+
+        ``unrolls_at_events`` lists the *target* unroll factor of each
+        event (the configuration being loaded).
+        """
+        return sum(self.spmv_event_seconds(u) for u in unrolls_at_events)

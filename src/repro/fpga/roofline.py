@@ -1,0 +1,100 @@
+"""Roofline analysis: where SpMV sits on each device's roofline.
+
+The roofline model explains *why* the GPU achieves a fraction of a
+percent of peak (Figure 9 bottom) while the FPGA's dynamically-sized unit
+reaches ~70 %: SpMV's arithmetic intensity (~0.17 FLOP/byte) pins it deep
+in the memory-bound region of a 4.4 TFLOPS GPU, whereas an unroll-matched
+FPGA configuration provisions only as much compute as the memory system
+can feed.  This module computes the roofline coordinates for both
+devices so the comparison is quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.device import ALVEO_U55C, FPGADevice
+from repro.fpga.memory import CSR_STREAM_BYTES_PER_LANE, HBM_BANDWIDTH_BPS
+from repro.gpu.cusparse_model import CSR_BYTES_PER_NNZ, CSR_BYTES_PER_ROW
+from repro.gpu.device import GPUDevice, GTX_1650_SUPER
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position against one device's roofline."""
+
+    device: str
+    arithmetic_intensity: float  # FLOP / byte
+    peak_flops: float
+    memory_bandwidth_bps: float
+    attainable_flops: float
+    memory_bound: bool
+
+    @property
+    def ridge_point(self) -> float:
+        """Intensity at which the device turns compute-bound."""
+        return self.peak_flops / self.memory_bandwidth_bps
+
+    @property
+    def attainable_fraction(self) -> float:
+        """Attainable / peak — the roofline ceiling Figure 9 bumps into."""
+        if self.peak_flops == 0:
+            return 0.0
+        return self.attainable_flops / self.peak_flops
+
+
+def spmv_arithmetic_intensity(
+    matrix: CSRMatrix, bytes_per_nnz: float, bytes_per_row: float
+) -> float:
+    """FLOPs per byte of one SpMV pass under a device's traffic model."""
+    flops = 2.0 * matrix.nnz
+    traffic = bytes_per_nnz * matrix.nnz + bytes_per_row * matrix.n_rows
+    return flops / traffic if traffic else 0.0
+
+
+def gpu_roofline(
+    matrix: CSRMatrix, device: GPUDevice = GTX_1650_SUPER
+) -> RooflinePoint:
+    """SpMV's roofline position on the GPU (Figure 9 bottom's ceiling)."""
+    intensity = spmv_arithmetic_intensity(
+        matrix, CSR_BYTES_PER_NNZ, CSR_BYTES_PER_ROW
+    )
+    bandwidth = device.memory_bandwidth_bps * device.memory_efficiency
+    attainable = min(device.peak_flops, intensity * bandwidth)
+    return RooflinePoint(
+        device=device.name,
+        arithmetic_intensity=intensity,
+        peak_flops=device.peak_flops,
+        memory_bandwidth_bps=bandwidth,
+        attainable_flops=attainable,
+        memory_bound=attainable < device.peak_flops,
+    )
+
+
+def fpga_roofline(
+    matrix: CSRMatrix,
+    provisioned_macs: int,
+    device: FPGADevice = ALVEO_U55C,
+    bandwidth_bps: float = HBM_BANDWIDTH_BPS,
+) -> RooflinePoint:
+    """SpMV's roofline position for a given provisioned MAC count.
+
+    The FPGA's "peak" is the configured unit's peak, not the fabric's —
+    the whole point of dynamic sizing is choosing a configuration whose
+    ridge point sits below SpMV's intensity, keeping the unit
+    compute-(i.e. usefully-)bound rather than starving.
+    """
+    intensity = spmv_arithmetic_intensity(
+        matrix, CSR_STREAM_BYTES_PER_LANE, 8.0
+    )
+    peak = device.mac_peak_flops(provisioned_macs)
+    attainable = min(peak, intensity * bandwidth_bps)
+    return RooflinePoint(
+        device=f"{device.name}/U={provisioned_macs}",
+        arithmetic_intensity=intensity,
+        peak_flops=peak,
+        memory_bandwidth_bps=bandwidth_bps,
+        attainable_flops=attainable,
+        memory_bound=attainable < peak,
+    )

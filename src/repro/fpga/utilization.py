@@ -1,0 +1,83 @@
+"""Resource-underutilization accounting — paper Equation 5.
+
+The paper quantifies SpMV resource underutilization per row as
+
+- ``(unroll - nnz) / unroll``                when ``nnz <  unroll``
+  (idle MACs in the single chunk), and
+- ``1 - (unroll - mod(nnz, unroll)) / unroll = mod(nnz, unroll) / unroll``
+  when ``nnz >= unroll`` (Eq. 5 as printed; zero when the row divides the
+  unroll factor evenly, Eq. 6).
+
+Both Section VII-A worked examples (Eq. 10 and 11) follow from this
+definition, so we implement it literally.  A second, cycle-weighted measure
+(`occupancy_underutilization`) accounts wasted MAC-cycles exactly and is
+used by the throughput model; the two agree at the extremes and differ only
+in how partially-filled final chunks are charged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def row_underutilization(nnz: np.ndarray, unroll: np.ndarray | int) -> np.ndarray:
+    """Eq. 5 per row, vectorized.
+
+    Parameters
+    ----------
+    nnz:
+        NNZ per row.
+    unroll:
+        Scalar unroll factor (static baseline) or per-row array (Acamar).
+    """
+    nnz = np.asarray(nnz, dtype=np.int64)
+    unroll = np.broadcast_to(np.asarray(unroll, dtype=np.int64), nnz.shape)
+    if np.any(unroll < 1):
+        raise ConfigurationError("unroll factors must be >= 1")
+    under = np.where(
+        nnz < unroll,
+        (unroll - nnz) / unroll,
+        np.mod(nnz, unroll) / unroll,
+    )
+    return under.astype(np.float64)
+
+
+def mean_underutilization(nnz: np.ndarray, unroll: np.ndarray | int) -> float:
+    """Dataset-level R.U.: the mean of Eq. 5 over all rows."""
+    values = row_underutilization(nnz, unroll)
+    return float(values.mean()) if len(values) else 0.0
+
+
+def occupancy_underutilization(
+    nnz: np.ndarray, unroll: np.ndarray | int
+) -> float:
+    """Cycle-exact wasted-MAC fraction: ``1 - busy / provisioned``.
+
+    A row of ``nnz`` non-zeros on an unroll-``U`` kernel occupies
+    ``ceil(nnz/U)`` initiation slots of ``U`` MACs each; ``nnz`` of those
+    MAC-cycles do useful work.  Empty rows provision one slot (row
+    bookkeeping) with zero useful work.
+    """
+    nnz = np.asarray(nnz, dtype=np.int64)
+    unroll = np.broadcast_to(np.asarray(unroll, dtype=np.int64), nnz.shape)
+    if np.any(unroll < 1):
+        raise ConfigurationError("unroll factors must be >= 1")
+    slots = np.maximum(1, -(-nnz // unroll))  # ceil division, min one slot
+    provisioned = float(np.sum(slots * unroll))
+    busy = float(nnz.sum())
+    if provisioned == 0.0:
+        return 0.0
+    return 1.0 - busy / provisioned
+
+
+def underutilization_improvement_ratio(
+    baseline_ru: float, acamar_ru: float, floor: float = 1e-6
+) -> float:
+    """Figure 7's y-axis: baseline R.U. divided by Acamar R.U.
+
+    Values above 1 mean Acamar wastes fewer resources.  ``floor`` guards
+    the ratio when Acamar achieves (near-)perfect utilization.
+    """
+    return baseline_ru / max(acamar_ru, floor)

@@ -1,0 +1,26 @@
+"""Analytic GPU baseline (Nvidia GTX 1650 Super + cuSPARSE CSR SpMV).
+
+Stands in for the paper's physical GPU measurements (Nsight profiles of
+the cuSPARSE ``spmv_csr`` sample on CUDA 11.6): a warp-per-row occupancy
+model for compute-unit underutilization (Figure 8) and a memory-bound
+roofline for achieved-vs-peak throughput (Figure 9, bottom).
+"""
+
+from repro.gpu.cusparse_model import (
+    ADAPTIVE_VECTOR_THRESHOLD,
+    CuSparseSpMVModel,
+    GPUSpMVReport,
+    scalar_kernel_underutilization,
+    warp_lane_underutilization,
+)
+from repro.gpu.device import GTX_1650_SUPER, GPUDevice
+
+__all__ = [
+    "ADAPTIVE_VECTOR_THRESHOLD",
+    "CuSparseSpMVModel",
+    "scalar_kernel_underutilization",
+    "GPUDevice",
+    "GPUSpMVReport",
+    "GTX_1650_SUPER",
+    "warp_lane_underutilization",
+]

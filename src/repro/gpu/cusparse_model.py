@@ -1,0 +1,174 @@
+"""Analytic model of cuSPARSE's CSR SpMV on the modeled GPU.
+
+cuSPARSE's CSR kernel (the ``spmv_csr`` sample the paper links) assigns a
+warp of 32 threads to each matrix row; the warp strides the row's non-zeros
+cooperatively and reduces with shuffles.  Two inefficiencies follow, and
+they are what Figures 8 and 9 (bottom) measure:
+
+- **lane underutilization** — a row of ``nnz`` non-zeros keeps only
+  ``nnz / (32 * ceil(nnz/32))`` of its warp's lanes busy; scientific
+  matrices with ~5–10 NNZ/row leave ~80 % of lanes idle, matching the
+  paper's 81 % average GPU underutilization;
+- **memory-bound throughput** — SpMV moves ~12 bytes per FLOP pair, so the
+  achieved FLOP rate is capped by DRAM bandwidth at a tiny percentage of
+  the chip's 4.4 TFLOPS fp32 peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpu.device import GPUDevice, GTX_1650_SUPER
+from repro.sparse.csr import CSRMatrix
+
+CSR_BYTES_PER_NNZ = 12.0
+"""Traffic per stored non-zero: 4 B value + 4 B column index + ~4 B of
+``x`` gather (cache-amortized)."""
+
+CSR_BYTES_PER_ROW = 16.0
+"""Traffic per row: indptr reads plus ``y`` write-back."""
+
+
+@dataclass(frozen=True)
+class GPUSpMVReport:
+    """Modeled execution of one cuSPARSE CSR SpMV pass."""
+
+    seconds: float
+    flops: float
+    lane_underutilization: float
+    achieved_flops: float
+    peak_flops: float
+    memory_bound: bool
+
+    @property
+    def achieved_fraction(self) -> float:
+        """Achieved / peak throughput (Figure 9 bottom's y-axis)."""
+        if self.peak_flops == 0:
+            return 0.0
+        return self.achieved_flops / self.peak_flops
+
+    @property
+    def underutilization(self) -> float:
+        """Compute-unit underutilization (Figure 8's y-axis)."""
+        return self.lane_underutilization
+
+
+def warp_lane_underutilization(row_lengths: np.ndarray, warp_size: int = 32) -> float:
+    """Mean idle-lane fraction of the warp-per-row (CSR-vector) kernel.
+
+    A row with zero non-zeros still schedules its warp for the reduction
+    epilogue, wasting all lanes.
+    """
+    nnz = np.asarray(row_lengths, dtype=np.int64)
+    if len(nnz) == 0:
+        return 0.0
+    slots = np.maximum(1, -(-nnz // warp_size))
+    util = nnz / (slots * warp_size)
+    return float(1.0 - util.mean())
+
+
+def scalar_kernel_underutilization(
+    row_lengths: np.ndarray, warp_size: int = 32
+) -> float:
+    """Idle-lane fraction of the thread-per-row (CSR-scalar) kernel.
+
+    Thirty-two consecutive rows share a warp; every lane iterates until
+    the warp's *longest* row finishes, so the divergence waste of a warp
+    is ``1 - sum(nnz) / (32 · max(nnz))``.
+    """
+    nnz = np.asarray(row_lengths, dtype=np.int64)
+    if len(nnz) == 0:
+        return 0.0
+    pad = (-len(nnz)) % warp_size
+    padded = np.concatenate([nnz, np.zeros(pad, dtype=np.int64)])
+    groups = padded.reshape(-1, warp_size)
+    longest = np.maximum(1, groups.max(axis=1))
+    busy = groups.sum(axis=1)
+    provisioned = warp_size * longest
+    return float(1.0 - busy.sum() / provisioned.sum())
+
+
+ADAPTIVE_VECTOR_THRESHOLD = 8.0
+"""Mean NNZ/row above which the adaptive policy picks the vector kernel
+(cuSPARSE-like heuristic: long rows amortize the warp-wide reduction)."""
+
+
+class CuSparseSpMVModel:
+    """Times CSR SpMV passes on a :class:`GPUDevice`.
+
+    ``kernel`` selects the execution scheme the way cuSPARSE's internal
+    heuristics do: ``"vector"`` (warp per row — best for long rows),
+    ``"scalar"`` (thread per row — best for short rows, but divergent on
+    irregular ones), or ``"adaptive"`` (pick by mean row length).
+    """
+
+    KERNELS = ("vector", "scalar", "adaptive")
+
+    def __init__(
+        self, device: GPUDevice = GTX_1650_SUPER, kernel: str = "vector"
+    ) -> None:
+        if kernel not in self.KERNELS:
+            raise ConfigurationError(
+                f"unknown GPU kernel {kernel!r}; expected one of {self.KERNELS}"
+            )
+        self.device = device
+        self.kernel = kernel
+
+    def _resolve_kernel(self, nnz_per_row: np.ndarray) -> str:
+        if self.kernel != "adaptive":
+            return self.kernel
+        mean = float(nnz_per_row.mean()) if len(nnz_per_row) else 0.0
+        return "vector" if mean >= ADAPTIVE_VECTOR_THRESHOLD else "scalar"
+
+    def sweep(self, matrix: CSRMatrix) -> GPUSpMVReport:
+        """Model one SpMV pass over ``matrix``."""
+        return self.sweep_from_row_lengths(matrix.row_lengths())
+
+    def sweep_from_row_lengths(self, row_lengths: np.ndarray) -> GPUSpMVReport:
+        """Model one pass given only the NNZ/row profile."""
+        nnz_per_row = np.asarray(row_lengths, dtype=np.int64)
+        nnz = int(nnz_per_row.sum())
+        n_rows = len(nnz_per_row)
+        device = self.device
+        kernel = self._resolve_kernel(nnz_per_row)
+
+        # Compute time: lane-cycles issued / chip-wide lane throughput.
+        if kernel == "vector":
+            slots = np.maximum(1, -(-nnz_per_row // device.warp_size))
+            lane_slots = float(slots.sum()) * device.warp_size
+            underutilization = warp_lane_underutilization(
+                nnz_per_row, device.warp_size
+            )
+        else:  # scalar: warps of 32 rows run to their longest member
+            pad = (-n_rows) % device.warp_size
+            padded = np.concatenate(
+                [nnz_per_row, np.zeros(pad, dtype=np.int64)]
+            )
+            groups = padded.reshape(-1, device.warp_size)
+            longest = np.maximum(1, groups.max(axis=1))
+            lane_slots = float(longest.sum()) * device.warp_size
+            underutilization = scalar_kernel_underutilization(
+                nnz_per_row, device.warp_size
+            )
+        lane_cycles = lane_slots * device.gather_cycles_per_element
+        compute_seconds = lane_cycles / (device.cuda_cores * device.boost_clock_hz)
+
+        # Memory time: CSR traffic at sustained (de-rated) bandwidth.
+        traffic = CSR_BYTES_PER_NNZ * nnz + CSR_BYTES_PER_ROW * n_rows
+        memory_seconds = traffic / (
+            device.memory_bandwidth_bps * device.memory_efficiency
+        )
+
+        seconds = max(compute_seconds, memory_seconds)
+        flops = 2.0 * nnz
+        return GPUSpMVReport(
+            seconds=seconds,
+            flops=flops,
+            lane_underutilization=underutilization,
+            achieved_flops=flops / seconds if seconds > 0 else 0.0,
+            peak_flops=device.peak_flops,
+            memory_bound=memory_seconds >= compute_seconds,
+        )

@@ -1,0 +1,63 @@
+"""GPU device description (Nvidia GTX 1650 Super class).
+
+The paper's GPU reference point runs cuSPARSE CSR SpMV on a GTX 1650 Super
+(CUDA 11.6, profiled with Nsight).  This module carries the public
+specifications of that part; the kernel behaviour lives in
+:mod:`repro.gpu.cusparse_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """Public-spec description of the modeled GPU.
+
+    Attributes
+    ----------
+    cuda_cores:
+        FP32 lanes across the chip (1650 Super / TU116: 1280).
+    n_sms:
+        Streaming multiprocessors (20).
+    boost_clock_hz:
+        Boost clock used for peak-FLOPs math.
+    memory_bandwidth_bps:
+        GDDR6 peak bandwidth (12 Gbps on a 128-bit bus → 192 GB/s).
+    warp_size:
+        Threads per warp (32 on all Nvidia parts).
+    memory_efficiency:
+        Fraction of peak DRAM bandwidth a strided sparse kernel sustains.
+    gather_cycles_per_element:
+        Effective issue cycles each non-zero costs a lane (irregular
+        gather of ``x`` dominates; calibrated, not measured).
+    """
+
+    name: str = "gtx-1650-super"
+    cuda_cores: int = 1280
+    n_sms: int = 20
+    boost_clock_hz: float = 1.725e9
+    memory_bandwidth_bps: float = 192e9
+    warp_size: int = 32
+    memory_efficiency: float = 0.65
+    gather_cycles_per_element: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.cuda_cores < 1 or self.n_sms < 1:
+            raise ConfigurationError("GPU needs at least one core and one SM")
+        if not 0.0 < self.memory_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"memory_efficiency must be in (0, 1], got {self.memory_efficiency}"
+            )
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak fp32 throughput (2 FLOPs per core per cycle, FMA)."""
+        return 2.0 * self.cuda_cores * self.boost_clock_hz
+
+
+GTX_1650_SUPER = GPUDevice()
+"""Default GPU instance used by the experiments."""

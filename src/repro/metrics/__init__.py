@@ -1,0 +1,23 @@
+"""Evaluation metrics shared by the experiment harness.
+
+Latency speedup and geometric means (Figure 6), achieved-throughput
+fractions (Figure 9), performance efficiency and area saving (Figure 10).
+Resource-underutilization math lives next to the hardware model in
+:mod:`repro.fpga.utilization`.
+"""
+
+from repro.metrics.speedup import geometric_mean, latency_speedup
+from repro.metrics.throughput import (
+    achieved_throughput_fraction,
+    spmv_achieved_fraction,
+)
+from repro.metrics.efficiency import area_saving_ratio, gflops_per_mm2
+
+__all__ = [
+    "achieved_throughput_fraction",
+    "area_saving_ratio",
+    "geometric_mean",
+    "gflops_per_mm2",
+    "latency_speedup",
+    "spmv_achieved_fraction",
+]

@@ -1,0 +1,38 @@
+"""Performance-efficiency metrics (Figure 10).
+
+The paper defines performance efficiency as FLOPS per square millimeter
+of FPGA fabric: a dynamically-sized SpMV region that achieves the same
+FLOP rate in less fabric frees area for a co-running application.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.fpga.device import FPGADevice
+from repro.fpga.kernels import SweepReport
+
+
+def gflops_per_mm2(
+    report: SweepReport, area_mm2: float, device: FPGADevice
+) -> float:
+    """Figure 10's y-axis: achieved GFLOPS per mm² of SpMV-region fabric."""
+    if area_mm2 <= 0:
+        raise ConfigurationError(f"area must be > 0, got {area_mm2}")
+    if report.cycles <= 0:
+        return 0.0
+    seconds = device.cycles_to_seconds(report.cycles)
+    return report.flops / seconds / area_mm2 / 1e9
+
+
+def area_saving_ratio(baseline_area_mm2: float, acamar_area_mm2: float) -> float:
+    """How much less fabric Acamar occupies than the static design.
+
+    The paper summarizes this as "2× more area efficient"; a ratio of 2
+    means the static design's SpMV region is twice the (time-weighted)
+    Acamar region.
+    """
+    if acamar_area_mm2 <= 0:
+        raise ConfigurationError(
+            f"acamar area must be > 0, got {acamar_area_mm2}"
+        )
+    return baseline_area_mm2 / acamar_area_mm2

@@ -1,0 +1,35 @@
+"""Latency speedup and aggregation (Figure 6's metrics)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+
+
+def latency_speedup(baseline_seconds: float, candidate_seconds: float) -> float:
+    """Speedup of the candidate over the baseline (>1 means faster)."""
+    if candidate_seconds <= 0:
+        raise ConfigurationError(
+            f"candidate latency must be > 0, got {candidate_seconds}"
+        )
+    return baseline_seconds / candidate_seconds
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the paper's cross-dataset aggregate (GMEAN).
+
+    Raises on empty input or non-positive entries — a speedup of zero or
+    below indicates a broken measurement, not a summarizable value.
+    """
+    logs = []
+    for value in values:
+        if value <= 0:
+            raise ConfigurationError(
+                f"geometric mean requires positive values, got {value}"
+            )
+        logs.append(math.log(value))
+    if not logs:
+        raise ConfigurationError("geometric mean of an empty sequence")
+    return math.exp(sum(logs) / len(logs))

@@ -1,0 +1,48 @@
+"""Achieved-throughput metrics (Figure 9).
+
+The paper reports "achieved compute throughput as a percentage of peak
+throughput" for the SpMV unit.  Peak is what the *currently provisioned*
+MACs could retire if never idle; achieved counts the MAC-cycles that did
+useful work.  Idle provisioned cycles come from two places in the cycle
+model: partially-filled row chunks (the Eq. 5 waste) and the pipeline
+fill/drain charged once per sweep.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.fpga.device import FPGADevice
+from repro.fpga.kernels import SweepReport
+
+
+def achieved_throughput_fraction(
+    report: SweepReport, sweeps: int, device: FPGADevice
+) -> float:
+    """Achieved / peak throughput of the SpMV unit over ``sweeps`` passes.
+
+    ``report`` must be the aggregate of exactly ``sweeps`` sweeps (cycles
+    include one pipeline fill per sweep).  During slot cycles the unit
+    provisions ``provisioned/slots`` MACs on average; during fill cycles
+    the same MACs are provisioned but idle, so peak MAC-cycles scale by
+    ``cycles / slots``.
+    """
+    if sweeps < 0:
+        raise ConfigurationError(f"sweeps must be >= 0, got {sweeps}")
+    if report.cycles <= 0 or report.provisioned_mac_cycles <= 0:
+        return 0.0
+    slot_cycles = report.cycles - sweeps * device.pipeline_fill_cycles
+    if slot_cycles <= 0:
+        return 0.0
+    peak_mac_cycles = report.provisioned_mac_cycles * (report.cycles / slot_cycles)
+    return report.busy_mac_cycles / peak_mac_cycles
+
+
+def spmv_achieved_fraction(report: SweepReport) -> float:
+    """Fill-agnostic achieved fraction: busy / provisioned MAC-cycles.
+
+    Equals :func:`achieved_throughput_fraction` with zero fill overhead;
+    convenient when only a single sweep's report is available.
+    """
+    if report.provisioned_mac_cycles <= 0:
+        return 0.0
+    return report.busy_mac_cycles / report.provisioned_mac_cycles

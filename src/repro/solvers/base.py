@@ -1,0 +1,194 @@
+"""Shared solver infrastructure: results, statuses, operation counting.
+
+The accelerator's cost models do not time Python code — they replay the
+*kernel schedule* a solver executed (how many SpMV passes, dot products,
+AXPYs, …) through a cycle-level device model.  Every solver therefore
+records its kernel invocations in an :class:`OpCounter` while it iterates,
+and returns them inside :class:`SolveResult`.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError
+from repro.sparse.csr import CSRMatrix
+
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def tolerate_float_excursions(solve_method: _F) -> _F:
+    """Silence numpy overflow/invalid warnings inside a solver loop.
+
+    Divergence legitimately overflows fp32 before the monitor detects it
+    (the iterates blow up by design on a divergent system); the residual
+    monitor turns the resulting inf/NaN into a clean ``DIVERGED`` status,
+    so the intermediate warnings are noise.
+    """
+
+    @functools.wraps(solve_method)
+    def wrapper(*args, **kwargs):
+        with np.errstate(over="ignore", invalid="ignore"):
+            return solve_method(*args, **kwargs)
+
+    return wrapper  # type: ignore[return-value]
+
+
+class SolveStatus(enum.Enum):
+    """Terminal state of an iterative solve."""
+
+    CONVERGED = "converged"
+    DIVERGED = "diverged"
+    MAX_ITERATIONS = "max_iterations"
+    BREAKDOWN = "breakdown"
+
+    @property
+    def failed(self) -> bool:
+        """Everything except convergence counts as failure (Table II ✗)."""
+        return self is not SolveStatus.CONVERGED
+
+
+class OpCounter:
+    """Tallies kernel invocations; consumed by the FPGA/GPU cost models."""
+
+    DENSE_KINDS = ("dot", "axpy", "scale", "vadd", "norm")
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+        self.sizes: dict[str, int] = {}
+
+    def record(self, kind: str, size: int) -> None:
+        """Count one invocation of ``kind`` touching ``size`` elements."""
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.sizes[kind] = self.sizes.get(kind, 0) + int(size)
+
+    def spmv_count(self) -> int:
+        """Number of SpMV passes executed."""
+        return self.counts.get("spmv", 0)
+
+    def dense_element_total(self) -> int:
+        """Total dense-kernel elements processed (for the dense cycle model)."""
+        return sum(self.sizes.get(kind, 0) for kind in self.DENSE_KINDS)
+
+    def merged_with(self, other: "OpCounter") -> "OpCounter":
+        """Return a new counter with both tallies combined."""
+        merged = OpCounter()
+        for source in (self, other):
+            for kind, count in source.counts.items():
+                merged.counts[kind] = merged.counts.get(kind, 0) + count
+            for kind, size in source.sizes.items():
+                merged.sizes[kind] = merged.sizes.get(kind, 0) + size
+        return merged
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.counts)
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one iterative solve.
+
+    Attributes
+    ----------
+    solver:
+        Registry name of the solver that produced this result.
+    status:
+        Terminal :class:`SolveStatus`.
+    x:
+        Final iterate (the solution when ``status`` is ``CONVERGED``).
+    iterations:
+        Number of completed solver iterations.
+    residual_history:
+        Relative recursive-residual norm after each iteration, as the
+        hardware tracks it (the residual from the recurrence, not a
+        recomputed ``b - Ax``).
+    ops:
+        Kernel-invocation tally for the cost models.
+    """
+
+    solver: str
+    status: SolveStatus
+    x: np.ndarray
+    iterations: int
+    residual_history: np.ndarray
+    ops: OpCounter = field(default_factory=OpCounter)
+
+    @property
+    def converged(self) -> bool:
+        return self.status is SolveStatus.CONVERGED
+
+    @property
+    def final_residual(self) -> float:
+        """Last recorded relative residual (inf when nothing was recorded)."""
+        if len(self.residual_history) == 0:
+            return float("inf")
+        return float(self.residual_history[-1])
+
+
+class IterativeSolver(ABC):
+    """Base class for the Reconfigurable Solver unit's configurations.
+
+    Subclasses implement :meth:`solve` with the numerical recurrence, and
+    declare ``name`` (registry key) plus ``kernel_schedule`` — the per-
+    iteration kernel mix the hardware executes, used for documentation and
+    cross-checked against the recorded :class:`OpCounter` in tests.
+    """
+
+    name: str = "base"
+
+    def __init__(
+        self,
+        tolerance: float = 1e-5,
+        max_iterations: int = 4000,
+        setup_iterations: int = 200,
+        dtype: np.dtype | type = np.float32,
+    ) -> None:
+        self.tolerance = float(tolerance)
+        self.max_iterations = int(max_iterations)
+        self.setup_iterations = int(setup_iterations)
+        self.dtype = np.dtype(dtype)
+
+    # ------------------------------------------------------------------
+
+    def _prepare(
+        self, matrix: CSRMatrix, b: np.ndarray, x0: np.ndarray | None
+    ) -> tuple[CSRMatrix, np.ndarray, np.ndarray]:
+        """Validate shapes and cast operands to the solver precision."""
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ShapeMismatchError(
+                f"iterative solvers need a square matrix, got {matrix.shape}"
+            )
+        n = matrix.shape[0]
+        b = np.asarray(b, dtype=self.dtype)
+        if b.shape != (n,):
+            raise ShapeMismatchError(f"b must have shape ({n},), got {b.shape}")
+        if x0 is None:
+            x0 = np.zeros(n, dtype=self.dtype)
+        else:
+            x0 = np.asarray(x0, dtype=self.dtype).copy()
+            if x0.shape != (n,):
+                raise ShapeMismatchError(f"x0 must have shape ({n},), got {x0.shape}")
+        if matrix.data.dtype != self.dtype:
+            matrix = matrix.astype(self.dtype)
+        return matrix, b, x0
+
+    @abstractmethod
+    def solve(
+        self,
+        matrix: CSRMatrix,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+    ) -> SolveResult:
+        """Run the iteration until convergence, divergence or the cap."""
+
+    @classmethod
+    @abstractmethod
+    def kernel_schedule(cls) -> dict[str, int]:
+        """Per-iteration kernel mix, e.g. ``{"spmv": 2, "dot": 4, ...}``."""

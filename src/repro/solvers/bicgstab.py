@@ -1,0 +1,130 @@
+"""Bi-Conjugate Gradient Stabilized (paper Algorithm 3).
+
+BiCG-STAB extends CG to non-symmetric systems with two SpMVs per iteration
+(``A p_j`` and ``A s_j``) and a local GMRES(1) smoothing step ``omega_j``.
+Its known failure modes — rho-breakdown when ``(r_j, r0*)`` vanishes and
+omega-breakdown when ``(A s, s)`` vanishes (e.g. for strongly skew-symmetric
+operators) — are detected explicitly, because they are the mechanism behind
+several of Table II's BiCG-STAB ✗ rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.solvers.base import (
+    IterativeSolver,
+    OpCounter,
+    SolveResult,
+    SolveStatus,
+    tolerate_float_excursions,
+)
+from repro.solvers.monitor import ConvergenceMonitor
+
+_BREAKDOWN_EPS = 1e-30
+
+
+class BiCGStabSolver(IterativeSolver):
+    """BiCG-STAB per Algorithm 3 of the paper.
+
+    The shadow residual ``r0*`` is chosen as ``r_0`` (the algorithm allows
+    it to be arbitrary).  Convergence is tracked through the recursive
+    residual ``r_{j+1} = s_j - omega_j A s_j``.
+    """
+
+    name = "bicgstab"
+
+    @tolerate_float_excursions
+    def solve(
+        self,
+        matrix: CSRMatrix,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+    ) -> SolveResult:
+        matrix, b, x = self._prepare(matrix, b, x0)
+        ops = OpCounter()
+        n = matrix.shape[0]
+
+        # Initialize unit: r_0 = b - A x_0 (static SpMV), r0* = r_0, p_0 = r_0.
+        r = b - matrix.matvec(x)
+        ops.record("spmv", matrix.nnz)
+        ops.record("vadd", n)
+        r_shadow = r.astype(np.float64).copy()
+        p = r.copy()
+
+        monitor = ConvergenceMonitor(
+            b_norm=float(np.linalg.norm(b.astype(np.float64))),
+            tolerance=self.tolerance,
+            max_iterations=self.max_iterations,
+            setup_iterations=self.setup_iterations,
+        )
+        status = monitor.update(float(np.linalg.norm(r.astype(np.float64))))
+        rho = float(r.astype(np.float64) @ r_shadow)
+        ops.record("dot", n)
+        while status is None:
+            if abs(rho) < _BREAKDOWN_EPS:
+                status = SolveStatus.BREAKDOWN  # rho-breakdown
+                break
+            ap = matrix.matvec(p)
+            ops.record("spmv", matrix.nnz)
+            ap_rs = float(ap.astype(np.float64) @ r_shadow)
+            ops.record("dot", n)
+            if abs(ap_rs) < _BREAKDOWN_EPS:
+                status = SolveStatus.BREAKDOWN  # alpha denominator vanished
+                break
+            alpha = rho / ap_rs
+            s = r - self.dtype.type(alpha) * ap
+            ops.record("axpy", n)
+            s_norm = float(np.linalg.norm(s.astype(np.float64)))
+            if monitor.relative(s_norm) <= self.tolerance:
+                # Lucky convergence: the alpha step alone solved the system
+                # (s = r - alpha A p vanished), so skip the smoothing step.
+                x = x + self.dtype.type(alpha) * p
+                ops.record("axpy", n)
+                status = monitor.update(s_norm)
+                break
+            a_s = matrix.matvec(s)
+            ops.record("spmv", matrix.nnz)
+            as_s = float(a_s.astype(np.float64) @ s.astype(np.float64))
+            as_as = float(a_s.astype(np.float64) @ a_s.astype(np.float64))
+            ops.record("dot", n)
+            ops.record("dot", n)
+            if as_as < _BREAKDOWN_EPS:
+                # A s = 0 with s != 0 only for singular A; treat as breakdown.
+                status = SolveStatus.BREAKDOWN
+                break
+            omega = as_s / as_as
+            x = x + self.dtype.type(alpha) * p + self.dtype.type(omega) * s
+            ops.record("axpy", n)
+            ops.record("axpy", n)
+            r = s - self.dtype.type(omega) * a_s
+            ops.record("axpy", n)
+            residual = float(np.linalg.norm(r.astype(np.float64)))
+            ops.record("norm", n)
+            status = monitor.update(residual)
+            if status is not None:
+                break
+            rho_next = float(r.astype(np.float64) @ r_shadow)
+            ops.record("dot", n)
+            if abs(omega) < _BREAKDOWN_EPS:
+                # omega-breakdown: the GMRES(1) step stalled (skew operators).
+                status = SolveStatus.BREAKDOWN
+                break
+            beta = (rho_next / rho) * (alpha / omega)
+            p = r + self.dtype.type(beta) * (p - self.dtype.type(omega) * ap)
+            ops.record("axpy", n)
+            ops.record("axpy", n)
+            rho = rho_next
+        return SolveResult(
+            solver=self.name,
+            status=status,
+            x=x,
+            iterations=monitor.iterations,
+            residual_history=monitor.history_array(),
+            ops=ops,
+        )
+
+    @classmethod
+    def kernel_schedule(cls) -> dict[str, int]:
+        return {"spmv": 2, "dot": 4, "axpy": 6, "norm": 1}

@@ -1,0 +1,97 @@
+"""Conjugate Residual method (Table I extension).
+
+CR is CG's sibling for Hermitian (here: real symmetric) matrices that are
+*not necessarily definite*: it minimizes the residual 2-norm instead of
+the A-norm of the error, which only requires symmetry (Table I's
+"Hermitian" row).  One SpMV per iteration — ``A r`` is carried through a
+recurrence alongside ``A p``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.solvers.base import (
+    IterativeSolver,
+    OpCounter,
+    SolveResult,
+    SolveStatus,
+    tolerate_float_excursions,
+)
+from repro.solvers.monitor import ConvergenceMonitor
+
+_BREAKDOWN_EPS = 1e-30
+
+
+class ConjugateResidualSolver(IterativeSolver):
+    """Conjugate Residual with recurrence-carried ``A r`` and ``A p``."""
+
+    name = "conjugate_residual"
+
+    @tolerate_float_excursions
+    def solve(
+        self,
+        matrix: CSRMatrix,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+    ) -> SolveResult:
+        matrix, b, x = self._prepare(matrix, b, x0)
+        ops = OpCounter()
+        n = matrix.shape[0]
+
+        r = (b - matrix.matvec(x)).astype(np.float64)
+        ops.record("spmv", matrix.nnz)
+        ops.record("vadd", n)
+        p = r.copy()
+        ar = matrix.matvec(r.astype(self.dtype)).astype(np.float64)
+        ops.record("spmv", matrix.nnz)
+        ap = ar.copy()
+        r_ar = float(r @ ar)
+        ops.record("dot", n)
+
+        monitor = ConvergenceMonitor(
+            b_norm=float(np.linalg.norm(b.astype(np.float64))),
+            tolerance=self.tolerance,
+            max_iterations=self.max_iterations,
+            setup_iterations=self.setup_iterations,
+        )
+        status = monitor.update(float(np.linalg.norm(r)))
+        while status is None:
+            ap_ap = float(ap @ ap)
+            ops.record("dot", n)
+            if ap_ap < _BREAKDOWN_EPS or abs(r_ar) < _BREAKDOWN_EPS:
+                status = SolveStatus.BREAKDOWN
+                break
+            alpha = r_ar / ap_ap
+            x = x + self.dtype.type(alpha) * p.astype(self.dtype)
+            ops.record("axpy", n)
+            r = r - alpha * ap
+            ops.record("axpy", n)
+            residual = float(np.linalg.norm(r))
+            ops.record("norm", n)
+            status = monitor.update(residual)
+            if status is not None:
+                break
+            ar = matrix.matvec(r.astype(self.dtype)).astype(np.float64)
+            ops.record("spmv", matrix.nnz)
+            r_ar_next = float(r @ ar)
+            ops.record("dot", n)
+            beta = r_ar_next / r_ar
+            p = r + beta * p
+            ops.record("axpy", n)
+            ap = ar + beta * ap
+            ops.record("axpy", n)
+            r_ar = r_ar_next
+        return SolveResult(
+            solver=self.name,
+            status=status,
+            x=x,
+            iterations=monitor.iterations,
+            residual_history=monitor.history_array(),
+            ops=ops,
+        )
+
+    @classmethod
+    def kernel_schedule(cls) -> dict[str, int]:
+        return {"spmv": 1, "dot": 2, "axpy": 4, "norm": 1}

@@ -1,0 +1,97 @@
+"""Table I: structural convergence criteria per solver.
+
+The paper's Table I catalogs, for eleven iterative methods, the structural
+property the coefficient matrix must have for the method to guarantee
+convergence.  This module encodes that table as data plus, for the
+properties that are cheap to evaluate (the ones the Matrix Structure unit
+checks, and the randomized definiteness probe), executable predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.properties import (
+    is_strictly_diagonally_dominant,
+    is_symmetric,
+    positive_definite_probe,
+)
+
+Predicate = Callable[[CSRMatrix], bool]
+
+
+def _sdd(matrix: CSRMatrix) -> bool:
+    return is_strictly_diagonally_dominant(matrix)
+
+
+def _spd(matrix: CSRMatrix) -> bool:
+    return is_symmetric(matrix) and positive_definite_probe(matrix)
+
+
+def _symmetric(matrix: CSRMatrix) -> bool:
+    return is_symmetric(matrix)
+
+
+def _non_symmetric(matrix: CSRMatrix) -> bool:
+    return not is_symmetric(matrix)
+
+
+def _positive_definite(matrix: CSRMatrix) -> bool:
+    return positive_definite_probe(matrix)
+
+
+@dataclass(frozen=True)
+class ConvergenceCriterion:
+    """One row of Table I.
+
+    ``predicate`` is ``None`` for the criteria the paper lists but that
+    have no cheap structural test (e.g. "Negative Definite" for
+    preconditioned CG); those rows are carried as documentation.
+    """
+
+    solver: str
+    description: str
+    predicate: Optional[Predicate]
+
+    def satisfied_by(self, matrix: CSRMatrix) -> Optional[bool]:
+        """Evaluate the criterion, or ``None`` when it is not executable."""
+        if self.predicate is None:
+            return None
+        return self.predicate(matrix)
+
+
+_TABLE_I: tuple[ConvergenceCriterion, ...] = (
+    ConvergenceCriterion("jacobi", "Strictly Diagonally Dominant", _sdd),
+    ConvergenceCriterion("gauss_seidel", "Strictly Diagonally Dominant", _sdd),
+    ConvergenceCriterion("sor", "Symmetric, Positive Definite", _spd),
+    ConvergenceCriterion("cg", "Symmetric, Positive Definite", _spd),
+    ConvergenceCriterion("preconditioned_cg", "Negative Definite", None),
+    ConvergenceCriterion("conjugate_residual", "Hermitian", _symmetric),
+    ConvergenceCriterion("bicg", "Non-symmetric", _non_symmetric),
+    ConvergenceCriterion("bicgstab", "Non-symmetric", _non_symmetric),
+    ConvergenceCriterion("two_sided_lanczos", "Non-symmetric", _non_symmetric),
+    ConvergenceCriterion(
+        "concus_golub_widlund", "Nearly symmetric, Positive Definite", None
+    ),
+    ConvergenceCriterion(
+        "gmres",
+        "Symmetric and Non-symmetric, Positive Definite",
+        _positive_definite,
+    ),
+)
+
+
+def criteria_table() -> tuple[ConvergenceCriterion, ...]:
+    """All rows of the paper's Table I."""
+    return _TABLE_I
+
+
+def criterion_for(solver: str) -> ConvergenceCriterion:
+    """Look up the Table I row for ``solver``."""
+    for criterion in _TABLE_I:
+        if criterion.solver == solver:
+            return criterion
+    known = ", ".join(c.solver for c in _TABLE_I)
+    raise KeyError(f"no Table I entry for {solver!r}; known: {known}")

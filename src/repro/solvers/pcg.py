@@ -1,0 +1,130 @@
+"""Preconditioned Conjugate Gradient (Table I extension).
+
+PCG applies CG to the symmetrically preconditioned system; the
+preconditioner is pluggable (:mod:`repro.solvers.preconditioners`):
+``jacobi`` (diagonal, the default — one scale per iteration), ``ssor``,
+or ``ilu0``.  Diagonal preconditioning pays off exactly on the badly
+row-scaled SPD matrices several Table II stand-ins emulate; ILU(0) is
+the classic stronger choice for PDE meshes.  (The paper's Table I lists
+preconditioned CG with a "Negative Definite" criterion; the standard
+requirement implemented and tested here is symmetric positive
+definiteness of both ``A`` and ``M``.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverBreakdownError
+from repro.sparse.csr import CSRMatrix
+from repro.solvers.base import (
+    IterativeSolver,
+    OpCounter,
+    SolveResult,
+    SolveStatus,
+    tolerate_float_excursions,
+)
+from repro.solvers.monitor import ConvergenceMonitor
+from repro.solvers.preconditioners import make_preconditioner
+
+_BREAKDOWN_EPS = 1e-30
+
+
+class PreconditionedCGSolver(IterativeSolver):
+    """CG with a pluggable preconditioner (default: Jacobi diagonal)."""
+
+    name = "pcg"
+
+    def __init__(self, preconditioner: str = "jacobi", **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.preconditioner_name = preconditioner
+
+    def _breakdown(self, x: np.ndarray, ops: OpCounter) -> SolveResult:
+        return SolveResult(
+            solver=self.name,
+            status=SolveStatus.BREAKDOWN,
+            x=x,
+            iterations=0,
+            residual_history=np.array([], dtype=np.float64),
+            ops=ops,
+        )
+
+    @tolerate_float_excursions
+    def solve(
+        self,
+        matrix: CSRMatrix,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+    ) -> SolveResult:
+        matrix, b, x = self._prepare(matrix, b, x0)
+        ops = OpCounter()
+        n = matrix.shape[0]
+        try:
+            preconditioner = make_preconditioner(
+                self.preconditioner_name, matrix
+            )
+        except SolverBreakdownError:
+            # Setup failure (zero diagonal / zero pivot): clean breakdown.
+            return self._breakdown(x, ops)
+        if self.preconditioner_name == "jacobi" and np.any(
+            matrix.diagonal() < 0
+        ):
+            # A negative diagonal means A is not SPD; the preconditioned
+            # operator would be indefinite by construction.
+            return self._breakdown(x, ops)
+        apply_cost = max(1, preconditioner.apply_cost_elements())
+
+        r = (b - matrix.matvec(x)).astype(np.float64)
+        ops.record("spmv", matrix.nnz)
+        ops.record("vadd", n)
+        z = preconditioner.apply(r)
+        ops.record("scale", apply_cost)
+        p = z.copy()
+        rz = float(r @ z)
+        ops.record("dot", n)
+
+        monitor = ConvergenceMonitor(
+            b_norm=float(np.linalg.norm(b.astype(np.float64))),
+            tolerance=self.tolerance,
+            max_iterations=self.max_iterations,
+            setup_iterations=self.setup_iterations,
+        )
+        status = monitor.update(float(np.linalg.norm(r)))
+        while status is None:
+            ap = matrix.matvec(p.astype(self.dtype)).astype(np.float64)
+            ops.record("spmv", matrix.nnz)
+            p_ap = float(p @ ap)
+            ops.record("dot", n)
+            if abs(p_ap) < _BREAKDOWN_EPS or abs(rz) < _BREAKDOWN_EPS:
+                status = SolveStatus.BREAKDOWN
+                break
+            alpha = rz / p_ap
+            x = x + self.dtype.type(alpha) * p.astype(self.dtype)
+            ops.record("axpy", n)
+            r = r - alpha * ap
+            ops.record("axpy", n)
+            residual = float(np.linalg.norm(r))
+            ops.record("norm", n)
+            status = monitor.update(residual)
+            if status is not None:
+                break
+            z = preconditioner.apply(r)
+            ops.record("scale", apply_cost)
+            rz_next = float(r @ z)
+            ops.record("dot", n)
+            beta = rz_next / rz
+            p = z + beta * p
+            ops.record("axpy", n)
+            rz = rz_next
+        return SolveResult(
+            solver=self.name,
+            status=status,
+            x=x,
+            iterations=monitor.iterations,
+            residual_history=monitor.history_array(),
+            ops=ops,
+        )
+
+    @classmethod
+    def kernel_schedule(cls) -> dict[str, int]:
+        return {"spmv": 1, "dot": 2, "axpy": 3, "scale": 1, "norm": 1}

@@ -1,0 +1,96 @@
+"""Convergence-theory predictors.
+
+Closed-form iteration-count estimates for the implemented solvers, used
+to sanity-check measured behaviour (tests hold measurements to the
+theory within modest factors) and to let users budget solves before
+running them:
+
+- stationary methods (Jacobi, SRJ-as-Richardson): error contracts by the
+  iteration matrix's spectral radius per sweep,
+- CG / Chebyshev on SPD systems: error contracts by
+  ``(sqrt(kappa) - 1) / (sqrt(kappa) + 1)`` per step,
+- steepest-descent-class bounds for comparison.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def stationary_iterations(
+    spectral_radius: float, tolerance: float = 1e-5
+) -> float:
+    """Sweeps a stationary iteration needs to contract the error by ``tol``.
+
+    ``inf`` when the method does not converge (radius >= 1).
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise ConfigurationError(f"tolerance must be in (0,1), got {tolerance}")
+    if spectral_radius <= 0.0:
+        return 1.0
+    if spectral_radius >= 1.0:
+        return math.inf
+    return math.log(tolerance) / math.log(spectral_radius)
+
+
+def cg_iterations(kappa: float, tolerance: float = 1e-5) -> float:
+    """Classic CG bound: ``ceil(sqrt(kappa)/2 * ln(2/tol))`` steps.
+
+    An upper bound — clustered spectra converge much faster — so tests
+    treat it as a ceiling, not an estimate.
+    """
+    if kappa < 1.0:
+        raise ConfigurationError(f"condition number must be >= 1, got {kappa}")
+    if not 0.0 < tolerance < 1.0:
+        raise ConfigurationError(f"tolerance must be in (0,1), got {tolerance}")
+    if kappa == 1.0:
+        return 1.0
+    rate = (math.sqrt(kappa) - 1.0) / (math.sqrt(kappa) + 1.0)
+    return math.log(tolerance / 2.0) / math.log(rate)
+
+
+def chebyshev_iterations(kappa: float, tolerance: float = 1e-5) -> float:
+    """Chebyshev semi-iteration shares CG's asymptotic bound (it *is*
+    the bound CG's analysis borrows), given exact interval bounds."""
+    return cg_iterations(kappa, tolerance)
+
+
+def steepest_descent_iterations(kappa: float, tolerance: float = 1e-5) -> float:
+    """Richardson/steepest-descent: contraction ``(kappa-1)/(kappa+1)``
+    per step — linear in ``kappa``, the gap CG's sqrt closes."""
+    if kappa < 1.0:
+        raise ConfigurationError(f"condition number must be >= 1, got {kappa}")
+    if kappa == 1.0:
+        return 1.0
+    rate = (kappa - 1.0) / (kappa + 1.0)
+    return math.log(tolerance) / math.log(rate)
+
+
+def poisson_2d_condition_number(nx: int, ny: int | None = None) -> float:
+    """Exact condition number of the 5-point Laplacian on an interior grid.
+
+    Eigenvalues are ``4 - 2cos(i pi h_x) - 2cos(j pi h_y)`` with
+    ``h = 1/(n+1)``; the extremes give a closed-form kappa that the
+    theory tests use as ground truth.
+    """
+    ny = ny if ny is not None else nx
+    if nx < 1 or ny < 1:
+        raise ConfigurationError("grid must be at least 1x1")
+    hx = math.pi / (nx + 1)
+    hy = math.pi / (ny + 1)
+    lam_min = 4.0 - 2.0 * math.cos(hx) - 2.0 * math.cos(hy)
+    lam_max = 4.0 - 2.0 * math.cos(nx * hx) - 2.0 * math.cos(ny * hy)
+    return lam_max / lam_min
+
+
+def poisson_2d_jacobi_radius(nx: int, ny: int | None = None) -> float:
+    """Exact Jacobi spectral radius for the 5-point Laplacian:
+    ``(cos(pi/(nx+1)) + cos(pi/(ny+1))) / 2``."""
+    ny = ny if ny is not None else nx
+    if nx < 1 or ny < 1:
+        raise ConfigurationError("grid must be at least 1x1")
+    return 0.5 * (
+        math.cos(math.pi / (nx + 1)) + math.cos(math.pi / (ny + 1))
+    )

@@ -1,0 +1,68 @@
+"""Greedy graph coloring of a matrix's adjacency structure.
+
+Gauss-Seidel's data dependence is row-ordered — useless on wide-SIMD or
+spatial hardware.  Multicolor orderings break the dependence: rows of the
+same color share no off-diagonal coupling, so a whole color class updates
+in one vectorized (or one-fabric-pass) step.  For the 5-point Laplacian
+the greedy algorithm recovers the classic red-black 2-coloring; general
+sparse matrices get a small number of colors proportional to the maximum
+degree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sparse.csr import CSRMatrix
+
+
+def greedy_coloring(matrix: CSRMatrix) -> np.ndarray:
+    """Color rows so no two structurally-coupled rows share a color.
+
+    Coupling is symmetrized (``A`` or ``A.T`` having an entry couples the
+    rows).  Returns an int array of colors, numbered from 0; the greedy
+    first-fit order guarantees at most ``max_degree + 1`` colors.
+    """
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ConfigurationError(
+            f"coloring needs a square matrix, got {matrix.shape}"
+        )
+    n = matrix.shape[0]
+    if n == 0:
+        return np.array([], dtype=np.int64)
+    transpose = matrix.transpose()
+    colors = np.full(n, -1, dtype=np.int64)
+    for node in range(n):
+        lo, hi = matrix.indptr[node], matrix.indptr[node + 1]
+        tlo, thi = transpose.indptr[node], transpose.indptr[node + 1]
+        neighbors = np.concatenate(
+            [matrix.indices[lo:hi], transpose.indices[tlo:thi]]
+        )
+        neighbors = neighbors[neighbors != node]
+        used = set(colors[neighbors[colors[neighbors] >= 0]].tolist())
+        color = 0
+        while color in used:
+            color += 1
+        colors[node] = color
+    return colors
+
+
+def color_classes(colors: np.ndarray) -> list[np.ndarray]:
+    """Row indices per color, ordered by color number."""
+    colors = np.asarray(colors)
+    if len(colors) == 0:
+        return []
+    return [
+        np.flatnonzero(colors == c) for c in range(int(colors.max()) + 1)
+    ]
+
+
+def verify_coloring(matrix: CSRMatrix, colors: np.ndarray) -> bool:
+    """True when no stored off-diagonal entry couples same-colored rows."""
+    colors = np.asarray(colors)
+    row_of = np.repeat(np.arange(matrix.n_rows), matrix.row_lengths())
+    off = row_of != matrix.indices
+    return bool(
+        np.all(colors[row_of[off]] != colors[matrix.indices[off]])
+    )

@@ -1,0 +1,89 @@
+"""Compressed Sparse Column matrix.
+
+The Matrix Structure unit verifies symmetry by converting the CSR input to
+CSC and comparing the two encodings: for a symmetric matrix, the CSC arrays
+of ``A`` are identical to the CSR arrays (columns of ``A`` are rows of
+``A.T = A``).  This module provides the CSC container and that comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SparseFormatError
+
+
+class CSCMatrix:
+    """Sparse matrix in CSC format.
+
+    Stores ``indptr`` of column offsets, ``indices`` of row positions, and
+    ``data``.  Only the operations the Matrix Structure unit and tests need
+    are implemented; CSR remains the compute format.
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "data")
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ) -> None:
+        n_rows, n_cols = shape
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        data = np.asarray(data)
+        if indptr.shape != (n_cols + 1,):
+            raise SparseFormatError(
+                f"indptr must have length n_cols+1={n_cols + 1}, got {len(indptr)}"
+            )
+        if len(indptr) and indptr[0] != 0:
+            raise SparseFormatError("indptr must start at 0")
+        if np.any(np.diff(indptr) < 0):
+            raise SparseFormatError("indptr must be non-decreasing")
+        if indptr[-1] != len(indices) or len(indices) != len(data):
+            raise SparseFormatError("indptr[-1]/indices/data length mismatch")
+        if len(indices) and (indices.min() < 0 or indices.max() >= n_rows):
+            raise SparseFormatError("row index out of bounds")
+        self.shape = (int(n_rows), int(n_cols))
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    def column_lengths(self) -> np.ndarray:
+        """NNZ per column."""
+        return np.diff(self.indptr)
+
+    def to_csr(self) -> "CSRMatrix":
+        """Convert back to CSR."""
+        from repro.sparse.csr import CSRMatrix
+
+        # CSC of A has the same arrays as CSR of A.T; transposing recovers A.
+        n_rows, n_cols = self.shape
+        as_csr_of_t = CSRMatrix((n_cols, n_rows), self.indptr, self.indices, self.data)
+        return as_csr_of_t.transpose()
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=self.data.dtype)
+        col_of = np.repeat(np.arange(self.shape[1]), self.column_lengths())
+        dense[self.indices, col_of] = self.data
+        return dense
+
+    def matches_csr(self, csr: "CSRMatrix", rtol: float = 1e-6) -> bool:
+        """The paper's symmetry test: does this CSC encoding equal ``csr``?
+
+        For a symmetric matrix the CSC arrays of ``A`` coincide with its CSR
+        arrays, so an array-wise comparison decides symmetry without random
+        access into the compressed streams.
+        """
+        return (
+            self.shape == csr.shape
+            and np.array_equal(self.indptr, csr.indptr)
+            and np.array_equal(self.indices, csr.indices)
+            and np.allclose(self.data, csr.data, rtol=rtol, atol=rtol)
+        )

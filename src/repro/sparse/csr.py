@@ -1,0 +1,266 @@
+"""Compressed Sparse Row matrix — the accelerator's native input format.
+
+The paper's hardware streams the coefficient matrix in CSR: an ``indptr``
+array of row offsets, a column-index stream, and a value stream.  This class
+mirrors that layout and provides the operations the rest of the library is
+built on: a vectorized SpMV, row slicing for the 4096-row chunking, diagonal
+extraction for Jacobi, and transposition (which doubles as CSR→CSC
+conversion in the Matrix Structure unit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError, SparseFormatError
+
+
+class CSRMatrix:
+    """Sparse matrix in CSR format.
+
+    Parameters
+    ----------
+    shape:
+        ``(n_rows, n_cols)``.
+    indptr:
+        ``n_rows + 1`` row offsets into ``indices``/``data``; must start at
+        0, end at ``nnz`` and be non-decreasing.
+    indices:
+        Column index of each stored value.  Within each row the indices must
+        be strictly increasing (canonical CSR); the constructor verifies
+        this because the symmetry check and Jacobi splitting rely on it.
+    data:
+        Stored values, same length as ``indices``.
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "data")
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ) -> None:
+        n_rows, n_cols = shape
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        data = np.asarray(data)
+        if indptr.shape != (n_rows + 1,):
+            raise SparseFormatError(
+                f"indptr must have length n_rows+1={n_rows + 1}, got {len(indptr)}"
+            )
+        if len(indptr) and indptr[0] != 0:
+            raise SparseFormatError("indptr must start at 0")
+        if np.any(np.diff(indptr) < 0):
+            raise SparseFormatError("indptr must be non-decreasing")
+        if indptr[-1] != len(indices) or len(indices) != len(data):
+            raise SparseFormatError(
+                "indptr[-1], len(indices) and len(data) must agree, got "
+                f"{indptr[-1]}, {len(indices)}, {len(data)}"
+            )
+        if len(indices) and (indices.min() < 0 or indices.max() >= n_cols):
+            raise SparseFormatError("column index out of bounds")
+        self._check_sorted_rows(indptr, indices)
+        self.shape = (int(n_rows), int(n_cols))
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+
+    @staticmethod
+    def _check_sorted_rows(indptr: np.ndarray, indices: np.ndarray) -> None:
+        """Verify column indices are strictly increasing within each row."""
+        if len(indices) < 2:
+            return
+        increasing = indices[1:] > indices[:-1]
+        # Positions where a new row starts are allowed to decrease.
+        row_starts = np.zeros(len(indices), dtype=bool)
+        starts = indptr[1:-1]
+        row_starts[starts[starts < len(indices)]] = True
+        bad = ~increasing & ~row_starts[1:]
+        if np.any(bad):
+            raise SparseFormatError(
+                "column indices must be strictly increasing within each row "
+                "(duplicates or unsorted entries found)"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return len(self.data)
+
+    @property
+    def density(self) -> float:
+        """Fraction of entries that are stored (``nnz / (rows * cols)``)."""
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    def row_lengths(self) -> np.ndarray:
+        """NNZ per row — the quantity the Row Length Trace unit streams."""
+        return np.diff(self.indptr)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"dtype={self.data.dtype})"
+        )
+
+    # ------------------------------------------------------------------
+    # Compute kernels
+    # ------------------------------------------------------------------
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Sparse matrix–vector product ``A @ x``.
+
+        Implemented with gather + segmented reduction
+        (:func:`numpy.add.reduceat`), which mirrors the accelerator's
+        gather-multiply-reduce pipeline without scipy.
+        """
+        x = np.asarray(x)
+        if x.shape != (self.n_cols,):
+            raise ShapeMismatchError(
+                f"matvec expects a vector of length {self.n_cols}, got {x.shape}"
+            )
+        out_dtype = np.result_type(self.data, x)
+        products = self.data * x[self.indices]
+        result = np.zeros(self.n_rows, dtype=out_dtype)
+        nonempty = self.indptr[:-1] != self.indptr[1:]
+        if np.any(nonempty):
+            starts = self.indptr[:-1][nonempty]
+            result[nonempty] = np.add.reduceat(products, starts)
+        return result
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """Transposed product ``A.T @ x`` without materializing ``A.T``."""
+        x = np.asarray(x)
+        if x.shape != (self.n_rows,):
+            raise ShapeMismatchError(
+                f"rmatvec expects a vector of length {self.n_rows}, got {x.shape}"
+            )
+        out_dtype = np.result_type(self.data, x)
+        row_of = np.repeat(np.arange(self.n_rows), self.row_lengths())
+        result = np.zeros(self.n_cols, dtype=out_dtype)
+        np.add.at(result, self.indices, self.data * x[row_of])
+        return result
+
+    # ------------------------------------------------------------------
+    # Structure manipulation
+    # ------------------------------------------------------------------
+
+    def diagonal(self) -> np.ndarray:
+        """Main diagonal as a dense vector (zeros where unstored)."""
+        n = min(self.shape)
+        diag = np.zeros(n, dtype=self.data.dtype)
+        row_of = np.repeat(np.arange(self.n_rows), self.row_lengths())
+        on_diag = (row_of == self.indices) & (self.indices < n)
+        diag[self.indices[on_diag]] = self.data[on_diag]
+        return diag
+
+    def without_diagonal(self) -> "CSRMatrix":
+        """Copy with the main diagonal removed (the ``L + U`` of Jacobi)."""
+        row_of = np.repeat(np.arange(self.n_rows), self.row_lengths())
+        keep = row_of != self.indices
+        new_counts = np.bincount(row_of[keep], minlength=self.n_rows)
+        indptr = np.zeros(self.n_rows + 1, dtype=np.int64)
+        np.cumsum(new_counts, out=indptr[1:])
+        return CSRMatrix(self.shape, indptr, self.indices[keep], self.data[keep])
+
+    def transpose(self) -> "CSRMatrix":
+        """Return ``A.T`` as a new CSR matrix.
+
+        This is the same data shuffle as converting to CSC and re-reading the
+        arrays as CSR, which is exactly how the paper's Matrix Structure unit
+        produces the CSC view for its symmetry comparison.
+        """
+        n_rows, n_cols = self.shape
+        counts = np.bincount(self.indices, minlength=n_cols)
+        indptr = np.zeros(n_cols + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        row_of = np.repeat(np.arange(n_rows), self.row_lengths())
+        # Stable sort by column produces rows in increasing order per column.
+        order = np.argsort(self.indices, kind="stable")
+        return CSRMatrix(
+            (n_cols, n_rows), indptr, row_of[order], self.data[order]
+        )
+
+    def row_slice(self, start: int, stop: int) -> "CSRMatrix":
+        """Rows ``start:stop`` as a new CSR matrix (used for 4096-row chunks)."""
+        start = max(0, min(start, self.n_rows))
+        stop = max(start, min(stop, self.n_rows))
+        lo, hi = self.indptr[start], self.indptr[stop]
+        indptr = (self.indptr[start : stop + 1] - lo).copy()
+        return CSRMatrix(
+            (stop - start, self.n_cols),
+            indptr,
+            self.indices[lo:hi].copy(),
+            self.data[lo:hi].copy(),
+        )
+
+    def astype(self, dtype: np.dtype | type) -> "CSRMatrix":
+        """Copy with values cast to ``dtype`` (e.g. ``np.float32``)."""
+        return CSRMatrix(
+            self.shape, self.indptr.copy(), self.indices.copy(),
+            self.data.astype(dtype),
+        )
+
+    # ------------------------------------------------------------------
+    # Conversions and comparisons
+    # ------------------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=self.data.dtype)
+        row_of = np.repeat(np.arange(self.n_rows), self.row_lengths())
+        dense[row_of, self.indices] = self.data
+        return dense
+
+    def to_coo(self) -> "COOMatrix":
+        from repro.sparse.coo import COOMatrix
+
+        row_of = np.repeat(np.arange(self.n_rows), self.row_lengths())
+        return COOMatrix(self.shape, row_of, self.indices.copy(), self.data.copy())
+
+    def to_csc(self) -> "CSCMatrix":
+        """Convert to CSC — the Matrix Structure unit's comparison format."""
+        from repro.sparse.csc import CSCMatrix
+
+        t = self.transpose()
+        return CSCMatrix(self.shape, t.indptr, t.indices, t.data)
+
+    def structurally_equal(self, other: "CSRMatrix") -> bool:
+        """True when both matrices store exactly the same coordinates."""
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def allclose(self, other: "CSRMatrix", rtol: float = 1e-6) -> bool:
+        """Structural equality plus value closeness."""
+        return self.structurally_equal(other) and np.allclose(
+            self.data, other.data, rtol=rtol, atol=rtol
+        )
+
+    @staticmethod
+    def from_dense(dense: np.ndarray) -> "CSRMatrix":
+        from repro.sparse.coo import COOMatrix
+
+        return COOMatrix.from_dense(dense).to_csr()
+
+    @staticmethod
+    def identity(n: int, dtype: np.dtype | type = np.float64) -> "CSRMatrix":
+        """The ``n``-by-``n`` identity matrix."""
+        indptr = np.arange(n + 1, dtype=np.int64)
+        indices = np.arange(n, dtype=np.int64)
+        return CSRMatrix((n, n), indptr, indices, np.ones(n, dtype=dtype))

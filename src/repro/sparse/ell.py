@@ -1,0 +1,145 @@
+"""ELLPACK (ELL) sparse format — the shape of padded SpMV execution.
+
+ELL stores a sparse matrix as two dense ``n_rows × width`` arrays (values
+and column indices), padding every row to the widest one.  It matters to
+this reproduction because a *fixed-unroll* SpMV unit behaves exactly like
+an ELL execution padded to unroll-factor multiples: the padding elements
+are the idle MACs Eq. 5 charges.  The conversion utilities here make that
+correspondence explicit and let tests cross-check the cost model's
+provisioned-MAC accounting against literal padded storage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError, SparseFormatError
+from repro.sparse.csr import CSRMatrix
+
+PAD_COLUMN = -1
+"""Column index marking a padding slot."""
+
+
+class ELLMatrix:
+    """Sparse matrix in ELLPACK layout.
+
+    Parameters
+    ----------
+    shape:
+        ``(n_rows, n_cols)``.
+    columns:
+        ``n_rows × width`` int array; entries equal to :data:`PAD_COLUMN`
+        are padding.
+    values:
+        ``n_rows × width`` float array; padding slots must hold zero.
+    """
+
+    __slots__ = ("shape", "columns", "values")
+
+    def __init__(
+        self, shape: tuple[int, int], columns: np.ndarray, values: np.ndarray
+    ) -> None:
+        columns = np.asarray(columns, dtype=np.int64)
+        values = np.asarray(values)
+        if columns.ndim != 2 or values.shape != columns.shape:
+            raise SparseFormatError(
+                "columns and values must be equal-shape 2-D arrays, got "
+                f"{columns.shape} and {values.shape}"
+            )
+        if columns.shape[0] != shape[0]:
+            raise SparseFormatError(
+                f"row count mismatch: shape says {shape[0]}, arrays have "
+                f"{columns.shape[0]}"
+            )
+        real = columns != PAD_COLUMN
+        if real.any() and (
+            columns[real].min() < 0 or columns[real].max() >= shape[1]
+        ):
+            raise SparseFormatError("column index out of bounds")
+        if np.any(values[~real] != 0):
+            raise SparseFormatError("padding slots must hold zero values")
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.columns = columns
+        self.values = values
+
+    @property
+    def width(self) -> int:
+        """Padded row width (the ELL K parameter)."""
+        return self.columns.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Stored non-padding entries."""
+        return int(np.count_nonzero(self.columns != PAD_COLUMN))
+
+    @property
+    def padded_size(self) -> int:
+        """Total slots including padding — what a width-wide unit streams."""
+        return self.columns.size
+
+    @property
+    def padding_fraction(self) -> float:
+        """Idle-slot fraction: the storage-level analogue of Eq. 5."""
+        if self.padded_size == 0:
+            return 0.0
+        return 1.0 - self.nnz / self.padded_size
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Dense-regular SpMV over the padded layout."""
+        x = np.asarray(x)
+        if x.shape != (self.shape[1],):
+            raise ShapeMismatchError(
+                f"matvec expects a vector of length {self.shape[1]}, got "
+                f"{x.shape}"
+            )
+        gathered = np.where(
+            self.columns == PAD_COLUMN, 0.0, x[np.maximum(self.columns, 0)]
+        )
+        return (self.values * gathered).sum(axis=1)
+
+    def to_csr(self) -> CSRMatrix:
+        """Convert back to CSR (drops padding)."""
+        from repro.sparse.coo import COOMatrix
+
+        real = self.columns != PAD_COLUMN
+        rows = np.nonzero(real)[0]
+        return COOMatrix(
+            self.shape, rows, self.columns[real], self.values[real]
+        ).to_csr()
+
+    @staticmethod
+    def from_csr(matrix: CSRMatrix, width: int | None = None) -> "ELLMatrix":
+        """Convert CSR to ELL, padding rows to ``width``.
+
+        ``width`` defaults to the longest row; a smaller explicit width
+        raises, because ELL cannot drop entries.
+        """
+        lengths = matrix.row_lengths()
+        needed = int(lengths.max()) if len(lengths) else 0
+        if width is None:
+            width = needed
+        if width < needed:
+            raise SparseFormatError(
+                f"width {width} cannot hold the longest row ({needed})"
+            )
+        n_rows = matrix.n_rows
+        columns = np.full((n_rows, width), PAD_COLUMN, dtype=np.int64)
+        values = np.zeros((n_rows, width), dtype=matrix.data.dtype)
+        for row in range(n_rows):
+            lo, hi = matrix.indptr[row], matrix.indptr[row + 1]
+            count = hi - lo
+            columns[row, :count] = matrix.indices[lo:hi]
+            values[row, :count] = matrix.data[lo:hi]
+        return ELLMatrix(matrix.shape, columns, values)
+
+
+def padded_slots_for_unroll(row_lengths: np.ndarray, unroll: int) -> int:
+    """Slots a fixed-unroll unit streams: rows padded to unroll multiples.
+
+    This equals the cost model's provisioned MAC-cycles for a static
+    design and the storage of a *blocked* ELL with block width ``unroll``,
+    making the ELL ↔ Eq. 5 correspondence checkable.
+    """
+    lengths = np.asarray(row_lengths, dtype=np.int64)
+    chunks = np.maximum(1, -(-lengths // unroll))
+    return int((chunks * unroll).sum())

@@ -1,0 +1,64 @@
+"""Tests for the static-design baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import StaticDesign, run_solver_portfolio
+from repro.config import AcamarConfig
+from repro.datasets import load_problem, poisson_2d
+from repro.errors import ConfigurationError
+
+
+class TestStaticDesign:
+    def test_runs_fixed_solver(self):
+        problem = poisson_2d(12)
+        result = StaticDesign("cg", spmv_urb=8).solve(problem.matrix, problem.b)
+        assert result.converged
+        assert result.solver == "cg"
+
+    def test_no_fallback_on_divergence(self):
+        """The whole point of Table II: a static design just fails."""
+        problem = load_problem("If")  # only bicgstab converges
+        result = StaticDesign("jacobi", spmv_urb=8).solve(problem.matrix, problem.b)
+        assert result.status.failed
+
+    def test_invalid_urb(self):
+        with pytest.raises(ConfigurationError):
+            StaticDesign("cg", spmv_urb=0)
+
+    def test_config_shared_with_acamar(self):
+        problem = poisson_2d(12)
+        config = AcamarConfig(tolerance=1e-3, dtype=np.float64)
+        design = StaticDesign("cg", spmv_urb=8, config=config)
+        result = design.solve(problem.matrix, problem.b)
+        assert result.converged
+        assert result.x.dtype == np.float64
+        assert result.final_residual <= 1e-3
+
+    def test_latency_uses_fixed_urb(self):
+        problem = poisson_2d(12)
+        design = StaticDesign("cg", spmv_urb=4)
+        result = design.solve(problem.matrix, problem.b)
+        latency = design.latency(problem.matrix, result)
+        assert latency.reconfig_events == 0
+        wide = StaticDesign("cg", spmv_urb=32)
+        assert (
+            wide.latency(problem.matrix, result).compute_seconds
+            < latency.compute_seconds
+        )
+
+
+class TestPortfolio:
+    def test_runs_all_three_paper_solvers(self):
+        problem = poisson_2d(10)
+        results = run_solver_portfolio(problem.matrix, problem.b)
+        assert set(results) == {"jacobi", "cg", "bicgstab"}
+        assert all(r.converged for r in results.values())
+
+    def test_custom_solver_list(self):
+        problem = poisson_2d(10)
+        results = run_solver_portfolio(
+            problem.matrix, problem.b, solvers=("gauss_seidel",)
+        )
+        assert set(results) == {"gauss_seidel"}
+        assert results["gauss_seidel"].converged

@@ -1,0 +1,56 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dense() -> np.ndarray:
+    """A fixed 4x4 matrix with an empty row-interior and a zero entry."""
+    return np.array(
+        [
+            [4.0, -1.0, 0.0, 0.0],
+            [-1.0, 4.0, -1.0, 0.0],
+            [0.0, -1.0, 4.0, -1.0],
+            [0.0, 0.0, -1.0, 4.0],
+        ]
+    )
+
+
+@pytest.fixture
+def small_csr(small_dense) -> CSRMatrix:
+    return CSRMatrix.from_dense(small_dense)
+
+
+def random_dense(
+    rng: np.random.Generator,
+    n_rows: int,
+    n_cols: int,
+    density: float = 0.2,
+) -> np.ndarray:
+    """Random sparse-pattern dense array (helper, not a fixture)."""
+    mask = rng.random((n_rows, n_cols)) < density
+    values = rng.standard_normal((n_rows, n_cols))
+    return np.where(mask, values, 0.0)
+
+
+@pytest.fixture
+def spd_system(rng):
+    """A well-conditioned SPD system with a known solution (n=120)."""
+    n = 120
+    dense = random_dense(rng, n, n, density=0.05)
+    dense = dense + dense.T
+    dense += np.diag(np.abs(dense).sum(axis=1) + 1.0)
+    matrix = CSRMatrix.from_dense(dense)
+    x_true = rng.standard_normal(n)
+    b = matrix.matvec(x_true).astype(np.float32)
+    return matrix, b, x_true

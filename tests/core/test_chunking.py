@@ -1,0 +1,90 @@
+"""Tests for chunked matrix streaming (4096-row chunks)."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunking import ChunkStream, chunk_count, chunked_matvec
+from repro.datasets.generators import sdd_matrix
+from repro.errors import ConfigurationError
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture
+def matrix():
+    return sdd_matrix(1000, 6.0, seed=55)
+
+
+class TestChunkCount:
+    def test_exact_division(self):
+        assert chunk_count(8192, 4096) == 2
+
+    def test_remainder_adds_chunk(self):
+        assert chunk_count(8193, 4096) == 3
+
+    def test_small_matrix_one_chunk(self):
+        assert chunk_count(10, 4096) == 1
+
+    def test_zero_rows(self):
+        assert chunk_count(0, 4096) == 0
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            chunk_count(10, 0)
+
+
+class TestChunkStream:
+    def test_chunks_partition_rows(self, matrix):
+        stream = ChunkStream(matrix, 300)
+        chunks = list(stream)
+        assert len(chunks) == len(stream) == 4
+        assert chunks[0].start_row == 0
+        assert chunks[-1].stop_row == matrix.n_rows
+        for a, b in zip(chunks, chunks[1:]):
+            assert a.stop_row == b.start_row
+
+    def test_chunk_matrices_match_slices(self, matrix):
+        for chunk in ChunkStream(matrix, 256):
+            expected = matrix.row_slice(chunk.start_row, chunk.stop_row)
+            assert chunk.matrix.allclose(expected)
+            assert chunk.n_rows == chunk.stop_row - chunk.start_row
+
+    def test_indices_sequential(self, matrix):
+        indices = [chunk.index for chunk in ChunkStream(matrix, 400)]
+        assert indices == list(range(len(indices)))
+
+    def test_invalid_chunk_size(self, matrix):
+        with pytest.raises(ConfigurationError):
+            ChunkStream(matrix, 0)
+
+
+class TestChunkedMatvec:
+    def test_identical_to_monolithic(self, matrix, rng):
+        x = rng.standard_normal(matrix.n_cols)
+        np.testing.assert_array_equal(
+            chunked_matvec(matrix, x, 177), matrix.matvec(x)
+        )
+
+    def test_chunk_size_larger_than_matrix(self, matrix, rng):
+        x = rng.standard_normal(matrix.n_cols)
+        np.testing.assert_array_equal(
+            chunked_matvec(matrix, x, 10_000), matrix.matvec(x)
+        )
+
+    def test_paper_chunk_size_on_multi_chunk_matrix(self, rng):
+        big = sdd_matrix(5000, 4.0, seed=56)
+        x = rng.standard_normal(5000)
+        np.testing.assert_array_equal(
+            chunked_matvec(big, x, 4096), big.matvec(x)
+        )
+
+    def test_plan_has_sets_per_chunk(self):
+        """A multi-chunk matrix gets SamplingRate sets per chunk."""
+        from repro import Acamar, AcamarConfig
+
+        big = sdd_matrix(5000, 4.0, seed=56)
+        config = AcamarConfig(chunk_size=2048, sampling_rate=16)
+        plan = Acamar(config).plan(big)
+        # chunks: 2048, 2048, 904 -> 16 sets each
+        assert len(plan.sets) == 48
+        boundaries = [s.start_row for s in plan.sets]
+        assert 2048 in boundaries and 4096 in boundaries

@@ -1,0 +1,104 @@
+"""Tests for the Resource-Decision-loop design-space exploration."""
+
+import pytest
+
+from repro.core.design_space import (
+    DesignPoint,
+    evaluate_point,
+    explore,
+    pareto_front,
+    recommend,
+)
+from repro.datasets.generators import sdd_matrix
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return sdd_matrix(512, 8.0, seed=21)
+
+
+class TestEvaluation:
+    def test_point_fields_consistent(self, matrix):
+        point = evaluate_point(matrix, 32, 8, 0.15)
+        assert point.sampling_rate == 32
+        assert point.spmv_cycles > 0
+        assert 0.0 <= point.underutilization <= 1.0
+        assert point.reconfig_events >= 0
+        assert point.reconfig_seconds >= 0.0
+
+    def test_msid_cuts_reconfig_not_latency(self, matrix):
+        raw = evaluate_point(matrix, 64, 0, 0.15)
+        smoothed = evaluate_point(matrix, 64, 8, 0.15)
+        assert smoothed.reconfig_events <= raw.reconfig_events
+        assert smoothed.spmv_cycles == pytest.approx(raw.spmv_cycles, rel=0.1)
+
+    def test_grid_size(self, matrix):
+        points = explore(
+            matrix, sampling_rates=(8, 32), ropts=(0, 8), tolerances=(0.15,)
+        )
+        assert len(points) == 4
+
+
+class TestPareto:
+    def test_dominance(self):
+        better = DesignPoint(8, 8, 0.15, 100.0, 0.2, 3, 1e-4)
+        worse = DesignPoint(8, 0, 0.15, 120.0, 0.3, 5, 2e-4)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_no_self_domination_on_ties(self):
+        a = DesignPoint(8, 8, 0.15, 100.0, 0.2, 3, 1e-4)
+        b = DesignPoint(16, 8, 0.15, 100.0, 0.2, 3, 1e-4)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_front_is_nondominated(self, matrix):
+        points = explore(
+            matrix,
+            sampling_rates=(4, 16, 64),
+            ropts=(0, 4, 8),
+            tolerances=(0.15, 0.6),
+        )
+        front = pareto_front(points)
+        assert front
+        for p in front:
+            assert not any(q.dominates(p) for q in points)
+
+    def test_front_deduplicates_objective_ties(self, matrix):
+        points = explore(
+            matrix, sampling_rates=(32,), ropts=(8,), tolerances=(0.15, 0.15)
+        )
+        front = pareto_front(points)
+        assert len(front) == 1
+
+
+class TestRecommend:
+    def test_budget_respected_when_feasible(self, matrix):
+        generous = recommend(
+            matrix,
+            reconfig_budget_seconds=1.0,
+            sampling_rates=(8, 32, 64),
+            ropts=(0, 8),
+            tolerances=(0.15,),
+        )
+        assert generous.reconfig_seconds <= 1.0
+
+    def test_tight_budget_falls_back_to_cheapest(self, matrix):
+        tight = recommend(
+            matrix,
+            reconfig_budget_seconds=0.0,
+            sampling_rates=(8, 32, 64),
+            ropts=(0, 8),
+            tolerances=(0.15,),
+        )
+        all_points = explore(
+            matrix, sampling_rates=(8, 32, 64), ropts=(0, 8), tolerances=(0.15,)
+        )
+        cheapest = min(p.reconfig_seconds for p in pareto_front(all_points))
+        assert tight.reconfig_seconds == pytest.approx(cheapest)
+
+    def test_bigger_budget_never_slower(self, matrix):
+        grid = dict(sampling_rates=(8, 32, 64), ropts=(0, 8), tolerances=(0.15,))
+        small = recommend(matrix, 1e-4, **grid)
+        big = recommend(matrix, 1.0, **grid)
+        assert big.spmv_cycles <= small.spmv_cycles

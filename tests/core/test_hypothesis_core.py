@@ -1,0 +1,90 @@
+"""Property-based tests on the accelerator's decision machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AcamarConfig
+from repro.core.finegrained import FineGrainedReconfigurationUnit, quantize_unroll
+from repro.core.msid import (
+    MSIDChain,
+    reconfiguration_events,
+    run_msid_chain,
+)
+from repro.datasets.generators import sample_row_lengths
+from repro.sparse.coo import COOMatrix
+
+unroll_buffers = st.lists(
+    st.integers(1, 64).map(float), min_size=1, max_size=80
+)
+
+
+@given(unroll_buffers, st.integers(0, 12), st.floats(0.0, 2.0))
+@settings(max_examples=120, deadline=None)
+def test_msid_final_values_come_from_initial_buffer(buffer, stages, tolerance):
+    """Algorithm 4 only ever copies entries, never invents values."""
+    history = run_msid_chain(np.array(buffer), stages, tolerance)
+    assert set(history[-1].tolist()) <= set(buffer)
+
+
+@given(unroll_buffers, st.floats(0.0, 2.0))
+@settings(max_examples=120, deadline=None)
+def test_msid_events_monotone_in_stages(buffer, tolerance):
+    counts = []
+    for stages in range(0, 10):
+        final = run_msid_chain(np.array(buffer), stages, tolerance)[-1]
+        counts.append(reconfiguration_events(final))
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+@given(unroll_buffers)
+@settings(max_examples=100, deadline=None)
+def test_msid_zero_tolerance_is_identity(buffer):
+    result = MSIDChain(8, 0.0).optimize(np.array(buffer))
+    np.testing.assert_array_equal(result.initial, result.final)
+
+
+@given(
+    st.floats(0.0, 1000.0, allow_nan=False),
+    st.integers(1, 128),
+    st.sampled_from(["nearest", "ceil", "floor"]),
+)
+@settings(max_examples=150, deadline=None)
+def test_quantize_always_in_bounds(average, max_unroll, mode):
+    value = quantize_unroll(average, max_unroll, mode)
+    assert 1 <= value <= max_unroll
+
+
+@given(
+    st.integers(8, 600),      # rows
+    st.integers(1, 64),       # sampling rate
+    st.integers(0, 10),       # rOpt
+    st.floats(2.0, 20.0),     # mean nnz
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_plan_invariants_for_random_matrices(
+    n_rows, sampling_rate, r_opt, mean_nnz, seed
+):
+    """Every plan covers every row exactly once with in-range unrolls."""
+    rng = np.random.default_rng(seed)
+    lengths = sample_row_lengths(n_rows, mean_nnz, rng, correlation=0.5)
+    rows = np.repeat(np.arange(n_rows), lengths)
+    cols = np.concatenate(
+        [rng.choice(n_rows, size=k, replace=False) for k in lengths]
+    )
+    matrix = COOMatrix(
+        (n_rows, n_rows), rows, cols, np.ones(len(rows))
+    ).canonical().to_csr()
+    config = AcamarConfig(sampling_rate=sampling_rate, r_opt=r_opt)
+    plan = FineGrainedReconfigurationUnit(config).plan(matrix)
+    assert plan.sets[0].start_row == 0
+    assert plan.sets[-1].stop_row == n_rows
+    for a, b in zip(plan.sets, plan.sets[1:]):
+        assert a.stop_row == b.start_row
+    assert all(1 <= s.unroll <= config.max_unroll for s in plan.sets)
+    assert not plan.sets[0].reconfigure
+    assert plan.reconfiguration_count == reconfiguration_events(
+        plan.final_unrolls
+    )
+    assert len(plan.unroll_for_rows) == n_rows

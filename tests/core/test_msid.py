@@ -1,0 +1,118 @@
+"""Tests for the MSID chain (paper Algorithm 4 / Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.msid import (
+    MSIDChain,
+    msid_stage,
+    reconfiguration_events,
+    reconfiguration_rate,
+    run_msid_chain,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEventCounting:
+    def test_counts_value_changes(self):
+        assert reconfiguration_events(np.array([4, 6, 2, 10])) == 3
+        assert reconfiguration_events(np.array([4, 4, 4])) == 0
+        assert reconfiguration_events(np.array([4, 4, 2, 2, 4])) == 2
+
+    def test_short_buffers(self):
+        assert reconfiguration_events(np.array([7])) == 0
+        assert reconfiguration_events(np.array([])) == 0
+
+    def test_rate_normalizes_by_boundaries(self):
+        assert reconfiguration_rate(np.array([1, 2, 3, 4])) == 1.0
+        assert reconfiguration_rate(np.array([1, 1, 1, 1])) == 0.0
+        assert reconfiguration_rate(np.array([5])) == 0.0
+
+
+class TestSingleStage:
+    def test_within_tolerance_adopts_predecessor(self):
+        # |6/4 - 1| = 0.5 <= 0.6: entry 1 becomes 4.
+        out = msid_stage(np.array([4.0, 6.0]), tolerance=0.6, stable_prefix=1)
+        np.testing.assert_array_equal(out, [4.0, 4.0])
+
+    def test_outside_tolerance_keeps_value(self):
+        # |2/6 - 1| = 0.67 > 0.6: entry stays.
+        out = msid_stage(np.array([6.0, 2.0]), tolerance=0.6, stable_prefix=1)
+        np.testing.assert_array_equal(out, [6.0, 2.0])
+
+    def test_comparisons_use_previous_stage_not_updated_values(self):
+        """Algorithm 4 line 10 reads tBuffer^{t-1} on both sides."""
+        buffer = np.array([4.0, 6.0, 2.0, 10.0])
+        out = msid_stage(buffer, tolerance=0.6, stable_prefix=1)
+        # entry2 compares 2 vs original 6 (not the updated 4): 0.67 > 0.6.
+        np.testing.assert_array_equal(out, [4.0, 4.0, 2.0, 10.0])
+
+    def test_stable_prefix_is_copied(self):
+        buffer = np.array([4.0, 6.0, 6.5])
+        out = msid_stage(buffer, tolerance=0.6, stable_prefix=2)
+        assert out[1] == 6.0  # prefix entry untouched
+        assert out[2] == 6.0  # |6.5/6 - 1| small: adopts predecessor
+
+    def test_zero_predecessor_is_skipped(self):
+        out = msid_stage(np.array([0.0, 5.0]), tolerance=0.5, stable_prefix=1)
+        np.testing.assert_array_equal(out, [0.0, 5.0])
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            msid_stage(np.array([1.0]), tolerance=-0.1, stable_prefix=1)
+
+
+class TestChain:
+    def test_paper_figure4_example(self):
+        """Figure 4's tBuffer (4, 6, 2, 10, ...) with tolerance 0.6: the
+        chain removes reconfiguration events without touching values that
+        differ by more than the tolerance."""
+        buffer = np.array([4.0, 6.0, 2.0, 10.0, 8.0, 4.0])
+        chain = MSIDChain(stages=8, tolerance=0.6)
+        result = chain.optimize(buffer)
+        assert result.initial_events == 5
+        assert result.final_events < result.initial_events
+        assert result.events_removed >= 2
+
+    def test_zero_stages_is_identity(self):
+        buffer = np.array([4.0, 6.0, 2.0])
+        history = run_msid_chain(buffer, stages=0, tolerance=0.6)
+        assert len(history) == 1
+        np.testing.assert_array_equal(history[0], buffer)
+
+    def test_history_length(self):
+        history = run_msid_chain(np.array([1.0, 2.0]), stages=5, tolerance=0.1)
+        assert len(history) == 6
+
+    def test_events_monotone_nonincreasing_in_stages(self, rng):
+        buffer = rng.integers(1, 20, size=64).astype(float)
+        events = []
+        for stages in range(0, 12):
+            history = run_msid_chain(buffer, stages, tolerance=0.3)
+            events.append(reconfiguration_events(history[-1]))
+        assert all(a >= b for a, b in zip(events, events[1:]))
+
+    def test_rate_saturates(self, rng):
+        """Figure 5's flattening: beyond ~8 stages the rate barely moves."""
+        buffer = rng.integers(1, 20, size=64).astype(float)
+        chain_8 = MSIDChain(8, 0.15).optimize(buffer)
+        chain_16 = MSIDChain(16, 0.15).optimize(buffer)
+        assert chain_16.final_events <= chain_8.final_events
+        assert chain_8.final_events - chain_16.final_events <= 3
+
+    def test_zero_tolerance_only_merges_equal_values(self):
+        buffer = np.array([4.0, 4.0, 5.0, 5.0, 4.0])
+        result = MSIDChain(8, 0.0).optimize(buffer)
+        np.testing.assert_array_equal(result.final, buffer)
+
+    def test_huge_tolerance_flattens_everything(self):
+        buffer = np.array([4.0, 6.0, 2.0, 10.0, 8.0])
+        result = MSIDChain(8, 100.0).optimize(buffer)
+        assert result.final_events == 0
+        assert np.all(result.final == 4.0)
+
+    def test_negative_stages_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MSIDChain(-1, 0.1)
+        with pytest.raises(ConfigurationError):
+            run_msid_chain(np.array([1.0]), stages=-2, tolerance=0.1)

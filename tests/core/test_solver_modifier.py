@@ -1,0 +1,48 @@
+"""Tests for the Solver Modifier unit's bit-register fallback."""
+
+from repro.core.solver_modifier import SolverModifierUnit
+
+
+class TestSolverModifier:
+    def test_default_order_prefers_bicgstab(self):
+        unit = SolverModifierUnit()
+        assert unit.next_solver() == "bicgstab"
+
+    def test_skips_tried_solvers(self):
+        unit = SolverModifierUnit()
+        unit.mark_tried("bicgstab")
+        assert unit.next_solver() == "cg"
+        unit.mark_tried("cg")
+        assert unit.next_solver() == "jacobi"
+
+    def test_exhaustion_returns_none(self):
+        unit = SolverModifierUnit()
+        for solver in ("bicgstab", "cg", "jacobi"):
+            unit.mark_tried(solver)
+        assert unit.next_solver() is None
+
+    def test_marking_is_idempotent(self):
+        unit = SolverModifierUnit()
+        unit.mark_tried("cg")
+        unit.mark_tried("cg")
+        assert unit.tried == frozenset({"cg"})
+
+    def test_custom_order(self):
+        unit = SolverModifierUnit(("jacobi", "gmres"))
+        assert unit.next_solver() == "jacobi"
+        unit.mark_tried("jacobi")
+        assert unit.next_solver() == "gmres"
+
+    def test_reset_clears_register(self):
+        unit = SolverModifierUnit()
+        unit.mark_tried("bicgstab")
+        unit.reset()
+        assert unit.tried == frozenset()
+        assert unit.next_solver() == "bicgstab"
+
+    def test_tried_is_immutable_view(self):
+        unit = SolverModifierUnit()
+        unit.mark_tried("cg")
+        snapshot = unit.tried
+        unit.mark_tried("jacobi")
+        assert snapshot == frozenset({"cg"})

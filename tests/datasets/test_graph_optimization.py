@@ -1,0 +1,104 @@
+"""Tests for the graph-theory and optimization workloads."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.graph import (
+    grounded_laplacian_system,
+    laplacian_matrix,
+    random_graph_edges,
+    regularized_laplacian_system,
+)
+from repro.datasets.optimization import (
+    network_flow_system,
+    normal_equations_system,
+    sparse_design_matrix,
+)
+from repro.errors import ConfigurationError
+from repro.sparse.properties import is_symmetric, positive_definite_probe
+
+
+class TestGraph:
+    def test_edges_are_valid(self):
+        u, v, w = random_graph_edges(100, 6.0, seed=1)
+        assert np.all(u < v)
+        assert np.all(w > 0)
+        assert u.max() < 100
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            random_graph_edges(1, 2.0, seed=1)
+        with pytest.raises(ConfigurationError):
+            random_graph_edges(10, 0.0, seed=1)
+
+    def test_laplacian_rows_sum_to_zero(self):
+        u, v, w = random_graph_edges(50, 4.0, seed=2)
+        lap = laplacian_matrix(u, v, w, 50)
+        np.testing.assert_allclose(
+            lap.matvec(np.ones(50)), 0.0, atol=1e-10
+        )
+        assert is_symmetric(lap)
+
+    def test_grounded_laplacian_is_spd(self):
+        problem = grounded_laplacian_system(80, seed=3)
+        assert problem.n == 79  # one vertex removed
+        assert is_symmetric(problem.matrix)
+        assert positive_definite_probe(problem.matrix)
+
+    def test_regularized_laplacian_is_spd(self):
+        problem = regularized_laplacian_system(80, epsilon=0.1, seed=3)
+        assert problem.n == 80
+        assert positive_definite_probe(problem.matrix)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            regularized_laplacian_system(20, epsilon=0.0)
+
+    def test_grounded_system_solvable(self):
+        from repro.solvers import ConjugateGradientSolver
+
+        problem = grounded_laplacian_system(100, seed=4)
+        result = ConjugateGradientSolver().solve(problem.matrix, problem.b)
+        assert result.converged
+        assert problem.relative_error(result.x) < 1e-2
+
+
+class TestOptimization:
+    def test_design_matrix_row_nnz(self):
+        design = sparse_design_matrix(50, 20, nnz_per_row=4, seed=1)
+        np.testing.assert_array_equal(design.row_lengths(), 4)
+
+    def test_design_matrix_invalid_nnz(self):
+        with pytest.raises(ConfigurationError):
+            sparse_design_matrix(10, 5, nnz_per_row=6, seed=1)
+
+    def test_normal_equations_recover_coefficients(self):
+        problem = normal_equations_system(
+            n_samples=800, n_features=200, nnz_per_row=6, seed=2
+        )
+        assert is_symmetric(problem.matrix)
+        from repro.solvers import ConjugateGradientSolver
+
+        result = ConjugateGradientSolver().solve(problem.matrix, problem.b)
+        assert result.converged
+        assert problem.relative_error(result.x) < 1e-2
+
+    def test_normal_equations_invalid_ridge(self):
+        with pytest.raises(ConfigurationError):
+            normal_equations_system(ridge=0.0)
+
+    def test_gram_matrix_matches_direct_computation(self):
+        problem = normal_equations_system(
+            n_samples=100, n_features=30, nnz_per_row=3, ridge=0.5, seed=3
+        )
+        design = sparse_design_matrix(100, 30, nnz_per_row=3, seed=3)
+        expected = design.to_dense().T @ design.to_dense() + 0.5 * np.eye(30)
+        np.testing.assert_allclose(
+            problem.matrix.to_dense(), expected, rtol=1e-10
+        )
+
+    def test_network_flow_wraps_laplacian(self):
+        problem = network_flow_system(n_nodes=60, seed=4)
+        assert problem.metadata["kind"] == "optimization"
+        assert problem.name == "network_flow_60"
+        assert positive_definite_probe(problem.matrix)

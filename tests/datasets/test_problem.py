@@ -1,0 +1,54 @@
+"""Tests for the Problem container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.problem import Problem, manufacture_problem
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture
+def problem(small_csr):
+    return manufacture_problem("unit", small_csr, seed=9)
+
+
+class TestProblem:
+    def test_manufactured_rhs_consistent(self, problem, small_csr):
+        np.testing.assert_allclose(
+            small_csr.matvec(problem.x_true).astype(np.float32),
+            problem.b,
+            rtol=1e-6,
+        )
+
+    def test_relative_error_zero_at_solution(self, problem):
+        assert problem.relative_error(problem.x_true) == 0.0
+
+    def test_relative_error_without_truth_raises(self, small_csr):
+        bare = Problem("bare", small_csr, np.ones(4, dtype=np.float32))
+        with pytest.raises(ValueError, match="x_true"):
+            bare.relative_error(np.ones(4))
+
+    def test_residual_norm_zero_at_solution(self, problem):
+        assert problem.residual_norm(problem.x_true) < 1e-6
+
+    def test_residual_norm_of_zero_vector_is_one(self, problem):
+        assert problem.residual_norm(np.zeros(problem.n)) == pytest.approx(1.0)
+
+    def test_shape_properties(self, problem):
+        assert problem.n == 4
+        assert problem.nnz == 10
+
+    def test_metadata_defaults_to_empty_dict(self, small_csr):
+        bare = Problem("bare", small_csr, np.ones(4, dtype=np.float32))
+        assert bare.metadata == {}
+
+    def test_dtype_control(self, small_csr):
+        problem = manufacture_problem("f64", small_csr, dtype=np.float64)
+        assert problem.b.dtype == np.float64
+
+    def test_relative_error_with_zero_truth(self, small_csr):
+        problem = Problem(
+            "zero", small_csr, np.zeros(4, dtype=np.float32),
+            x_true=np.zeros(4),
+        )
+        assert problem.relative_error(np.ones(4)) == pytest.approx(2.0)

@@ -1,0 +1,52 @@
+"""Tests for CSV/JSON experiment export."""
+
+import csv
+import json
+
+from repro.experiments import fig2
+from repro.experiments.export import (
+    export_all,
+    export_table_csv,
+    export_table_json,
+)
+
+SUBSET = ("2C", "Wi")
+
+
+class TestSingleTable:
+    def test_csv_roundtrip(self, tmp_path):
+        table = fig2.run(SUBSET)
+        path = export_table_csv(table, tmp_path / "fig2.csv")
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert tuple(rows[0]) == table.headers
+        assert len(rows) == len(table.rows) + 1
+        assert rows[1][0] == "2C"
+
+    def test_json_payload(self, tmp_path):
+        table = fig2.run(SUBSET)
+        path = export_table_json(table, tmp_path / "fig2.json")
+        payload = json.loads(path.read_text())
+        assert payload["experiment_id"] == "Figure 2"
+        assert payload["headers"] == list(table.headers)
+        assert len(payload["rows"]) == len(table.rows)
+        assert payload["notes"] == list(table.notes)
+
+
+class TestExportAll:
+    def test_writes_every_artifact(self, tmp_path):
+        files = export_all(tmp_path / "out", SUBSET)
+        names = {f.name for f in files}
+        # 16 experiments + summary, twice (csv + json)
+        assert len(files) == 34
+        assert "ext_coverage.csv" in names
+        assert "table2.csv" in names
+        assert "fig13.json" in names
+        assert "summary.csv" in names
+        for f in files:
+            assert f.exists() and f.stat().st_size > 0
+
+    def test_directory_created(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        export_all(target, SUBSET)
+        assert target.is_dir()

@@ -1,0 +1,49 @@
+"""Tests for the golden-band regression harness."""
+
+import json
+
+import pytest
+
+from repro.experiments.regression import (
+    DEFAULT_BANDS_PATH,
+    check_regression,
+    load_bands,
+    measure_headlines,
+    save_bands,
+)
+
+SUBSET = ("2C", "Wi", "Fe", "Bc", "If", "Po")
+
+
+class TestBandsFile:
+    def test_reference_file_exists_and_is_complete(self):
+        bands = load_bands()
+        assert set(bands) == set(measure_headlines(SUBSET))
+        assert bands["table2_matches"] == 25.0
+
+    def test_save_roundtrip(self, tmp_path):
+        values = {"a": 1.5, "b": 2.0}
+        path = save_bands(values, tmp_path / "bands.json")
+        assert load_bands(path) == values
+
+
+class TestChecks:
+    def test_full_run_matches_recorded_bands(self):
+        """The live 25-dataset metrics sit inside their own bands."""
+        checks = check_regression()
+        drifted = [c for c in checks if not c.within_band]
+        assert not drifted, drifted
+
+    def test_subset_against_custom_bands(self, tmp_path):
+        measured = measure_headlines(SUBSET)
+        path = save_bands(measured, tmp_path / "bands.json")
+        checks = check_regression(SUBSET, path=path)
+        assert all(c.within_band for c in checks)
+
+    def test_drift_detected(self, tmp_path):
+        measured = measure_headlines(SUBSET)
+        measured["fig6_gmean_urb1"] *= 2.0  # fabricate a drift
+        path = save_bands(measured, tmp_path / "bands.json")
+        checks = check_regression(SUBSET, path=path)
+        drifted = {c.name for c in checks if not c.within_band}
+        assert "fig6_gmean_urb1" in drifted

@@ -1,0 +1,95 @@
+"""Tests for performance counters and roofline analysis."""
+
+import numpy as np
+import pytest
+
+from repro import Acamar
+from repro.datasets import load_problem, poisson_2d
+from repro.fpga import (
+    ALVEO_U55C,
+    PerformanceModel,
+    collect_counters,
+    fpga_roofline,
+    gpu_roofline,
+    spmv_arithmetic_intensity,
+)
+from repro.gpu import GTX_1650_SUPER
+
+
+@pytest.fixture(scope="module")
+def solved():
+    problem = poisson_2d(24)
+    result = Acamar().solve(problem.matrix, problem.b)
+    return problem, result
+
+
+class TestCounters:
+    def test_snapshot_consistency(self, solved):
+        problem, result = solved
+        counters = collect_counters(problem.matrix, result)
+        assert counters.solver_sequence == result.solver_sequence
+        assert counters.iterations == result.final.iterations
+        assert 0.0 < counters.spmv_occupancy <= 1.0
+        assert counters.compute_seconds > 0
+        assert counters.gflops > 0
+
+    def test_busy_cycles_match_work(self, solved):
+        """Busy MAC-cycles = nnz swept x sweeps (CG sweeps full A)."""
+        problem, result = solved
+        counters = collect_counters(problem.matrix, result)
+        expected = problem.matrix.nnz * counters.spmv_sweeps
+        assert counters.spmv_busy_mac_cycles == expected
+
+    def test_swap_counters_on_multi_attempt_solve(self):
+        problem = load_problem("Fe")
+        result = Acamar().solve(problem.matrix, problem.b)
+        counters = collect_counters(problem.matrix, result)
+        assert counters.solver_swaps == result.solver_reconfigurations
+        if counters.solver_swaps:
+            assert counters.solver_swap_seconds > 0
+
+    def test_rendered_lines(self, solved):
+        problem, result = solved
+        lines = collect_counters(problem.matrix, result).to_lines()
+        assert len(lines) == 11
+        assert any("occupancy" in line for line in lines)
+
+
+class TestRoofline:
+    def test_spmv_intensity_is_sub_flop_per_byte(self, solved):
+        problem, _ = solved
+        intensity = spmv_arithmetic_intensity(problem.matrix, 12.0, 16.0)
+        assert 0.05 < intensity < 0.25
+
+    def test_gpu_is_memory_bound(self, solved):
+        problem, _ = solved
+        point = gpu_roofline(problem.matrix)
+        assert point.memory_bound
+        assert point.attainable_fraction < 0.02
+        assert point.arithmetic_intensity < point.ridge_point
+
+    def test_fpga_small_config_is_compute_bound(self, solved):
+        """A right-sized unit sits left of its own ridge point? No — it
+        sits *compute*-bound: its configured peak is below what the HBM
+        could feed, so the unit is the bottleneck (which means the MACs
+        can stay busy)."""
+        problem, _ = solved
+        point = fpga_roofline(problem.matrix, provisioned_macs=8)
+        assert not point.memory_bound
+        assert point.attainable_fraction == pytest.approx(1.0)
+
+    def test_fpga_oversized_config_turns_memory_bound(self, solved):
+        problem, _ = solved
+        huge = fpga_roofline(problem.matrix, provisioned_macs=4096)
+        assert huge.memory_bound
+        assert huge.attainable_fraction < 1.0
+
+    def test_ridge_points_ordered(self, solved):
+        """The GPU's enormous peak pushes its ridge point far beyond
+        SpMV's intensity; a matched FPGA configuration's ridge point sits
+        below it."""
+        problem, _ = solved
+        gpu_point = gpu_roofline(problem.matrix, GTX_1650_SUPER)
+        fpga_point = fpga_roofline(problem.matrix, 8, ALVEO_U55C)
+        assert gpu_point.ridge_point > gpu_point.arithmetic_intensity
+        assert fpga_point.ridge_point < gpu_point.ridge_point

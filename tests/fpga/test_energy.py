@@ -1,0 +1,100 @@
+"""Tests for the energy model extension."""
+
+import pytest
+
+from repro import Acamar
+from repro.datasets import load_problem, poisson_2d
+from repro.fpga import PerformanceModel
+from repro.fpga.energy import (
+    EnergyModel,
+    EnergyReport,
+    ICAP_POWER_W,
+    LEAKAGE_W_PER_MM2,
+)
+
+
+@pytest.fixture
+def solved():
+    problem = poisson_2d(24)
+    result = Acamar().solve(problem.matrix, problem.b)
+    model = PerformanceModel()
+    latency = model.acamar_latency(problem.matrix, result)
+    area = model.acamar_spmv_area_mm2(problem.matrix, result.plan)
+    return problem, result, model, latency, area
+
+
+class TestEnergyReport:
+    def test_total_sums_components(self):
+        report = EnergyReport(1.0, 2.0, 3.0, 4.0)
+        assert report.total_j == 10.0
+
+    def test_edp(self):
+        report = EnergyReport(1.0, 0.0, 0.0, 0.0)
+        assert report.energy_delay_product(2.0) == 2.0
+
+
+class TestEnergyModel:
+    def test_components_positive_for_real_solve(self, solved):
+        problem, result, model, latency, area = solved
+        energy = EnergyModel().acamar(latency, area)
+        assert energy.dynamic_compute_j > 0
+        assert energy.static_leakage_j > 0
+        assert energy.memory_j > 0
+        assert energy.total_j > 0
+
+    def test_static_leakage_scales_with_area(self, solved):
+        problem, result, model, latency, area = solved
+        energy_model = EnergyModel()
+        small = energy_model.static_design(latency.final, urb=2)
+        large = energy_model.static_design(latency.final, urb=64)
+        assert large.static_leakage_j > small.static_leakage_j
+
+    def test_acamar_leaks_less_than_wide_static(self, solved):
+        """The energy corollary of Figure 10's area saving."""
+        problem, result, model, latency, area = solved
+        energy_model = EnergyModel()
+        static_urb = 16
+        static_latency = model.solver_latency(
+            problem.matrix, result.final, urb=static_urb
+        )
+        acamar_energy = energy_model.acamar(latency, area)
+        static_energy = energy_model.static_design(static_latency, static_urb)
+        leak_per_second_acamar = acamar_energy.static_leakage_j / max(
+            latency.compute_seconds, 1e-12
+        )
+        leak_per_second_static = static_energy.static_leakage_j / max(
+            static_latency.compute_seconds, 1e-12
+        )
+        if area < model.static_spmv_area_mm2(static_urb):
+            assert leak_per_second_acamar < leak_per_second_static
+
+    def test_reconfig_energy_tracks_icap_time(self, solved):
+        problem, result, model, latency, area = solved
+        energy = EnergyModel().acamar(latency, area)
+        expected = ICAP_POWER_W * sum(
+            a.reconfig_seconds for a in latency.attempts
+        )
+        assert energy.reconfig_j == pytest.approx(expected)
+
+    def test_dynamic_energy_identical_for_same_work(self, solved):
+        """Same solver run: dynamic (switching) energy is architecture-
+        independent; only leakage and reconfiguration differ."""
+        problem, result, model, latency, area = solved
+        energy_model = EnergyModel()
+        static_latency = model.solver_latency(
+            problem.matrix, result.final, urb=8
+        )
+        acamar_energy = energy_model.acamar(latency.final, area)
+        static_energy = energy_model.static_design(static_latency, 8)
+        assert acamar_energy.dynamic_compute_j == pytest.approx(
+            static_energy.dynamic_compute_j
+        )
+
+    def test_full_acamar_report_on_dataset(self):
+        problem = load_problem("Wi")
+        result = Acamar().solve(problem.matrix, problem.b)
+        model = PerformanceModel()
+        latency = model.acamar_latency(problem.matrix, result)
+        area = model.acamar_spmv_area_mm2(problem.matrix, result.plan)
+        energy = EnergyModel().acamar(latency, area)
+        assert 0 < energy.total_j < 1.0  # sane magnitude for a ms-scale solve

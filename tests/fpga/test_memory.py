@@ -1,0 +1,115 @@
+"""Tests for the on-chip buffer and memory-bandwidth models."""
+
+import pytest
+
+from repro.config import AcamarConfig
+from repro.errors import ConfigurationError
+from repro.fpga import ALVEO_U55C
+from repro.fpga.memory import (
+    HBM_BANDWIDTH_BPS,
+    StreamBuffer,
+    max_streaming_unroll,
+    prbuffer_for,
+    streaming_bytes_per_second,
+    tbuffer_for,
+    validate_plan_bandwidth,
+)
+
+
+class TestStreamBuffer:
+    def test_write_read_cycle(self):
+        buffer = StreamBuffer("test", capacity=4)
+        buffer.write(3)
+        assert buffer.occupancy == 3
+        assert buffer.free == 1
+        buffer.read(2)
+        assert buffer.occupancy == 1
+        assert buffer.peak_occupancy == 3
+
+    def test_overflow_raises(self):
+        buffer = StreamBuffer("test", capacity=2)
+        buffer.write(2)
+        with pytest.raises(ConfigurationError, match="overflow"):
+            buffer.write(1)
+
+    def test_underflow_raises(self):
+        buffer = StreamBuffer("test", capacity=2)
+        with pytest.raises(ConfigurationError, match="underflow"):
+            buffer.read(1)
+
+    def test_negative_amounts_rejected(self):
+        buffer = StreamBuffer("test", capacity=2)
+        with pytest.raises(ConfigurationError):
+            buffer.write(-1)
+        with pytest.raises(ConfigurationError):
+            buffer.read(-1)
+
+    def test_drain_resets_occupancy_not_peak(self):
+        buffer = StreamBuffer("test", capacity=8)
+        buffer.write(5)
+        buffer.drain()
+        assert buffer.occupancy == 0
+        assert buffer.peak_occupancy == 5
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamBuffer("bad", capacity=0)
+
+
+class TestPaperBuffers:
+    def test_tbuffer_holds_one_chunk_of_sets(self):
+        config = AcamarConfig(sampling_rate=32)
+        buffer = tbuffer_for(config)
+        buffer.write(32)  # exactly one chunk's trace
+        assert buffer.free == 0
+
+    def test_prbuffer_holds_one_chunk_of_rows(self):
+        config = AcamarConfig(chunk_size=4096)
+        buffer = prbuffer_for(config)
+        buffer.write(4096)
+        assert buffer.free == 0
+
+    def test_plan_fits_paper_buffers(self):
+        """Every Acamar plan must fit tBuffer by construction."""
+        from repro import Acamar
+        from repro.datasets import load_problem
+
+        config = AcamarConfig()
+        problem = load_problem("2C")
+        plan = Acamar(config).plan(problem.matrix)
+        sets_per_chunk = max(
+            1,
+            sum(
+                1
+                for s in plan.sets
+                if s.start_row < config.chunk_size
+            ),
+        )
+        assert sets_per_chunk <= tbuffer_for(config).capacity
+
+
+class TestBandwidth:
+    def test_traffic_linear_in_unroll(self):
+        assert streaming_bytes_per_second(8, ALVEO_U55C) == pytest.approx(
+            2 * streaming_bytes_per_second(4, ALVEO_U55C)
+        )
+
+    def test_invalid_unroll(self):
+        with pytest.raises(ConfigurationError):
+            streaming_bytes_per_second(0, ALVEO_U55C)
+
+    def test_max_streaming_unroll_consistent(self):
+        limit = max_streaming_unroll(ALVEO_U55C)
+        assert streaming_bytes_per_second(limit, ALVEO_U55C) <= HBM_BANDWIDTH_BPS
+        assert (
+            streaming_bytes_per_second(limit + 1, ALVEO_U55C) > HBM_BANDWIDTH_BPS
+        )
+
+    def test_paper_max_unroll_is_feasible(self):
+        """The config's 64-lane ceiling must be streamable on the u55c."""
+        config = AcamarConfig()
+        assert config.max_unroll <= max_streaming_unroll(ALVEO_U55C)
+
+    def test_validate_plan_bandwidth(self):
+        assert validate_plan_bandwidth([1, 8, 64], ALVEO_U55C)
+        assert not validate_plan_bandwidth([10_000], ALVEO_U55C)

@@ -1,0 +1,58 @@
+"""Tests for the ICAP partial-reconfiguration timing model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.device import ALVEO_U55C
+from repro.fpga.reconfiguration import (
+    SOLVER_REGION_BYTES,
+    SPMV_REGION_BASE_BYTES,
+    SPMV_REGION_BYTES_PER_MAC,
+    ReconfigurationModel,
+    spmv_bitstream_bytes,
+)
+
+
+@pytest.fixture
+def model():
+    return ReconfigurationModel(ALVEO_U55C)
+
+
+class TestBitstreamSizes:
+    def test_affine_in_unroll(self):
+        assert spmv_bitstream_bytes(1) == (
+            SPMV_REGION_BASE_BYTES + SPMV_REGION_BYTES_PER_MAC
+        )
+        assert spmv_bitstream_bytes(8) - spmv_bitstream_bytes(4) == (
+            4 * SPMV_REGION_BYTES_PER_MAC
+        )
+
+    def test_invalid_unroll(self):
+        with pytest.raises(ConfigurationError):
+            spmv_bitstream_bytes(0)
+
+
+class TestTiming:
+    def test_transfer_at_icap_bandwidth(self, model):
+        # 6.4 Gb/s = 0.8 GB/s: 0.8 MB takes 1 ms.
+        seconds = model.transfer_seconds(800_000)
+        assert seconds == pytest.approx(1e-3)
+
+    def test_spmv_event_in_microsecond_range(self, model):
+        event = model.spmv_event_seconds(8)
+        assert 1e-5 < event < 1e-3
+
+    def test_solver_swap_slower_than_spmv_event(self, model):
+        assert model.solver_swap_seconds() > model.spmv_event_seconds(64)
+        expected = 8.0 * SOLVER_REGION_BYTES / ALVEO_U55C.icap_bandwidth_bps
+        assert model.solver_swap_seconds() == pytest.approx(expected)
+
+    def test_plan_overhead_sums_events(self, model):
+        total = model.plan_overhead_seconds([4, 8, 4])
+        expected = (
+            model.spmv_event_seconds(4) * 2 + model.spmv_event_seconds(8)
+        )
+        assert total == pytest.approx(expected)
+
+    def test_empty_plan_is_free(self, model):
+        assert model.plan_overhead_seconds([]) == 0.0

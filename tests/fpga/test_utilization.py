@@ -1,0 +1,89 @@
+"""Tests for Eq. 5 resource-underutilization accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.utilization import (
+    mean_underutilization,
+    occupancy_underutilization,
+    row_underutilization,
+    underutilization_improvement_ratio,
+)
+
+
+class TestEquation5:
+    def test_paper_equation_10_example(self):
+        """Section VII-A: 8 non-zeros at unroll 10 -> 20% underutilization."""
+        value = row_underutilization(np.array([8]), 10)[0]
+        assert value == pytest.approx(0.2)
+
+    def test_paper_equation_11_example(self):
+        """Section VII-A: 6 non-zeros at unroll 3 -> 0% underutilization."""
+        value = row_underutilization(np.array([6]), 3)[0]
+        assert value == pytest.approx(0.0)
+
+    def test_exact_multiple_is_fully_utilized(self):
+        values = row_underutilization(np.array([4, 8, 16]), 4)
+        np.testing.assert_allclose(values, 0.0)
+
+    def test_below_unroll_branch(self):
+        # nnz < unroll: (U - nnz)/U idle fraction.
+        values = row_underutilization(np.array([1, 3]), 4)
+        np.testing.assert_allclose(values, [0.75, 0.25])
+
+    def test_above_unroll_branch_uses_modulo(self):
+        # nnz >= unroll: mod(nnz, U)/U per the paper's printed formula.
+        values = row_underutilization(np.array([9, 10, 12]), 8)
+        np.testing.assert_allclose(values, [1 / 8, 2 / 8, 4 / 8])
+
+    def test_per_row_unroll_vector(self):
+        values = row_underutilization(np.array([8, 8]), np.array([10, 8]))
+        np.testing.assert_allclose(values, [0.2, 0.0])
+
+    def test_invalid_unroll(self):
+        with pytest.raises(ConfigurationError):
+            row_underutilization(np.array([3]), 0)
+
+    def test_mean_over_rows(self):
+        mean = mean_underutilization(np.array([8, 6]), np.array([10, 3]))
+        assert mean == pytest.approx(0.1)
+
+    def test_mean_empty(self):
+        assert mean_underutilization(np.array([], dtype=int), 4) == 0.0
+
+
+class TestOccupancy:
+    def test_perfect_fit(self):
+        assert occupancy_underutilization(np.array([8, 8]), 8) == 0.0
+
+    def test_half_filled_final_chunk(self):
+        # one row of 12 at U=8: 2 slots * 8 = 16 provisioned, 12 busy.
+        value = occupancy_underutilization(np.array([12]), 8)
+        assert value == pytest.approx(4 / 16)
+
+    def test_empty_rows_waste_one_slot(self):
+        value = occupancy_underutilization(np.array([0, 8]), 8)
+        assert value == pytest.approx(8 / 16)
+
+    def test_grows_with_oversized_unroll(self):
+        lengths = np.array([3, 5, 2, 7])
+        small = occupancy_underutilization(lengths, 4)
+        large = occupancy_underutilization(lengths, 32)
+        assert large > small
+
+    def test_invalid_unroll(self):
+        with pytest.raises(ConfigurationError):
+            occupancy_underutilization(np.array([3]), -1)
+
+    def test_empty_matrix(self):
+        assert occupancy_underutilization(np.array([], dtype=int), 4) == 0.0
+
+
+class TestImprovementRatio:
+    def test_basic_ratio(self):
+        assert underutilization_improvement_ratio(0.6, 0.2) == pytest.approx(3.0)
+
+    def test_floor_guards_zero_acamar(self):
+        ratio = underutilization_improvement_ratio(0.5, 0.0, floor=1e-6)
+        assert ratio == pytest.approx(0.5 / 1e-6)

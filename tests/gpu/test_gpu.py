@@ -1,0 +1,91 @@
+"""Tests for the GPU device model and cuSPARSE SpMV cost model."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import sdd_matrix
+from repro.errors import ConfigurationError
+from repro.gpu import (
+    CuSparseSpMVModel,
+    GPUDevice,
+    GTX_1650_SUPER,
+    warp_lane_underutilization,
+)
+
+
+class TestDevice:
+    def test_1650_super_peak_flops(self):
+        # 1280 cores x 2 x 1.725 GHz = 4.416 TFLOPS
+        assert GTX_1650_SUPER.peak_flops == pytest.approx(4.416e12)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigurationError):
+            GPUDevice(cuda_cores=0)
+        with pytest.raises(ConfigurationError):
+            GPUDevice(memory_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            GPUDevice(memory_efficiency=1.5)
+
+
+class TestLaneUtilization:
+    def test_full_warp_rows(self):
+        assert warp_lane_underutilization(np.array([32, 64])) == 0.0
+
+    def test_short_rows_waste_lanes(self):
+        # 8 of 32 lanes busy -> 75% idle.
+        assert warp_lane_underutilization(np.array([8])) == pytest.approx(0.75)
+
+    def test_empty_rows_waste_everything(self):
+        assert warp_lane_underutilization(np.array([0])) == 1.0
+
+    def test_partial_final_pass(self):
+        # 40 nnz: 2 passes of 32 lanes, 40 busy -> 1 - 40/64.
+        assert warp_lane_underutilization(np.array([40])) == pytest.approx(
+            1 - 40 / 64
+        )
+
+    def test_empty_matrix(self):
+        assert warp_lane_underutilization(np.array([], dtype=int)) == 0.0
+
+    def test_typical_scientific_rows_near_paper_average(self):
+        """~6 NNZ/row gives the paper's ~81% GPU underutilization."""
+        value = warp_lane_underutilization(np.full(1000, 6))
+        assert value == pytest.approx(0.8125)
+
+
+class TestSweepModel:
+    def test_spmv_is_memory_bound(self):
+        matrix = sdd_matrix(2048, 8.0, seed=1)
+        report = CuSparseSpMVModel().sweep(matrix)
+        assert report.memory_bound
+
+    def test_achieved_fraction_tiny(self):
+        """The paper's Figure 9 bottom: a few tenths of a percent of peak."""
+        matrix = sdd_matrix(2048, 8.0, seed=1)
+        report = CuSparseSpMVModel().sweep(matrix)
+        assert 0.0 < report.achieved_fraction < 0.02
+
+    def test_flops_counted(self):
+        matrix = sdd_matrix(256, 4.0, seed=2)
+        report = CuSparseSpMVModel().sweep(matrix)
+        assert report.flops == 2.0 * matrix.nnz
+
+    def test_seconds_positive_and_scale_with_size(self):
+        small = CuSparseSpMVModel().sweep(sdd_matrix(256, 6.0, seed=3))
+        large = CuSparseSpMVModel().sweep(sdd_matrix(4096, 6.0, seed=3))
+        assert 0 < small.seconds < large.seconds
+
+    def test_row_lengths_entry_point_matches_matrix(self):
+        matrix = sdd_matrix(512, 6.0, seed=4)
+        model = CuSparseSpMVModel()
+        a = model.sweep(matrix)
+        b = model.sweep_from_row_lengths(matrix.row_lengths())
+        assert a.seconds == b.seconds
+        assert a.underutilization == b.underutilization
+
+    def test_compute_bound_regime_possible(self):
+        """With an absurdly slow clock the kernel becomes compute bound."""
+        slow_device = GPUDevice(boost_clock_hz=1e6)
+        matrix = sdd_matrix(256, 8.0, seed=5)
+        report = CuSparseSpMVModel(slow_device).sweep(matrix)
+        assert not report.memory_bound

@@ -1,0 +1,60 @@
+"""Property-based tests on the GPU kernel models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.gpu import CuSparseSpMVModel
+from repro.gpu.cusparse_model import (
+    scalar_kernel_underutilization,
+    warp_lane_underutilization,
+)
+
+row_length_arrays = arrays(
+    np.int64, st.integers(1, 300), elements=st.integers(0, 400)
+)
+
+
+@given(row_length_arrays)
+@settings(max_examples=100, deadline=None)
+def test_lane_underutilization_bounded(lengths):
+    for metric in (warp_lane_underutilization, scalar_kernel_underutilization):
+        value = metric(lengths)
+        assert 0.0 <= value <= 1.0
+
+
+@given(st.integers(1, 10))
+@settings(max_examples=20, deadline=None)
+def test_uniform_full_warps_are_perfect_for_both_kernels(n_warps):
+    # Scalar needs a whole number of 32-row warps; vector is per-row.
+    uniform = np.full(32 * n_warps, 32, dtype=np.int64)
+    assert warp_lane_underutilization(uniform) == 0.0
+    assert scalar_kernel_underutilization(uniform) == 0.0
+
+
+@given(row_length_arrays, st.sampled_from(["vector", "scalar", "adaptive"]))
+@settings(max_examples=60, deadline=None)
+def test_sweep_report_invariants(lengths, kernel):
+    report = CuSparseSpMVModel(kernel=kernel).sweep_from_row_lengths(lengths)
+    assert report.seconds >= 0
+    assert report.flops == 2.0 * lengths.sum()
+    assert 0.0 <= report.underutilization <= 1.0
+    assert 0.0 <= report.achieved_fraction <= 1.0
+
+
+@given(row_length_arrays)
+@settings(max_examples=60, deadline=None)
+def test_adaptive_matches_one_of_the_fixed_kernels(lengths):
+    adaptive = CuSparseSpMVModel(kernel="adaptive").sweep_from_row_lengths(
+        lengths
+    )
+    fixed = {
+        k: CuSparseSpMVModel(kernel=k).sweep_from_row_lengths(lengths)
+        for k in ("vector", "scalar")
+    }
+    assert any(
+        adaptive.seconds == r.seconds
+        and adaptive.underutilization == r.underutilization
+        for r in fixed.values()
+    )

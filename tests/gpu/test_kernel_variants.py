@@ -1,0 +1,91 @@
+"""Tests for the CSR-scalar / CSR-vector / adaptive GPU kernel variants."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import sample_row_lengths
+from repro.errors import ConfigurationError
+from repro.gpu import (
+    ADAPTIVE_VECTOR_THRESHOLD,
+    CuSparseSpMVModel,
+    scalar_kernel_underutilization,
+    warp_lane_underutilization,
+)
+from repro.sparse import COOMatrix
+
+
+def matrix_with_rows(lengths, seed=0):
+    rng = np.random.default_rng(seed)
+    n = len(lengths)
+    rows = np.repeat(np.arange(n), lengths)
+    cols = np.concatenate(
+        [rng.choice(n, size=int(k), replace=False) for k in lengths]
+    )
+    return COOMatrix((n, n), rows, cols, np.ones(len(rows))).canonical().to_csr()
+
+
+class TestScalarUnderutilization:
+    def test_uniform_rows_have_no_divergence(self):
+        assert scalar_kernel_underutilization(np.full(64, 7)) == pytest.approx(0.0)
+
+    def test_one_long_row_starves_its_warp(self):
+        lengths = np.full(32, 2)
+        lengths[0] = 64
+        # busy = 64 + 31*2 = 126 of 32*64 provisioned
+        expected = 1 - 126 / (32 * 64)
+        assert scalar_kernel_underutilization(lengths) == pytest.approx(expected)
+
+    def test_empty_matrix(self):
+        assert scalar_kernel_underutilization(np.array([], dtype=int)) == 0.0
+
+
+class TestKernelSelection:
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CuSparseSpMVModel(kernel="tensorcore")
+
+    def test_adaptive_picks_scalar_for_short_rows(self):
+        model = CuSparseSpMVModel(kernel="adaptive")
+        short = np.full(256, 3)
+        assert model._resolve_kernel(short) == "scalar"
+
+    def test_adaptive_picks_vector_for_long_rows(self):
+        model = CuSparseSpMVModel(kernel="adaptive")
+        long_rows = np.full(256, int(ADAPTIVE_VECTOR_THRESHOLD) * 3)
+        assert model._resolve_kernel(long_rows) == "vector"
+
+
+class TestRegimes:
+    def test_scalar_wins_on_short_uniform_rows(self):
+        """3-NNZ rows: vector wastes 29/32 lanes; scalar has none."""
+        matrix = matrix_with_rows(np.full(512, 3))
+        vector = CuSparseSpMVModel(kernel="vector").sweep(matrix)
+        scalar = CuSparseSpMVModel(kernel="scalar").sweep(matrix)
+        assert scalar.underutilization < vector.underutilization
+
+    def test_vector_wins_on_irregular_rows(self, rng):
+        """Skewed rows diverge the scalar kernel badly."""
+        lengths = sample_row_lengths(512, 12.0, rng, spread=1.2, correlation=0.0)
+        matrix = matrix_with_rows(lengths)
+        vector = CuSparseSpMVModel(kernel="vector").sweep(matrix)
+        scalar = CuSparseSpMVModel(kernel="scalar").sweep(matrix)
+        assert vector.underutilization < scalar.underutilization
+
+    def test_adaptive_never_worse_than_worst(self, rng):
+        lengths = sample_row_lengths(512, 6.0, rng, correlation=0.0)
+        matrix = matrix_with_rows(lengths)
+        reports = {
+            k: CuSparseSpMVModel(kernel=k).sweep(matrix)
+            for k in ("vector", "scalar", "adaptive")
+        }
+        worst = max(
+            reports["vector"].underutilization,
+            reports["scalar"].underutilization,
+        )
+        assert reports["adaptive"].underutilization <= worst + 1e-12
+
+    def test_all_variants_remain_memory_bound_on_big_matrices(self, rng):
+        lengths = sample_row_lengths(4096, 8.0, rng)
+        matrix = matrix_with_rows(lengths)
+        for kernel in ("vector", "scalar"):
+            assert CuSparseSpMVModel(kernel=kernel).sweep(matrix).memory_bound

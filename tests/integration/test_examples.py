@@ -1,0 +1,72 @@
+"""Smoke tests: every shipped example must run and say what it promises.
+
+Examples are the first thing a new user executes; a broken one costs more
+trust than a failing unit test.  Each example runs in-process (importing
+its module and calling ``main``) with stdout captured.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        del sys.modules[spec.name]
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "Matrix Structure unit" in out
+        assert "converged: True" in out
+        assert "speedup" in out
+
+    def test_robust_convergence(self, capsys):
+        out = run_example("robust_convergence", capsys)
+        assert "FAILED" in out  # the static solvers visibly fail
+        assert out.count("converged=True") == 3  # Acamar recovers all three
+
+    def test_reconfiguration_tuning(self, capsys):
+        out = run_example("reconfiguration_tuning", capsys)
+        assert "sampling-rate sweep" in out
+        assert "MSID-stage sweep" in out
+
+    def test_workload_gallery(self, capsys):
+        out = run_example("workload_gallery", capsys)
+        assert out.count("converged=True") == 4  # all four workloads
+
+    def test_solver_showdown(self, capsys):
+        out = run_example("solver_showdown", capsys)
+        assert "max_iterations" in out  # somebody visibly fails
+        assert "jacobi" in out and "bicgstab" in out
+
+    def test_preconditioning(self, capsys):
+        out = run_example("preconditioning", capsys)
+        assert "ilu0" in out
+        assert "takeaway" in out
+
+    def test_campaign_evaluation(self, capsys):
+        out = run_example("campaign_evaluation", capsys)
+        assert "convergence rate      : 100%" in out
+        assert "solver mix" in out
+
+    def test_matrix_market_workflow(self, capsys):
+        out = run_example("matrix_market_workflow", capsys)
+        assert "after RCM: bandwidth=" in out
+        assert "converged=True" in out
+        assert "residual trajectory" in out

@@ -1,0 +1,135 @@
+"""Failure injection: degenerate and hostile inputs must fail cleanly.
+
+The accelerator is a library; a bad matrix must produce a typed error or
+a clean non-converged status — never a silent NaN solution or an
+unhandled numpy warning-turned-crash.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Acamar, AcamarConfig
+from repro.errors import ReproError, SparseFormatError
+from repro.solvers import SOLVER_REGISTRY, make_solver
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+def small_config():
+    return AcamarConfig(max_iterations=200, setup_iterations=20)
+
+
+class TestDegenerateMatrices:
+    def test_singular_matrix_never_reports_convergence_with_bad_x(self):
+        """A singular system either converges to *a* solution or fails."""
+        dense = np.ones((8, 8))  # rank one
+        matrix = CSRMatrix.from_dense(dense)
+        b = np.ones(8, dtype=np.float32) * 8
+        result = Acamar(small_config()).solve(matrix, b)
+        if result.converged:
+            residual = np.linalg.norm(
+                b - matrix.matvec(result.x.astype(np.float64))
+            ) / np.linalg.norm(b)
+            assert residual < 1e-3
+
+    def test_inconsistent_singular_system_fails(self):
+        """b outside range(A): no solver may claim convergence."""
+        dense = np.zeros((6, 6))
+        dense[0, 0] = 1.0  # rank one, rest null
+        matrix = CSRMatrix.from_dense(dense)
+        b = np.ones(6, dtype=np.float32)
+        result = Acamar(small_config()).solve(matrix, b)
+        assert not result.converged
+
+    def test_zero_matrix_fails_cleanly(self):
+        matrix = CSRMatrix((4, 4), [0, 0, 0, 0, 0], [], [])
+        b = np.ones(4, dtype=np.float32)
+        result = Acamar(small_config()).solve(matrix, b)
+        assert not result.converged
+
+    def test_one_by_one_system(self):
+        matrix = CSRMatrix.from_dense(np.array([[2.0]]))
+        result = Acamar(small_config()).solve(
+            matrix, np.array([4.0], dtype=np.float32)
+        )
+        assert result.converged
+        assert result.x[0] == pytest.approx(2.0, rel=1e-4)
+
+    def test_huge_value_spread_does_not_crash(self):
+        dense = np.diag([1e30, 1e-30, 1.0, 1e15]).astype(np.float64)
+        matrix = CSRMatrix.from_dense(dense)
+        b = np.ones(4, dtype=np.float32)
+        result = Acamar(small_config()).solve(matrix, b)
+        # fp32 over/underflows are expected; the status must be clean.
+        assert result.final.status is not None
+
+
+class TestCorruptedStreams:
+    def test_nan_values_yield_failure_not_fake_convergence(self):
+        dense = np.eye(6) * 4.0
+        dense[2, 3] = np.nan
+        matrix = CSRMatrix.from_dense(dense)
+        b = np.ones(6, dtype=np.float32)
+        for name in ("jacobi", "cg", "bicgstab"):
+            result = make_solver(name, max_iterations=50).solve(matrix, b)
+            assert not result.converged, name
+
+    def test_inf_values_yield_failure(self):
+        dense = np.eye(6) * 4.0
+        dense[1, 0] = np.inf
+        matrix = CSRMatrix.from_dense(dense)
+        b = np.ones(6, dtype=np.float32)
+        result = make_solver("cg", max_iterations=50).solve(matrix, b)
+        assert not result.converged
+
+    def test_malformed_indptr_rejected_at_construction(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix((3, 3), [0, 2, 1, 3], [0, 1, 2], [1.0, 2.0, 3.0])
+
+    def test_duplicate_coordinates_cannot_reach_solvers(self):
+        """COO canonicalization removes duplicates before CSR exists."""
+        coo = COOMatrix((2, 2), [0, 0, 1], [0, 0, 1], [1.0, 1.0, 4.0])
+        matrix = coo.to_csr()
+        assert matrix.nnz == 2  # merged
+
+
+class TestSolverRobustness:
+    @pytest.mark.parametrize("name", sorted(SOLVER_REGISTRY))
+    def test_all_solvers_terminate_on_hostile_matrix(self, name):
+        """Every registered solver must terminate with a clean status on
+        a random non-symmetric indefinite matrix."""
+        rng = np.random.default_rng(7)
+        dense = rng.standard_normal((40, 40))
+        matrix = CSRMatrix.from_dense(dense * (rng.random((40, 40)) < 0.3))
+        b = rng.standard_normal(40).astype(np.float32)
+        solver = make_solver(name, max_iterations=100, setup_iterations=10)
+        result = solver.solve(matrix, b)
+        assert result.status is not None
+        assert len(result.residual_history) <= 101
+
+    def test_acamar_survives_every_generator_class(self):
+        """Fuzz the accelerator across structural classes; it must never
+        raise on a well-formed matrix."""
+        from repro.datasets.generators import (
+            balanced_indefinite_matrix,
+            sdd_indefinite_matrix,
+            sdd_matrix,
+            spd_clique_matrix,
+            spd_clique_skew_matrix,
+        )
+
+        acamar = Acamar(small_config())
+        rng = np.random.default_rng(0)
+        builders = [
+            lambda s: sdd_matrix(128, 5.0, seed=s),
+            lambda s: sdd_matrix(128, 5.0, seed=s, symmetric=True),
+            lambda s: spd_clique_matrix(128, 5.0, seed=s),
+            lambda s: spd_clique_skew_matrix(128, 5.0, seed=s),
+            lambda s: sdd_indefinite_matrix(128, 5.0, seed=s),
+            lambda s: balanced_indefinite_matrix(128, seed=s),
+        ]
+        for seed in range(3):
+            for build in builders:
+                matrix = build(seed)
+                b = matrix.matvec(rng.standard_normal(128)).astype(np.float32)
+                result = acamar.solve(matrix, b)  # must not raise
+                assert result.attempts

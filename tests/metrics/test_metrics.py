@@ -1,0 +1,109 @@
+"""Tests for the evaluation metrics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.device import ALVEO_U55C
+from repro.fpga.kernels import SweepReport
+from repro.metrics import (
+    achieved_throughput_fraction,
+    area_saving_ratio,
+    geometric_mean,
+    gflops_per_mm2,
+    latency_speedup,
+    spmv_achieved_fraction,
+)
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert latency_speedup(2.0, 1.0) == 2.0
+        assert latency_speedup(1.0, 2.0) == 0.5
+
+    def test_zero_candidate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            latency_speedup(1.0, 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_geometric_mean_guards(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            geometric_mean([-2.0])
+
+
+class TestThroughput:
+    def test_perfect_sweep_hits_one(self):
+        device = ALVEO_U55C
+        # 100 slot cycles fully busy, no fill: fraction 1.
+        report = SweepReport(
+            cycles=100.0,
+            busy_mac_cycles=800.0,
+            provisioned_mac_cycles=800.0,
+            flops=1600.0,
+        )
+        assert achieved_throughput_fraction(report, 0, device) == pytest.approx(1.0)
+
+    def test_fill_cycles_reduce_fraction(self):
+        device = ALVEO_U55C
+        fill = device.pipeline_fill_cycles
+        report = SweepReport(
+            cycles=100.0 + fill,
+            busy_mac_cycles=800.0,
+            provisioned_mac_cycles=800.0,
+            flops=1600.0,
+        )
+        fraction = achieved_throughput_fraction(report, 1, device)
+        assert fraction == pytest.approx(100.0 / (100.0 + fill))
+
+    def test_partial_occupancy(self):
+        device = ALVEO_U55C
+        report = SweepReport(100.0, 400.0, 800.0, 800.0)
+        assert achieved_throughput_fraction(report, 0, device) == pytest.approx(0.5)
+
+    def test_degenerate_inputs(self):
+        device = ALVEO_U55C
+        empty = SweepReport(0.0, 0.0, 0.0, 0.0)
+        assert achieved_throughput_fraction(empty, 0, device) == 0.0
+        with pytest.raises(ConfigurationError):
+            achieved_throughput_fraction(empty, -1, device)
+
+    def test_fill_only_sweep_gives_zero(self):
+        device = ALVEO_U55C
+        report = SweepReport(
+            cycles=float(device.pipeline_fill_cycles),
+            busy_mac_cycles=1.0,
+            provisioned_mac_cycles=1.0,
+            flops=2.0,
+        )
+        assert achieved_throughput_fraction(report, 1, device) == 0.0
+
+    def test_simple_fraction(self):
+        report = SweepReport(10.0, 3.0, 4.0, 6.0)
+        assert spmv_achieved_fraction(report) == pytest.approx(0.75)
+        assert spmv_achieved_fraction(SweepReport(0, 0, 0, 0)) == 0.0
+
+
+class TestEfficiency:
+    def test_gflops_per_mm2(self):
+        device = ALVEO_U55C
+        # 1 second worth of cycles, 1e9 FLOPs, 1 mm^2 -> 1 GFLOPS/mm^2.
+        report = SweepReport(device.clock_hz, 0.0, 0.0, 1e9)
+        assert gflops_per_mm2(report, 1.0, device) == pytest.approx(1.0)
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gflops_per_mm2(SweepReport(1, 0, 0, 1), 0.0, ALVEO_U55C)
+
+    def test_zero_cycles_gives_zero(self):
+        assert gflops_per_mm2(SweepReport(0, 0, 0, 1), 1.0, ALVEO_U55C) == 0.0
+
+    def test_area_saving(self):
+        assert area_saving_ratio(0.02, 0.01) == pytest.approx(2.0)
+        with pytest.raises(ConfigurationError):
+            area_saving_ratio(1.0, 0.0)

@@ -1,0 +1,85 @@
+"""BiCG-STAB-specific tests (paper Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import BiCGStabSolver, SolveStatus
+from repro.sparse import CSRMatrix
+
+
+class TestBiCGStab:
+    def test_solves_nonsymmetric_system(self, rng):
+        from repro.datasets.generators import sdd_matrix
+
+        matrix = sdd_matrix(200, 6.0, seed=3, symmetric=False)
+        x_true = rng.standard_normal(200)
+        b = matrix.matvec(x_true).astype(np.float32)
+        result = BiCGStabSolver().solve(matrix, b)
+        assert result.converged
+        error = np.linalg.norm(result.x - x_true) / np.linalg.norm(x_true)
+        assert error < 1e-3
+
+    def test_faster_than_jacobi_on_slowly_contracting_system(self, rng):
+        """With all-positive couplings (no sign cancellation) the Jacobi
+        iteration matrix's spectral radius is close to 1, while the Krylov
+        method converges in a handful of steps."""
+        from repro.solvers import JacobiSolver
+        from repro.sparse import COOMatrix
+
+        n = 300
+        i = np.arange(n - 1)
+        rows = np.concatenate([i, i + 1, np.arange(n)])
+        cols = np.concatenate([i + 1, i, np.arange(n)])
+        vals = np.concatenate([np.ones(n - 1), np.ones(n - 1),
+                               np.full(n, 2.05)])
+        matrix = COOMatrix((n, n), rows, cols, vals).to_csr()
+        b = rng.standard_normal(n).astype(np.float32)
+        bicg = BiCGStabSolver().solve(matrix, b)
+        jacobi = JacobiSolver(max_iterations=8000).solve(matrix, b)
+        assert bicg.converged and jacobi.converged
+        assert bicg.iterations < jacobi.iterations / 5
+
+    def test_omega_breakdown_on_skew_system(self):
+        """Pure skew-symmetric A: (As, s) = 0 identically -> omega = 0."""
+        n = 16
+        dense = np.zeros((n, n))
+        for i in range(n - 1):
+            dense[i, i + 1] = 1.0
+            dense[i + 1, i] = -1.0
+        matrix = CSRMatrix.from_dense(dense)
+        b = np.ones(n, dtype=np.float32)
+        result = BiCGStabSolver(max_iterations=100).solve(matrix, b)
+        assert result.status in (SolveStatus.BREAKDOWN, SolveStatus.DIVERGED,
+                                 SolveStatus.MAX_ITERATIONS)
+        assert not result.converged
+
+    def test_two_spmv_per_iteration(self, spd_system):
+        matrix, b, _ = spd_system
+        result = BiCGStabSolver().solve(matrix, b)
+        # init contributes 1 spmv; each full iteration 2.
+        loop_spmv = result.ops.spmv_count() - 1
+        assert loop_spmv == pytest.approx(2 * result.iterations, abs=2)
+
+    def test_identity_converges_immediately(self):
+        matrix = CSRMatrix.identity(30, dtype=np.float32)
+        b = np.ones(30, dtype=np.float32)
+        result = BiCGStabSolver().solve(matrix, b)
+        assert result.converged
+        assert result.iterations <= 2
+
+    def test_handles_symmetric_spd_as_well(self, spd_system):
+        """'Non-symmetric' is its Table I target, but SPD must still work."""
+        matrix, b, x_true = spd_system
+        result = BiCGStabSolver().solve(matrix, b)
+        assert result.converged
+        error = np.linalg.norm(result.x - x_true) / np.linalg.norm(x_true)
+        assert error < 1e-3
+
+    def test_divergence_detected_on_balanced_indefinite(self):
+        from repro.datasets.generators import balanced_indefinite_matrix
+
+        matrix = balanced_indefinite_matrix(2048, seed=48)
+        rng = np.random.default_rng(1)
+        b = matrix.matvec(rng.standard_normal(2048)).astype(np.float32)
+        result = BiCGStabSolver().solve(matrix, b)
+        assert result.status.failed

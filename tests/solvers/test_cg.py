@@ -1,0 +1,80 @@
+"""CG-specific tests (paper Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import ConjugateGradientSolver, SolveStatus
+from repro.sparse import CSRMatrix
+
+
+class TestCG:
+    def test_exact_in_n_iterations(self):
+        """On an SPD n x n system, exact-arithmetic CG finishes in <= n steps."""
+        dense = np.array(
+            [[4.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 5.0]]
+        )
+        solver = ConjugateGradientSolver(dtype=np.float64, tolerance=1e-12)
+        result = solver.solve(CSRMatrix.from_dense(dense), np.array([1.0, 2.0, 3.0]))
+        assert result.converged
+        assert result.iterations <= 4  # n + initial residual record
+
+    def test_iteration_count_scales_with_sqrt_condition(self, rng):
+        """CG iterations grow roughly with sqrt(kappa)."""
+        n = 200
+        iteration_counts = []
+        for kappa in (10.0, 1000.0):
+            eigenvalues = np.linspace(1.0, kappa, n)
+            # diagonal SPD matrix: condition number exactly kappa
+            matrix = CSRMatrix.from_dense(np.diag(eigenvalues))
+            b = rng.standard_normal(n).astype(np.float32)
+            result = ConjugateGradientSolver().solve(matrix, b)
+            assert result.converged
+            iteration_counts.append(result.iterations)
+        ratio = iteration_counts[1] / iteration_counts[0]
+        assert 3.0 < ratio  # ~sqrt(100) = 10 in theory; allow slack
+
+    def test_residual_monotone_for_spd(self, spd_system):
+        matrix, b, _ = spd_system
+        result = ConjugateGradientSolver(dtype=np.float64).solve(matrix, b)
+        history = result.residual_history
+        # 2-norm residual of CG is not strictly monotone but must trend
+        # down; check a loose monotonicity (no growth above 10x).
+        assert np.all(history[1:] <= history[:-1] * 10)
+
+    def test_fails_on_indefinite(self):
+        """Symmetric with an origin-straddling coupled spectrum: CG's
+        A-norm optimality argument collapses and the iteration stalls."""
+        from repro.datasets.generators import balanced_indefinite_matrix
+
+        matrix = balanced_indefinite_matrix(
+            512, seed=21, coupling=3.0, magnitude_spread=1.0
+        )
+        rng = np.random.default_rng(0)
+        b = matrix.matvec(rng.standard_normal(512)).astype(np.float32)
+        solver = ConjugateGradientSolver(max_iterations=500, setup_iterations=25)
+        result = solver.solve(matrix, b)
+        assert result.status.failed
+
+    def test_nonsymmetric_typically_fails(self, rng):
+        from repro.datasets.generators import sdd_matrix
+
+        matrix = sdd_matrix(256, 8.0, seed=5, symmetric=False, dominance=1.05)
+        b = rng.standard_normal(256).astype(np.float32)
+        result = ConjugateGradientSolver(max_iterations=500).solve(matrix, b)
+        assert result.status.failed
+
+    def test_breakdown_on_zero_curvature(self):
+        """p.T A p == 0 exactly -> declared breakdown, no NaN leak."""
+        dense = np.array([[0.0, 1.0], [1.0, 0.0]])
+        # r0 = p0 = b = e0, so p.T A p = e0.T e1 = 0 at the first step.
+        b = np.array([1.0, 0.0], dtype=np.float32)
+        result = ConjugateGradientSolver().solve(CSRMatrix.from_dense(dense), b)
+        assert result.status is SolveStatus.BREAKDOWN
+
+    def test_identity_converges_in_one_step(self):
+        matrix = CSRMatrix.identity(50, dtype=np.float32)
+        b = np.arange(50, dtype=np.float32)
+        result = ConjugateGradientSolver().solve(matrix, b)
+        assert result.converged
+        assert result.iterations <= 2
+        np.testing.assert_allclose(result.x, b, rtol=1e-5)

@@ -1,0 +1,104 @@
+"""Tests for the Table I extension solvers: Gauss-Seidel, SOR, GMRES."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.solvers import (
+    GaussSeidelSolver,
+    GMRESSolver,
+    JacobiSolver,
+    SolveStatus,
+    SORSolver,
+)
+from repro.sparse import CSRMatrix
+
+
+class TestGaussSeidel:
+    def test_converges_faster_than_jacobi(self, spd_system):
+        matrix, b, _ = spd_system
+        gs = GaussSeidelSolver().solve(matrix, b)
+        jacobi = JacobiSolver().solve(matrix, b)
+        assert gs.converged and jacobi.converged
+        assert gs.iterations <= jacobi.iterations
+
+    def test_zero_diagonal_breaks_down(self):
+        dense = np.array([[0.0, 1.0], [1.0, 2.0]])
+        result = GaussSeidelSolver().solve(CSRMatrix.from_dense(dense), np.ones(2))
+        assert result.status is SolveStatus.BREAKDOWN
+
+    def test_one_sweep_matches_manual(self):
+        dense = np.array([[2.0, 1.0], [1.0, 3.0]])
+        b = np.array([3.0, 4.0], dtype=np.float32)
+        solver = GaussSeidelSolver(max_iterations=1)
+        result = solver.solve(CSRMatrix.from_dense(dense), b)
+        # x0 = 0: x_0 = 3/2; x_1 = (4 - 1*1.5)/3
+        np.testing.assert_allclose(
+            result.x, [1.5, (4 - 1.5) / 3], rtol=1e-6
+        )
+
+
+class TestSOR:
+    def test_omega_one_equals_gauss_seidel(self, spd_system):
+        matrix, b, _ = spd_system
+        sor = SORSolver(omega=1.0, max_iterations=5, dtype=np.float64)
+        gs = GaussSeidelSolver(max_iterations=5, dtype=np.float64)
+        np.testing.assert_allclose(
+            sor.solve(matrix, b).x, gs.solve(matrix, b).x, rtol=1e-10
+        )
+
+    def test_overrelaxation_accelerates_poisson(self):
+        from repro.datasets import poisson_2d
+
+        problem = poisson_2d(12)
+        gs_result = SORSolver(omega=1.0).solve(problem.matrix, problem.b)
+        sor_result = SORSolver(omega=1.6).solve(problem.matrix, problem.b)
+        assert gs_result.converged and sor_result.converged
+        assert sor_result.iterations < gs_result.iterations
+
+    @pytest.mark.parametrize("omega", [0.0, 2.0, -1.0, 2.5])
+    def test_invalid_omega_rejected(self, omega):
+        with pytest.raises(ConfigurationError, match="omega"):
+            SORSolver(omega=omega)
+
+
+class TestGMRES:
+    def test_solves_nonsymmetric(self, rng):
+        from repro.datasets.generators import sdd_matrix
+
+        matrix = sdd_matrix(150, 6.0, seed=9, symmetric=False)
+        x_true = rng.standard_normal(150)
+        b = matrix.matvec(x_true).astype(np.float32)
+        result = GMRESSolver().solve(matrix, b)
+        assert result.converged
+        assert np.linalg.norm(result.x - x_true) / np.linalg.norm(x_true) < 1e-3
+
+    def test_full_gmres_exact_in_n_steps(self):
+        n = 12
+        rng = np.random.default_rng(2)
+        dense = rng.standard_normal((n, n)) + n * np.eye(n)
+        solver = GMRESSolver(restart=n, tolerance=1e-10, dtype=np.float64)
+        result = solver.solve(CSRMatrix.from_dense(dense), rng.standard_normal(n))
+        assert result.converged
+        assert result.iterations <= n + 1
+
+    def test_restart_bounds_memory_but_still_converges(self, spd_system):
+        matrix, b, _ = spd_system
+        result = GMRESSolver(restart=5).solve(matrix, b)
+        assert result.converged
+
+    def test_invalid_restart(self):
+        with pytest.raises(ConfigurationError, match="restart"):
+            GMRESSolver(restart=0)
+
+    def test_handles_indefinite_where_cg_fails(self):
+        """GMRES minimizes the residual, so symmetric indefinite is fine."""
+        from repro.solvers import ConjugateGradientSolver
+
+        rng = np.random.default_rng(3)
+        dense = np.diag(np.concatenate([np.linspace(1, 3, 20),
+                                        -np.linspace(1, 3, 20)]))
+        matrix = CSRMatrix.from_dense(dense)
+        b = rng.standard_normal(40).astype(np.float32)
+        gmres_result = GMRESSolver(restart=45).solve(matrix, b)
+        assert gmres_result.converged

@@ -1,0 +1,95 @@
+"""Property-based tests on the solver layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.generators import sdd_matrix
+from repro.solvers import SolveStatus, make_solver
+from repro.solvers.base import OpCounter
+from repro.solvers.monitor import ConvergenceMonitor
+
+
+@given(
+    st.integers(16, 96),           # n
+    st.floats(3.0, 10.0),          # mean nnz
+    st.integers(0, 2**31 - 1),     # seed
+    st.sampled_from(["jacobi", "bicgstab", "srj", "multicolor_gs"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_guaranteed_solvers_converge_on_random_sdd(n, mean_nnz, seed, name):
+    """Every SDD matrix satisfies the Table I criteria of these methods."""
+    matrix = sdd_matrix(n, min(mean_nnz, n / 2), seed=seed)
+    rng = np.random.default_rng(seed)
+    x_true = rng.standard_normal(n)
+    b = matrix.matvec(x_true).astype(np.float32)
+    solver = make_solver(name, max_iterations=2000)
+    result = solver.solve(matrix, b)
+    assert result.converged, (name, n, seed, result.status)
+    error = np.linalg.norm(result.x - x_true) / max(
+        np.linalg.norm(x_true), 1e-12
+    )
+    assert error < 1e-2
+
+
+@given(
+    st.integers(16, 96),
+    st.floats(3.0, 10.0),
+    st.integers(0, 2**31 - 1),
+    st.sampled_from(["cg", "pcg", "conjugate_residual", "chebyshev", "gmres"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_spd_solvers_converge_on_random_spd(n, mean_nnz, seed, name):
+    matrix = sdd_matrix(n, min(mean_nnz, n / 2), seed=seed, symmetric=True)
+    rng = np.random.default_rng(seed)
+    b = matrix.matvec(rng.standard_normal(n)).astype(np.float32)
+    result = make_solver(name, max_iterations=2000).solve(matrix, b)
+    assert result.converged, (name, n, seed, result.status)
+
+
+@given(
+    st.lists(
+        st.floats(1e-12, 1e6, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=300,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_monitor_always_terminates_with_valid_status(residuals):
+    """Any residual sequence drives the monitor to exactly one verdict."""
+    monitor = ConvergenceMonitor(
+        b_norm=1.0, tolerance=1e-5, max_iterations=100, setup_iterations=10
+    )
+    verdict = None
+    for value in residuals:
+        verdict = monitor.update(value)
+        if verdict is not None:
+            break
+    if verdict is not None:
+        assert isinstance(verdict, SolveStatus)
+        assert monitor.iterations <= 100
+    else:
+        assert monitor.iterations < 100
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["spmv", "dot", "axpy", "scale", "vadd", "norm"]),
+            st.integers(1, 10_000),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_opcounter_merge_is_componentwise_sum(events):
+    left, right, merged_ref = OpCounter(), OpCounter(), OpCounter()
+    for index, (kind, size) in enumerate(events):
+        target = left if index % 2 == 0 else right
+        target.record(kind, size)
+        merged_ref.record(kind, size)
+    merged = left.merged_with(right)
+    assert merged.counts == merged_ref.counts
+    assert merged.sizes == merged_ref.sizes
+    assert merged.spmv_count() == merged_ref.spmv_count()
+    assert merged.dense_element_total() == merged_ref.dense_element_total()

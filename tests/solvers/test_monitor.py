@@ -1,0 +1,98 @@
+"""Tests for the convergence/divergence monitor."""
+
+import math
+
+import pytest
+
+from repro.solvers import SolveStatus
+from repro.solvers.monitor import ConvergenceMonitor, scaled_setup_iterations
+
+
+class TestScaledSetup:
+    def test_reference_size_gives_paper_value(self):
+        assert scaled_setup_iterations(4096) == 200
+
+    def test_scales_linearly(self):
+        assert scaled_setup_iterations(8192) == 400
+        assert scaled_setup_iterations(2048) == 100
+
+    def test_floor(self):
+        assert scaled_setup_iterations(10) == 20
+
+    def test_nonpositive_rows_fall_back_to_base(self):
+        assert scaled_setup_iterations(0) == 200
+
+
+class TestMonitor:
+    def make(self, **kwargs):
+        defaults = dict(
+            b_norm=1.0,
+            tolerance=1e-5,
+            max_iterations=100,
+            setup_iterations=10,
+            divergence_factor=1e4,
+        )
+        defaults.update(kwargs)
+        return ConvergenceMonitor(**defaults)
+
+    def test_converges_at_tolerance(self):
+        monitor = self.make()
+        assert monitor.update(1e-5) is SolveStatus.CONVERGED
+
+    def test_keeps_running_above_tolerance(self):
+        monitor = self.make()
+        assert monitor.update(0.5) is None
+        assert monitor.iterations == 1
+
+    def test_nan_diverges_immediately(self):
+        monitor = self.make()
+        assert monitor.update(float("nan")) is SolveStatus.DIVERGED
+
+    def test_inf_diverges_immediately(self):
+        monitor = self.make()
+        assert monitor.update(float("inf")) is SolveStatus.DIVERGED
+
+    def test_growth_within_setup_is_tolerated(self):
+        monitor = self.make(setup_iterations=5)
+        monitor.update(1e-3)
+        assert monitor.update(1e3) is None  # huge spike, but inside setup
+
+    def test_growth_after_setup_diverges(self):
+        monitor = self.make(setup_iterations=3, divergence_factor=100.0)
+        for _ in range(4):
+            assert monitor.update(1.0) is None
+        assert monitor.update(150.0) is SolveStatus.DIVERGED
+
+    def test_best_residual_tracks_minimum(self):
+        monitor = self.make(setup_iterations=1, divergence_factor=10.0)
+        monitor.update(1.0)
+        monitor.update(0.01)
+        # 0.05 is 5x the best (0.01): fine.  0.2 is 20x: divergence.
+        assert monitor.update(0.05) is None
+        assert monitor.update(0.2) is SolveStatus.DIVERGED
+
+    def test_max_iterations(self):
+        monitor = self.make(max_iterations=3, setup_iterations=0,
+                            divergence_factor=1e12)
+        assert monitor.update(1.0) is None
+        assert monitor.update(1.0) is None
+        assert monitor.update(1.0) is SolveStatus.MAX_ITERATIONS
+
+    def test_relative_normalization(self):
+        monitor = self.make(b_norm=100.0)
+        assert monitor.relative(1.0) == pytest.approx(0.01)
+        assert monitor.update(100.0 * 1e-5) is SolveStatus.CONVERGED
+
+    def test_zero_b_norm_treated_as_one(self):
+        monitor = self.make(b_norm=0.0)
+        assert monitor.relative(0.5) == 0.5
+
+    def test_history_array(self):
+        monitor = self.make()
+        monitor.update(0.5)
+        monitor.update(0.25)
+        history = monitor.history_array()
+        assert history.tolist() == [0.5, 0.25]
+
+    def test_best_starts_infinite(self):
+        assert math.isinf(self.make().best)

@@ -1,0 +1,106 @@
+"""Tests for graph coloring and multicolor Gauss-Seidel."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import poisson_2d
+from repro.datasets.generators import sdd_matrix
+from repro.errors import ConfigurationError
+from repro.solvers import GaussSeidelSolver, MulticolorGaussSeidelSolver
+from repro.sparse import CSRMatrix
+from repro.sparse.coloring import (
+    color_classes,
+    greedy_coloring,
+    verify_coloring,
+)
+
+
+class TestColoring:
+    def test_poisson_gets_two_colors(self):
+        """The 5-point Laplacian is bipartite: red-black is optimal."""
+        problem = poisson_2d(10)
+        colors = greedy_coloring(problem.matrix)
+        assert colors.max() + 1 == 2
+        assert verify_coloring(problem.matrix, colors)
+
+    def test_random_matrix_coloring_valid(self):
+        matrix = sdd_matrix(256, 6.0, seed=3)
+        colors = greedy_coloring(matrix)
+        assert verify_coloring(matrix, colors)
+
+    def test_color_count_bounded_by_degree(self):
+        matrix = sdd_matrix(256, 6.0, seed=4)
+        colors = greedy_coloring(matrix)
+        # Symmetrized degree bound: deg(A) + deg(A.T) + 1.
+        max_degree = int(
+            (matrix.row_lengths() + matrix.transpose().row_lengths()).max()
+        )
+        assert colors.max() + 1 <= max_degree + 1
+
+    def test_diagonal_matrix_one_color(self):
+        matrix = CSRMatrix.identity(8)
+        colors = greedy_coloring(matrix)
+        assert colors.max() == 0
+
+    def test_classes_partition_rows(self):
+        matrix = sdd_matrix(128, 5.0, seed=5)
+        classes = color_classes(greedy_coloring(matrix))
+        combined = np.sort(np.concatenate(classes))
+        np.testing.assert_array_equal(combined, np.arange(128))
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ConfigurationError):
+            greedy_coloring(CSRMatrix.from_dense(np.ones((2, 3))))
+
+    def test_empty_matrix(self):
+        empty = CSRMatrix((0, 0), [0], [], [])
+        assert len(greedy_coloring(empty)) == 0
+        assert color_classes(np.array([])) == []
+
+
+class TestMulticolorGS:
+    def test_converges_like_plain_gs_on_poisson(self):
+        problem = poisson_2d(16)
+        multicolor = MulticolorGaussSeidelSolver().solve(
+            problem.matrix, problem.b
+        )
+        plain = GaussSeidelSolver().solve(problem.matrix, problem.b)
+        assert multicolor.converged and plain.converged
+        assert multicolor.iterations < plain.iterations * 2
+
+    def test_solution_accuracy(self):
+        problem = poisson_2d(14)
+        result = MulticolorGaussSeidelSolver().solve(problem.matrix, problem.b)
+        assert result.converged
+        assert problem.relative_error(result.x) < 1e-2
+
+    def test_zero_diagonal_breaks_down(self):
+        dense = np.array([[0.0, 1.0], [1.0, 2.0]])
+        result = MulticolorGaussSeidelSolver().solve(
+            CSRMatrix.from_dense(dense), np.ones(2, dtype=np.float32)
+        )
+        assert result.status.failed
+
+    def test_spmv_passes_scale_with_colors(self):
+        """Each sweep costs (colors + 1) SpMV-equivalent passes."""
+        problem = poisson_2d(12)
+        result = MulticolorGaussSeidelSolver().solve(problem.matrix, problem.b)
+        passes_per_sweep = result.ops.spmv_count() / result.iterations
+        assert 2.5 < passes_per_sweep < 3.5  # 2 colors + residual check
+
+    def test_matches_red_black_hand_computation(self):
+        """On a 1-D chain, one red step then one black step must equal
+        the hand-computed red-black update."""
+        problem = poisson_2d(4, 1)  # 1-D chain of 4 nodes
+        b = np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float32)
+        solver = MulticolorGaussSeidelSolver(max_iterations=1, dtype=np.float64)
+        result = solver.solve(problem.matrix, b)
+        # chain: colors alternate (greedy gives 0,1,0,1); diag = 2
+        x = np.zeros(4)
+        reds, blacks = [0, 2], [1, 3]
+        dense = problem.matrix.to_dense()
+        for group in (reds, blacks):
+            coupled = (dense - np.diag(np.diag(dense))) @ x
+            for i in group:
+                x[i] = (b[i] - coupled[i]) / dense[i, i]
+        np.testing.assert_allclose(result.x, x, rtol=1e-12)

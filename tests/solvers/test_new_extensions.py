@@ -1,0 +1,127 @@
+"""Tests for the BiCG / Conjugate Residual / PCG extension solvers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import sdd_matrix, spd_clique_matrix
+from repro.solvers import (
+    BiCGSolver,
+    BiCGStabSolver,
+    ConjugateGradientSolver,
+    ConjugateResidualSolver,
+    PreconditionedCGSolver,
+    SolveStatus,
+)
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+class TestBiCG:
+    def test_solves_nonsymmetric(self, rng):
+        matrix = sdd_matrix(256, 6.0, seed=31, symmetric=False)
+        x_true = rng.standard_normal(256)
+        b = matrix.matvec(x_true).astype(np.float32)
+        result = BiCGSolver().solve(matrix, b)
+        assert result.converged
+        assert np.linalg.norm(result.x - x_true) / np.linalg.norm(x_true) < 1e-3
+
+    def test_reduces_to_cg_iterations_on_spd(self, spd_system):
+        """On symmetric A with r0* = r0, BiCG is mathematically CG."""
+        matrix, b, _ = spd_system
+        bicg = BiCGSolver(dtype=np.float64).solve(matrix, b)
+        cg = ConjugateGradientSolver(dtype=np.float64).solve(matrix, b)
+        assert bicg.converged
+        assert abs(bicg.iterations - cg.iterations) <= 1
+
+    def test_uses_two_spmv_per_iteration(self, spd_system):
+        matrix, b, _ = spd_system
+        result = BiCGSolver().solve(matrix, b)
+        loop_spmv = result.ops.spmv_count() - 1
+        assert loop_spmv == pytest.approx(2 * result.iterations, abs=3)
+
+    def test_stabilization_pays_off_on_erratic_system(self, rng):
+        """BiCG-STAB's residual trajectory dominates raw BiCG's peak."""
+        matrix = sdd_matrix(512, 8.0, seed=32, symmetric=False, dominance=1.05)
+        b = matrix.matvec(rng.standard_normal(512)).astype(np.float32)
+        bicg = BiCGSolver().solve(matrix, b)
+        stab = BiCGStabSolver().solve(matrix, b)
+        assert stab.converged
+        if bicg.converged:
+            assert max(stab.residual_history) <= max(bicg.residual_history) * 10
+
+
+class TestConjugateResidual:
+    def test_solves_spd(self, spd_system):
+        matrix, b, x_true = spd_system
+        result = ConjugateResidualSolver().solve(matrix, b)
+        assert result.converged
+        assert np.linalg.norm(result.x - x_true) / np.linalg.norm(x_true) < 1e-3
+
+    def test_residual_monotone_nonincreasing(self, spd_system):
+        """CR minimizes ‖r‖2 over the Krylov space: monotone residuals."""
+        matrix, b, _ = spd_system
+        result = ConjugateResidualSolver(dtype=np.float64).solve(matrix, b)
+        history = result.residual_history
+        assert np.all(history[1:] <= history[:-1] * (1 + 1e-10))
+
+    def test_one_spmv_per_iteration(self, spd_system):
+        matrix, b, _ = spd_system
+        result = ConjugateResidualSolver().solve(matrix, b)
+        loop_spmv = result.ops.spmv_count() - 2  # init does r0 and A r0
+        assert loop_spmv == pytest.approx(result.iterations, abs=2)
+
+    def test_handles_negative_definite(self, rng):
+        """Symmetric definite of either sign is fine for CR (Hermitian
+        criterion), unlike CG which needs positive definiteness."""
+        matrix = spd_clique_matrix(128, 5.0, seed=33)
+        negated = CSRMatrix(
+            matrix.shape, matrix.indptr, matrix.indices, -matrix.data
+        )
+        b = negated.matvec(rng.standard_normal(128)).astype(np.float32)
+        result = ConjugateResidualSolver().solve(negated, b)
+        assert result.converged
+
+
+class TestPCG:
+    def test_solves_spd(self, spd_system):
+        matrix, b, x_true = spd_system
+        result = PreconditionedCGSolver().solve(matrix, b)
+        assert result.converged
+        assert np.linalg.norm(result.x - x_true) / np.linalg.norm(x_true) < 1e-3
+
+    def test_beats_cg_on_badly_scaled_spd(self, rng):
+        """Diagonal preconditioning neutralizes row/column scaling."""
+        base = spd_clique_matrix(512, 6.0, seed=34)
+        scale = np.exp(rng.normal(0.0, 1.5, 512))
+        coo = base.to_coo()
+        scaled = COOMatrix(
+            base.shape, coo.rows, coo.cols,
+            coo.data * scale[coo.rows] * scale[coo.cols],
+        ).to_csr()
+        b = scaled.matvec(rng.standard_normal(512)).astype(np.float32)
+        cg = ConjugateGradientSolver().solve(scaled, b)
+        pcg = PreconditionedCGSolver().solve(scaled, b)
+        assert pcg.converged
+        assert pcg.iterations < cg.iterations
+
+    def test_nonpositive_diagonal_breaks_down(self):
+        dense = np.array([[1.0, 0.0], [0.0, -2.0]])
+        result = PreconditionedCGSolver().solve(
+            CSRMatrix.from_dense(dense), np.ones(2, dtype=np.float32)
+        )
+        assert result.status is SolveStatus.BREAKDOWN
+
+    def test_identity_preconditioner_matches_cg(self, spd_system):
+        """With a unit diagonal, PCG's iterates coincide with CG's."""
+        matrix, b, _ = spd_system
+        diag = matrix.diagonal()
+        inv_sqrt = 1.0 / np.sqrt(diag)
+        coo = matrix.to_coo()
+        normalized = COOMatrix(
+            matrix.shape, coo.rows, coo.cols,
+            coo.data * inv_sqrt[coo.rows] * inv_sqrt[coo.cols],
+        ).to_csr()
+        b_scaled = (b * inv_sqrt).astype(np.float32)
+        pcg = PreconditionedCGSolver(dtype=np.float64).solve(normalized, b_scaled)
+        cg = ConjugateGradientSolver(dtype=np.float64).solve(normalized, b_scaled)
+        assert pcg.converged and cg.converged
+        assert abs(pcg.iterations - cg.iterations) <= 1

@@ -1,0 +1,164 @@
+"""Tests for the preconditioner implementations."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import poisson_2d
+from repro.datasets.generators import sdd_matrix
+from repro.errors import ConfigurationError, SolverBreakdownError
+from repro.solvers import PreconditionedCGSolver
+from repro.solvers.preconditioners import (
+    ILU0Preconditioner,
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    PRECONDITIONER_REGISTRY,
+    SSORPreconditioner,
+    make_preconditioner,
+)
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture
+def spd_small():
+    return sdd_matrix(60, 5.0, seed=88, symmetric=True)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(PRECONDITIONER_REGISTRY) == {
+            "identity", "jacobi", "ssor", "ilu0"
+        }
+
+    def test_make_unknown(self, spd_small):
+        with pytest.raises(KeyError, match="unknown preconditioner"):
+            make_preconditioner("amg", spd_small)
+
+    def test_make_forwards_kwargs(self, spd_small):
+        pre = make_preconditioner("ssor", spd_small, omega=1.4)
+        assert pre.omega == 1.4
+
+
+class TestIdentity:
+    def test_apply_is_copy(self, spd_small, rng):
+        pre = IdentityPreconditioner(spd_small)
+        r = rng.standard_normal(60)
+        z = pre.apply(r)
+        np.testing.assert_array_equal(z, r)
+        assert z is not r
+        assert pre.apply_cost_elements() == 0
+
+
+class TestJacobi:
+    def test_apply_divides_by_diagonal(self, spd_small, rng):
+        pre = JacobiPreconditioner(spd_small)
+        r = rng.standard_normal(60)
+        np.testing.assert_allclose(
+            pre.apply(r), r / spd_small.diagonal(), rtol=1e-12
+        )
+
+    def test_zero_diagonal_rejected(self):
+        matrix = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(SolverBreakdownError):
+            JacobiPreconditioner(matrix)
+
+
+class TestSSOR:
+    def test_exact_on_diagonal_matrix(self, rng):
+        diag = np.abs(rng.standard_normal(10)) + 1.0
+        matrix = CSRMatrix.from_dense(np.diag(diag))
+        pre = SSORPreconditioner(matrix, omega=1.0)
+        r = rng.standard_normal(10)
+        np.testing.assert_allclose(pre.apply(r), r / diag, rtol=1e-12)
+
+    def test_matches_dense_formula(self, rng):
+        """M = (D/w + L) (D/w)^-1 (D/w + U) * w/(2-w); apply == M^-1 r."""
+        dense = np.array(
+            [[4.0, -1.0, 0.0], [-1.0, 4.0, -1.0], [0.0, -1.0, 4.0]]
+        )
+        omega = 1.3
+        matrix = CSRMatrix.from_dense(dense)
+        pre = SSORPreconditioner(matrix, omega=omega)
+        d_over_w = np.diag(np.diag(dense)) / omega
+        lower = np.tril(dense, -1)
+        upper = np.triu(dense, 1)
+        m = (d_over_w + lower) @ np.linalg.inv(d_over_w) @ (d_over_w + upper)
+        m *= omega / (2.0 - omega)
+        r = rng.standard_normal(3)
+        np.testing.assert_allclose(pre.apply(r), np.linalg.solve(m, r), rtol=1e-10)
+
+    def test_invalid_omega(self, spd_small):
+        with pytest.raises(ConfigurationError):
+            SSORPreconditioner(spd_small, omega=2.0)
+
+    def test_zero_diagonal_rejected(self):
+        matrix = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(SolverBreakdownError):
+            SSORPreconditioner(matrix)
+
+
+class TestILU0:
+    def test_exact_lu_when_no_fill_needed(self):
+        """On a tridiagonal matrix ILU(0) IS the exact LU factorization."""
+        problem = poisson_2d(5, 1)  # 1-D chain: tridiagonal
+        matrix = problem.matrix
+        pre = ILU0Preconditioner(matrix)
+        lower, upper = pre.factor_dense()
+        np.testing.assert_allclose(lower @ upper, matrix.to_dense(), rtol=1e-12)
+
+    def test_apply_solves_lu_system(self, rng):
+        problem = poisson_2d(4, 1)
+        pre = ILU0Preconditioner(problem.matrix)
+        r = rng.standard_normal(4)
+        z = pre.apply(r)
+        np.testing.assert_allclose(
+            problem.matrix.to_dense() @ z, r, rtol=1e-10
+        )
+
+    def test_factors_respect_sparsity_pattern(self, spd_small):
+        pre = ILU0Preconditioner(spd_small)
+        lower, upper = pre.factor_dense()
+        dense = spd_small.to_dense()
+        zero_pattern = dense == 0
+        assert np.all(lower[np.tril(zero_pattern, -1)] == 0)
+        assert np.all(upper[np.triu(zero_pattern)] == 0)
+
+    def test_zero_pivot_flagged(self):
+        matrix = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(SolverBreakdownError, match="pivot"):
+            ILU0Preconditioner(matrix)
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ILU0Preconditioner(CSRMatrix.from_dense(np.ones((2, 3))))
+
+
+class TestPCGWithPreconditioners:
+    def test_stronger_preconditioners_cut_iterations(self):
+        problem = poisson_2d(20)
+        iterations = {}
+        for name in ("identity", "ssor", "ilu0"):
+            solver = PreconditionedCGSolver(preconditioner=name)
+            result = solver.solve(problem.matrix, problem.b)
+            assert result.converged, name
+            iterations[name] = result.iterations
+        assert iterations["ilu0"] < iterations["identity"]
+        assert iterations["ssor"] < iterations["identity"]
+
+    def test_all_reach_same_solution(self):
+        problem = poisson_2d(12)
+        solutions = []
+        for name in ("jacobi", "ssor", "ilu0"):
+            result = PreconditionedCGSolver(preconditioner=name).solve(
+                problem.matrix, problem.b
+            )
+            assert result.converged
+            solutions.append(result.x)
+        for x in solutions[1:]:
+            np.testing.assert_allclose(x, solutions[0], atol=1e-3)
+
+    def test_ilu0_setup_failure_reports_breakdown(self):
+        matrix = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        result = PreconditionedCGSolver(preconditioner="ilu0").solve(
+            matrix, np.ones(2, dtype=np.float32)
+        )
+        assert result.status.failed

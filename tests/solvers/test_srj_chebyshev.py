@@ -1,0 +1,118 @@
+"""Tests for the SRJ and Chebyshev extension solvers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import poisson_2d
+from repro.errors import ConfigurationError
+from repro.solvers import (
+    ChebyshevSolver,
+    ConjugateGradientSolver,
+    JacobiSolver,
+    ScheduledRelaxationJacobiSolver,
+)
+
+
+@pytest.fixture(scope="module")
+def poisson():
+    return poisson_2d(24)
+
+
+class TestSRJ:
+    def test_beats_plain_jacobi_on_poisson(self, poisson):
+        """The headline of the paper's reference [74]: scheduled
+        relaxation accelerates Jacobi by large factors on PDE meshes."""
+        jacobi = JacobiSolver(max_iterations=8000).solve(
+            poisson.matrix, poisson.b
+        )
+        srj = ScheduledRelaxationJacobiSolver(
+            levels=2, max_iterations=8000
+        ).solve(poisson.matrix, poisson.b)
+        assert jacobi.converged and srj.converged
+        assert srj.iterations < jacobi.iterations / 2
+
+    def test_more_levels_help(self, poisson):
+        p2 = ScheduledRelaxationJacobiSolver(levels=2, max_iterations=8000)
+        p3 = ScheduledRelaxationJacobiSolver(levels=3, max_iterations=8000)
+        r2 = p2.solve(poisson.matrix, poisson.b)
+        r3 = p3.solve(poisson.matrix, poisson.b)
+        assert r3.converged
+        assert r3.iterations <= r2.iterations
+
+    def test_levels_one_matches_plain_jacobi_iterations(self, spd_system):
+        """P=1 is a single unit factor: behaviour equals plain Jacobi
+        (up to the residual definition)."""
+        matrix, b, _ = spd_system
+        srj = ScheduledRelaxationJacobiSolver(levels=1).solve(matrix, b)
+        jacobi = JacobiSolver().solve(matrix, b)
+        assert srj.converged
+        assert abs(srj.iterations - jacobi.iterations) <= 3
+
+    def test_custom_schedule(self, spd_system):
+        matrix, b, _ = spd_system
+        solver = ScheduledRelaxationJacobiSolver(schedule=(1.2, 0.8))
+        assert solver.solve(matrix, b).converged
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigurationError, match="no published schedule"):
+            ScheduledRelaxationJacobiSolver(levels=9)
+        with pytest.raises(ConfigurationError, match="positive"):
+            ScheduledRelaxationJacobiSolver(schedule=(1.0, -0.5))
+
+    def test_stable_on_strongly_dominant_matrix(self, spd_system):
+        """The schedule rescaling must keep narrow spectra stable."""
+        matrix, b, x_true = spd_system
+        result = ScheduledRelaxationJacobiSolver(levels=3).solve(matrix, b)
+        assert result.converged
+        error = np.linalg.norm(result.x - x_true) / np.linalg.norm(x_true)
+        assert error < 1e-3
+
+    def test_zero_diagonal_breaks_down(self):
+        from repro.sparse import CSRMatrix
+
+        dense = np.array([[0.0, 1.0], [1.0, 2.0]])
+        result = ScheduledRelaxationJacobiSolver().solve(
+            CSRMatrix.from_dense(dense), np.ones(2, dtype=np.float32)
+        )
+        assert result.status.failed
+
+
+class TestChebyshev:
+    def test_converges_on_poisson_near_cg_rate(self, poisson):
+        cheb = ChebyshevSolver(max_iterations=8000).solve(
+            poisson.matrix, poisson.b
+        )
+        cg = ConjugateGradientSolver().solve(poisson.matrix, poisson.b)
+        assert cheb.converged
+        # Chebyshev matches CG's asymptotic rate given good bounds; with
+        # estimated bounds allow a generous factor.
+        assert cheb.iterations < cg.iterations * 8
+
+    def test_explicit_bounds_accelerate(self, poisson):
+        dense = poisson.matrix.to_dense()
+        eigenvalues = np.linalg.eigvalsh(dense)
+        exact = ChebyshevSolver(
+            eig_bounds=(float(eigenvalues.min()), float(eigenvalues.max()))
+        ).solve(poisson.matrix, poisson.b)
+        estimated = ChebyshevSolver().solve(poisson.matrix, poisson.b)
+        assert exact.converged and estimated.converged
+        assert exact.iterations <= estimated.iterations
+
+    def test_no_inner_products_in_loop(self, poisson):
+        """Chebyshev's selling point: zero dot products per iteration."""
+        result = ChebyshevSolver().solve(poisson.matrix, poisson.b)
+        assert result.converged
+        assert result.ops.counts.get("dot", 0) == 0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ChebyshevSolver(eig_bounds=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            ChebyshevSolver(eig_bounds=(0.0, 1.0))
+
+    def test_accuracy(self, spd_system):
+        matrix, b, x_true = spd_system
+        result = ChebyshevSolver().solve(matrix, b)
+        assert result.converged
+        error = np.linalg.norm(result.x - x_true) / np.linalg.norm(x_true)
+        assert error < 1e-3

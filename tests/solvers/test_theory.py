@@ -1,0 +1,110 @@
+"""Theory-vs-measurement tests: the solvers obey their own math."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets import poisson_2d
+from repro.errors import ConfigurationError
+from repro.solvers import ChebyshevSolver, ConjugateGradientSolver, JacobiSolver
+from repro.solvers.theory import (
+    cg_iterations,
+    chebyshev_iterations,
+    poisson_2d_condition_number,
+    poisson_2d_jacobi_radius,
+    stationary_iterations,
+    steepest_descent_iterations,
+)
+from repro.sparse.properties import jacobi_iteration_spectral_radius
+
+
+class TestClosedForms:
+    def test_poisson_condition_number_matches_dense(self):
+        nx = 10
+        problem = poisson_2d(nx)
+        eigenvalues = np.linalg.eigvalsh(problem.matrix.to_dense())
+        exact = eigenvalues.max() / eigenvalues.min()
+        assert poisson_2d_condition_number(nx) == pytest.approx(exact, rel=1e-10)
+
+    def test_poisson_jacobi_radius_matches_power_iteration(self):
+        nx = 12
+        problem = poisson_2d(nx)
+        estimated = jacobi_iteration_spectral_radius(
+            problem.matrix, n_iters=3000
+        )
+        assert poisson_2d_jacobi_radius(nx) == pytest.approx(estimated, rel=1e-2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            stationary_iterations(0.5, tolerance=2.0)
+        with pytest.raises(ConfigurationError):
+            cg_iterations(0.5)
+        with pytest.raises(ConfigurationError):
+            steepest_descent_iterations(0.9)
+
+    def test_divergent_stationary_is_infinite(self):
+        assert math.isinf(stationary_iterations(1.0))
+        assert math.isinf(stationary_iterations(1.5))
+
+    def test_trivial_cases(self):
+        assert stationary_iterations(0.0) == 1.0
+        assert cg_iterations(1.0) == 1.0
+        assert steepest_descent_iterations(1.0) == 1.0
+
+    def test_cg_beats_steepest_descent_asymptotically(self):
+        for kappa in (10.0, 100.0, 10000.0):
+            assert cg_iterations(kappa) < steepest_descent_iterations(kappa)
+
+
+class TestTheoryPredictsMeasurement:
+    @pytest.mark.parametrize("nx", [12, 20])
+    def test_jacobi_iterations_match_radius_prediction(self, nx):
+        problem = poisson_2d(nx)
+        result = JacobiSolver(max_iterations=20000).solve(
+            problem.matrix, problem.b
+        )
+        assert result.converged
+        predicted = stationary_iterations(
+            poisson_2d_jacobi_radius(nx), tolerance=1e-5
+        )
+        # The prediction is for error contraction; residual convergence
+        # tracks it within a small factor.
+        assert predicted / 3 < result.iterations < predicted * 3
+
+    @pytest.mark.parametrize("nx", [16, 24])
+    def test_cg_iterations_below_bound(self, nx):
+        problem = poisson_2d(nx)
+        result = ConjugateGradientSolver().solve(problem.matrix, problem.b)
+        assert result.converged
+        bound = cg_iterations(poisson_2d_condition_number(nx), tolerance=1e-5)
+        assert result.iterations <= bound * 1.2
+
+    def test_chebyshev_near_bound_with_exact_interval(self):
+        nx = 16
+        problem = poisson_2d(nx)
+        eigenvalues = np.linalg.eigvalsh(problem.matrix.to_dense())
+        solver = ChebyshevSolver(
+            eig_bounds=(float(eigenvalues.min()), float(eigenvalues.max()))
+        )
+        result = solver.solve(problem.matrix, problem.b)
+        assert result.converged
+        bound = chebyshev_iterations(
+            poisson_2d_condition_number(nx), tolerance=1e-5
+        )
+        # Chebyshev should land within a small factor of its bound —
+        # neither wildly better (it cannot adapt) nor worse.
+        assert bound / 4 < result.iterations < bound * 1.5
+
+    def test_jacobi_scaling_with_grid_refinement(self):
+        """kappa ~ h^-2: doubling the grid should ~quadruple Jacobi."""
+        small = poisson_2d(10)
+        large = poisson_2d(20)
+        iters_small = JacobiSolver(max_iterations=20000).solve(
+            small.matrix, small.b
+        ).iterations
+        iters_large = JacobiSolver(max_iterations=20000).solve(
+            large.matrix, large.b
+        ).iterations
+        ratio = iters_large / iters_small
+        assert 2.0 < ratio < 8.0

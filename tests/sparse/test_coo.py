@@ -1,0 +1,85 @@
+"""Tests for the COO build format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeMismatchError, SparseFormatError
+from repro.sparse import COOMatrix
+
+
+class TestConstruction:
+    def test_valid_triplets(self):
+        coo = COOMatrix((3, 3), [0, 1, 2], [1, 2, 0], [1.0, 2.0, 3.0])
+        assert coo.nnz == 3
+        assert coo.shape == (3, 3)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SparseFormatError, match="equal length"):
+            COOMatrix((3, 3), [0, 1], [1, 2, 0], [1.0, 2.0, 3.0])
+
+    def test_row_out_of_bounds_rejected(self):
+        with pytest.raises(SparseFormatError, match="row index"):
+            COOMatrix((3, 3), [0, 3], [1, 2], [1.0, 2.0])
+
+    def test_negative_row_rejected(self):
+        with pytest.raises(SparseFormatError, match="row index"):
+            COOMatrix((3, 3), [0, -1], [1, 2], [1.0, 2.0])
+
+    def test_column_out_of_bounds_rejected(self):
+        with pytest.raises(SparseFormatError, match="column index"):
+            COOMatrix((3, 3), [0, 1], [1, 5], [1.0, 2.0])
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(SparseFormatError, match="negative shape"):
+            COOMatrix((-1, 3), [], [], [])
+
+    def test_empty_matrix(self):
+        coo = COOMatrix((5, 5), [], [], [])
+        assert coo.nnz == 0
+        assert np.all(coo.to_dense() == 0)
+
+
+class TestCanonical:
+    def test_duplicates_are_summed(self):
+        coo = COOMatrix((2, 2), [0, 0, 1], [1, 1, 0], [2.0, 3.0, 1.0])
+        canon = coo.canonical()
+        assert canon.nnz == 2
+        dense = canon.to_dense()
+        assert dense[0, 1] == 5.0
+        assert dense[1, 0] == 1.0
+
+    def test_cancelling_duplicates_are_dropped(self):
+        coo = COOMatrix((2, 2), [0, 0], [1, 1], [2.0, -2.0])
+        assert coo.canonical().nnz == 0
+
+    def test_sorted_by_row_then_column(self):
+        coo = COOMatrix((3, 3), [2, 0, 1, 0], [0, 2, 1, 0], [1, 2, 3, 4])
+        canon = coo.canonical()
+        assert list(canon.rows) == [0, 0, 1, 2]
+        assert list(canon.cols) == [0, 2, 1, 0]
+
+    def test_canonical_of_empty_is_identity(self):
+        coo = COOMatrix((2, 2), [], [], [])
+        assert coo.canonical() is coo
+
+
+class TestConversions:
+    def test_dense_roundtrip(self, rng):
+        dense = rng.standard_normal((6, 8)) * (rng.random((6, 8)) < 0.4)
+        coo = COOMatrix.from_dense(dense)
+        np.testing.assert_array_equal(coo.to_dense(), dense)
+
+    def test_from_dense_rejects_non_2d(self):
+        with pytest.raises(ShapeMismatchError, match="2-D"):
+            COOMatrix.from_dense(np.zeros(4))
+
+    def test_to_csr_matches_dense(self, rng):
+        dense = rng.standard_normal((7, 5)) * (rng.random((7, 5)) < 0.5)
+        csr = COOMatrix.from_dense(dense).to_csr()
+        np.testing.assert_allclose(csr.to_dense(), dense)
+
+    def test_to_csr_merges_duplicates(self):
+        coo = COOMatrix((2, 3), [0, 0, 1], [2, 2, 0], [1.0, 1.0, 5.0])
+        csr = coo.to_csr()
+        assert csr.nnz == 2
+        assert csr.to_dense()[0, 2] == 2.0

@@ -1,0 +1,75 @@
+"""Tests for the CSC format and its role in the symmetry check."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse import CSCMatrix, CSRMatrix
+from tests.conftest import random_dense
+
+
+class TestConstruction:
+    def test_indptr_wrong_length(self):
+        with pytest.raises(SparseFormatError, match="indptr"):
+            CSCMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(SparseFormatError, match="start at 0"):
+            CSCMatrix((2, 2), [1, 1, 2], [0], [1.0])
+
+    def test_decreasing_indptr_rejected(self):
+        with pytest.raises(SparseFormatError, match="non-decreasing"):
+            CSCMatrix((2, 2), [0, 2, 1], [0, 1], [1.0, 2.0])
+
+    def test_row_out_of_bounds(self):
+        with pytest.raises(SparseFormatError, match="row index"):
+            CSCMatrix((2, 2), [0, 1, 2], [0, 2], [1.0, 2.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(SparseFormatError, match="mismatch"):
+            CSCMatrix((2, 2), [0, 1, 2], [0], [1.0])
+
+
+class TestConversions:
+    def test_column_lengths(self, rng):
+        dense = random_dense(rng, 6, 4, density=0.5)
+        csc = CSRMatrix.from_dense(dense).to_csc()
+        expected = (dense != 0).sum(axis=0)
+        np.testing.assert_array_equal(csc.column_lengths(), expected)
+
+    def test_csr_roundtrip(self, rng):
+        dense = random_dense(rng, 8, 8, density=0.3)
+        matrix = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(matrix.to_csc().to_csr().to_dense(), dense)
+
+
+class TestMatchesCSR:
+    """The Matrix Structure unit's symmetry comparison."""
+
+    def test_symmetric_matrix_matches(self, rng):
+        dense = random_dense(rng, 10, 10, density=0.2)
+        dense = dense + dense.T
+        matrix = CSRMatrix.from_dense(dense)
+        assert matrix.to_csc().matches_csr(matrix)
+
+    def test_nonsymmetric_values_do_not_match(self):
+        dense = np.array([[1.0, 2.0], [3.0, 4.0]])
+        matrix = CSRMatrix.from_dense(dense)
+        assert not matrix.to_csc().matches_csr(matrix)
+
+    def test_structurally_symmetric_numerically_not(self):
+        # Same sparsity pattern both ways, different values: must fail.
+        dense = np.array([[1.0, 2.0], [2.5, 1.0]])
+        matrix = CSRMatrix.from_dense(dense)
+        assert not matrix.to_csc().matches_csr(matrix)
+
+    def test_tolerance_accepts_tiny_asymmetry(self):
+        dense = np.array([[1.0, 2.0], [2.0 * (1 + 1e-9), 1.0]])
+        matrix = CSRMatrix.from_dense(dense)
+        assert matrix.to_csc().matches_csr(matrix, rtol=1e-6)
+        assert not matrix.to_csc().matches_csr(matrix, rtol=1e-12)
+
+    def test_shape_mismatch_fails(self, rng):
+        a = CSRMatrix.from_dense(np.eye(3))
+        b = CSRMatrix.from_dense(np.eye(4))
+        assert not a.to_csc().matches_csr(b)

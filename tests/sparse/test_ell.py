@@ -1,0 +1,96 @@
+"""Tests for the ELLPACK format and its Eq. 5 correspondence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeMismatchError, SparseFormatError
+from repro.sparse import CSRMatrix, ELLMatrix, padded_slots_for_unroll
+from repro.sparse.ell import PAD_COLUMN
+from tests.conftest import random_dense
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SparseFormatError, match="equal-shape"):
+            ELLMatrix((2, 2), np.zeros((2, 3)), np.zeros((2, 2)))
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(SparseFormatError, match="row count"):
+            ELLMatrix((3, 2), np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_column_bounds_checked(self):
+        columns = np.array([[0, 5]])
+        with pytest.raises(SparseFormatError, match="out of bounds"):
+            ELLMatrix((1, 3), columns, np.ones((1, 2)))
+
+    def test_nonzero_padding_rejected(self):
+        columns = np.array([[0, PAD_COLUMN]])
+        values = np.array([[1.0, 2.0]])
+        with pytest.raises(SparseFormatError, match="padding"):
+            ELLMatrix((1, 3), columns, values)
+
+
+class TestConversion:
+    def test_csr_roundtrip(self, rng):
+        dense = random_dense(rng, 10, 8, density=0.3)
+        csr = CSRMatrix.from_dense(dense)
+        ell = ELLMatrix.from_csr(csr)
+        np.testing.assert_allclose(ell.to_csr().to_dense(), dense)
+
+    def test_width_defaults_to_longest_row(self, small_csr):
+        ell = ELLMatrix.from_csr(small_csr)
+        assert ell.width == 3
+        assert ell.nnz == small_csr.nnz
+
+    def test_explicit_wider_width(self, small_csr):
+        ell = ELLMatrix.from_csr(small_csr, width=8)
+        assert ell.width == 8
+        assert ell.nnz == small_csr.nnz
+
+    def test_too_narrow_width_rejected(self, small_csr):
+        with pytest.raises(SparseFormatError, match="longest row"):
+            ELLMatrix.from_csr(small_csr, width=2)
+
+
+class TestMatvec:
+    def test_matches_csr(self, rng):
+        dense = random_dense(rng, 12, 12, density=0.25)
+        csr = CSRMatrix.from_dense(dense)
+        ell = ELLMatrix.from_csr(csr)
+        x = rng.standard_normal(12)
+        np.testing.assert_allclose(ell.matvec(x), csr.matvec(x), rtol=1e-12)
+
+    def test_shape_checked(self, small_csr):
+        ell = ELLMatrix.from_csr(small_csr)
+        with pytest.raises(ShapeMismatchError):
+            ell.matvec(np.ones(7))
+
+
+class TestPaddingAccounting:
+    def test_padding_fraction(self, small_csr):
+        ell = ELLMatrix.from_csr(small_csr)
+        # 10 nnz in a 4x3 padded array.
+        assert ell.padding_fraction == pytest.approx(1 - 10 / 12)
+
+    def test_padded_slots_match_cost_model_provisioning(self, rng):
+        """ELL-with-block-width == the static design's provisioned MACs."""
+        from repro.fpga import ALVEO_U55C, spmv_sweep
+
+        dense = random_dense(rng, 40, 40, density=0.2)
+        csr = CSRMatrix.from_dense(dense)
+        lengths = csr.row_lengths()
+        for unroll in (2, 4, 8):
+            slots = padded_slots_for_unroll(lengths, unroll)
+            report = spmv_sweep(lengths, unroll, ALVEO_U55C)
+            assert slots == report.provisioned_mac_cycles
+
+    def test_padding_grows_with_row_length_variance(self, rng):
+        uniform = CSRMatrix.from_dense(np.triu(np.ones((16, 16)), 1)[:, ::-1])
+        skewed_dense = np.zeros((16, 16))
+        skewed_dense[0, :] = 1.0  # one full row, rest near-empty
+        skewed_dense[1:, 0] = 1.0
+        skewed = CSRMatrix.from_dense(skewed_dense)
+        assert (
+            ELLMatrix.from_csr(skewed).padding_fraction
+            > ELLMatrix.from_csr(uniform).padding_fraction
+        )

@@ -1,0 +1,104 @@
+"""Property-based tests on the sparse substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sparse import COOMatrix, CSRMatrix
+from repro.sparse.properties import is_symmetric
+from repro.sparse.stats import partition_row_sets
+
+
+@st.composite
+def dense_matrices(draw, max_dim=12, square=False):
+    n_rows = draw(st.integers(1, max_dim))
+    n_cols = n_rows if square else draw(st.integers(1, max_dim))
+    values = draw(
+        arrays(
+            np.float64,
+            (n_rows, n_cols),
+            elements=st.floats(-10, 10, allow_nan=False).map(
+                lambda v: 0.0 if abs(v) < 2.0 else v  # induce sparsity
+            ),
+        )
+    )
+    return values
+
+
+@given(dense_matrices())
+@settings(max_examples=60, deadline=None)
+def test_csr_dense_roundtrip(dense):
+    matrix = CSRMatrix.from_dense(dense)
+    np.testing.assert_array_equal(matrix.to_dense(), dense)
+
+
+@given(dense_matrices(), st.integers(0, 2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_matvec_agrees_with_dense(dense, seed):
+    matrix = CSRMatrix.from_dense(dense)
+    x = np.random.default_rng(seed).standard_normal(dense.shape[1])
+    np.testing.assert_allclose(matrix.matvec(x), dense @ x, rtol=1e-9, atol=1e-9)
+
+
+@given(dense_matrices())
+@settings(max_examples=60, deadline=None)
+def test_transpose_involution(dense):
+    matrix = CSRMatrix.from_dense(dense)
+    np.testing.assert_array_equal(
+        matrix.transpose().transpose().to_dense(), dense
+    )
+
+
+@given(dense_matrices())
+@settings(max_examples=60, deadline=None)
+def test_rmatvec_is_transpose_matvec(dense):
+    matrix = CSRMatrix.from_dense(dense)
+    y = np.arange(dense.shape[0], dtype=np.float64)
+    np.testing.assert_allclose(
+        matrix.rmatvec(y), matrix.transpose().matvec(y), rtol=1e-12
+    )
+
+
+@given(dense_matrices(square=True))
+@settings(max_examples=60, deadline=None)
+def test_symmetrized_matrix_is_symmetric(dense):
+    matrix = CSRMatrix.from_dense(dense + dense.T)
+    assert is_symmetric(matrix)
+
+
+@given(dense_matrices(square=True))
+@settings(max_examples=60, deadline=None)
+def test_diagonal_plus_offdiagonal_reconstructs(dense):
+    matrix = CSRMatrix.from_dense(dense)
+    rebuilt = matrix.without_diagonal().to_dense() + np.diag(matrix.diagonal())
+    np.testing.assert_array_equal(rebuilt, dense)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7), st.floats(-5, 5, allow_nan=False)),
+        max_size=50,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_coo_canonical_preserves_dense_value(triplets):
+    rows = np.array([t[0] for t in triplets], dtype=np.int64)
+    cols = np.array([t[1] for t in triplets], dtype=np.int64)
+    vals = np.array([t[2] for t in triplets])
+    coo = COOMatrix((8, 8), rows, cols, vals)
+    np.testing.assert_allclose(
+        coo.canonical().to_dense(), coo.to_dense(), rtol=1e-12, atol=1e-12
+    )
+
+
+@given(st.integers(1, 5000), st.integers(1, 256))
+@settings(max_examples=100, deadline=None)
+def test_partition_invariants(n_rows, rate):
+    bounds = partition_row_sets(n_rows, rate)
+    assert len(bounds) == min(rate, n_rows)
+    assert bounds[0][0] == 0 and bounds[-1][1] == n_rows
+    sizes = [hi - lo for lo, hi in bounds]
+    assert min(sizes) >= 1
+    assert max(sizes) - min(sizes) <= 1
+    assert sum(sizes) == n_rows

@@ -1,0 +1,103 @@
+"""Tests for the Sliced-ELL format and its plan correspondence."""
+
+import numpy as np
+import pytest
+
+from repro import Acamar, AcamarConfig
+from repro.datasets.generators import sdd_matrix
+from repro.errors import ShapeMismatchError, SparseFormatError
+from repro.sparse import CSRMatrix
+from repro.sparse.sliced_ell import SlicedELLMatrix
+from tests.conftest import random_dense
+
+
+@pytest.fixture
+def matrix(rng):
+    return CSRMatrix.from_dense(random_dense(rng, 40, 40, density=0.2))
+
+
+class TestConstruction:
+    def test_slices_must_cover_rows(self, matrix):
+        sell = SlicedELLMatrix.from_csr(matrix, slice_rows=8)
+        with pytest.raises(SparseFormatError, match="cover"):
+            SlicedELLMatrix(matrix.shape, sell.slices[1:])
+
+    def test_slice_gaps_rejected(self, matrix):
+        sell = SlicedELLMatrix.from_csr(matrix, slice_rows=8)
+        gapped = [sell.slices[0]] + sell.slices[2:]
+        # replace stop of first to create a hole
+        with pytest.raises(SparseFormatError):
+            SlicedELLMatrix(matrix.shape, gapped)
+
+    def test_invalid_slice_rows(self, matrix):
+        with pytest.raises(SparseFormatError):
+            SlicedELLMatrix.from_csr(matrix, slice_rows=0)
+
+    def test_empty_matrix(self):
+        empty = CSRMatrix((0, 5), [0], [], [])
+        sell = SlicedELLMatrix((0, 5), [])
+        assert sell.nnz == 0
+        assert sell.padding_fraction == 0.0
+
+
+class TestRoundtripAndMatvec:
+    def test_csr_roundtrip(self, matrix):
+        sell = SlicedELLMatrix.from_csr(matrix, slice_rows=8)
+        assert sell.to_csr().allclose(matrix)
+
+    def test_matvec_matches_csr(self, matrix, rng):
+        sell = SlicedELLMatrix.from_csr(matrix, slice_rows=16)
+        x = rng.standard_normal(matrix.n_cols)
+        np.testing.assert_allclose(sell.matvec(x), matrix.matvec(x), rtol=1e-12)
+
+    def test_matvec_shape_checked(self, matrix):
+        sell = SlicedELLMatrix.from_csr(matrix)
+        with pytest.raises(ShapeMismatchError):
+            sell.matvec(np.ones(7))
+
+    def test_sell_pads_less_than_plain_ell(self, rng):
+        """The whole point of slicing: locality cuts padding."""
+        from repro.sparse import ELLMatrix
+
+        matrix = sdd_matrix(512, 8.0, seed=66)  # correlated row lengths
+        sell = SlicedELLMatrix.from_csr(matrix, slice_rows=16)
+        ell = ELLMatrix.from_csr(matrix)
+        assert sell.padding_fraction < ell.padding_fraction
+
+
+class TestPlanCorrespondence:
+    def test_plan_slices_match_row_sets(self):
+        matrix = sdd_matrix(512, 8.0, seed=67)
+        plan = Acamar(AcamarConfig(sampling_rate=16)).plan(matrix)
+        sell = SlicedELLMatrix.from_plan(matrix, plan)
+        assert len(sell.slices) == len(plan.sets)
+        for s, row_set in zip(sell.slices, plan.sets):
+            assert (s.start_row, s.stop_row) == (
+                row_set.start_row, row_set.stop_row
+            )
+            assert s.width % row_set.unroll == 0
+
+    def test_plan_storage_roundtrips(self):
+        matrix = sdd_matrix(256, 6.0, seed=68)
+        plan = Acamar().plan(matrix)
+        sell = SlicedELLMatrix.from_plan(matrix, plan)
+        assert sell.to_csr().allclose(matrix)
+
+    def test_padding_tracks_cost_model_within_chunking_slack(self):
+        """SELL-from-plan padding ≈ the cost model's provisioned waste.
+
+        They are not identical — the cost model provisions per *row*
+        chunk count while the slice pads every row to the slice's widest
+        chunk count — but they must agree in magnitude and ordering.
+        """
+        from repro.fpga import ALVEO_U55C, spmv_sweep
+
+        matrix = sdd_matrix(512, 8.0, seed=69)
+        plan = Acamar().plan(matrix)
+        sell = SlicedELLMatrix.from_plan(matrix, plan)
+        report = spmv_sweep(
+            matrix.row_lengths(), plan.unroll_for_rows, ALVEO_U55C
+        )
+        model_waste = 1.0 - report.occupancy
+        assert sell.padding_fraction >= model_waste - 1e-9
+        assert sell.padding_fraction < model_waste + 0.35

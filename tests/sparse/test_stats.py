@@ -1,0 +1,84 @@
+"""Tests for row-length statistics and set partitioning (Eq. 7-9)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sparse import CSRMatrix
+from repro.sparse.stats import (
+    partition_row_sets,
+    row_length_stats,
+    row_lengths,
+    set_average_row_lengths,
+)
+
+
+class TestRowLengthStats:
+    def test_basic(self, small_csr):
+        stats = row_length_stats(small_csr)
+        assert stats.n_rows == 4
+        assert stats.nnz == 10
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 2
+        assert stats.maximum == 3
+        assert stats.cv == pytest.approx(stats.std / stats.mean)
+
+    def test_empty_matrix(self):
+        matrix = CSRMatrix((0, 0), [0], [], [])
+        stats = row_length_stats(matrix)
+        assert stats.mean == 0.0
+        assert stats.cv == 0.0
+
+    def test_row_lengths_helper(self, small_csr):
+        np.testing.assert_array_equal(row_lengths(small_csr), [2, 3, 3, 2])
+
+
+class TestPartitioning:
+    def test_even_split(self):
+        bounds = partition_row_sets(100, 4)
+        assert bounds == [(0, 25), (25, 50), (50, 75), (75, 100)]
+
+    def test_remainder_spread_over_first_sets(self):
+        bounds = partition_row_sets(10, 3)
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+        sizes = [hi - lo for lo, hi in bounds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_covers_all_rows_exactly_once(self):
+        for n, rate in [(37, 5), (4096, 32), (100, 100), (7, 32)]:
+            bounds = partition_row_sets(n, rate)
+            assert bounds[0][0] == 0
+            assert bounds[-1][1] == n
+            for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+                assert hi == lo
+
+    def test_more_sets_than_rows(self):
+        bounds = partition_row_sets(3, 32)
+        assert bounds == [(0, 1), (1, 2), (2, 3)]
+
+    def test_zero_rows(self):
+        assert partition_row_sets(0, 8) == []
+
+    def test_invalid_sampling_rate(self):
+        with pytest.raises(ConfigurationError):
+            partition_row_sets(10, 0)
+
+
+class TestSetAverages:
+    def test_averages_match_manual(self, small_csr):
+        averages = set_average_row_lengths(small_csr, 2)
+        np.testing.assert_allclose(averages, [2.5, 2.5])
+
+    def test_per_row_sets(self, small_csr):
+        averages = set_average_row_lengths(small_csr, 4)
+        np.testing.assert_allclose(averages, [2, 3, 3, 2])
+
+    def test_global_average_preserved(self, rng):
+        from tests.conftest import random_dense
+
+        matrix = CSRMatrix.from_dense(random_dense(rng, 64, 64, 0.2))
+        averages = set_average_row_lengths(matrix, 8)
+        # Equal set sizes: the mean of set averages is the global mean.
+        assert averages.mean() == pytest.approx(
+            matrix.row_lengths().mean()
+        )

@@ -1,0 +1,81 @@
+"""Tests for the campaign runner."""
+
+import csv
+
+import pytest
+
+from repro.campaign import run_campaign
+from repro.config import AcamarConfig
+from repro.datasets import poisson_2d
+from repro.errors import DatasetError
+from repro.sparse.io import write_matrix_market
+
+
+class TestSources:
+    def test_dataset_keys(self):
+        report = run_campaign(["Wa", "Li"])
+        assert len(report.entries) == 2
+        assert report.convergence_rate == 1.0
+
+    def test_problem_instances(self):
+        report = run_campaign([poisson_2d(10), poisson_2d(12)])
+        assert [e.n for e in report.entries] == [100, 144]
+
+    def test_mtx_files(self, tmp_path):
+        problem = poisson_2d(8)
+        path = tmp_path / "poisson.mtx"
+        write_matrix_market(problem.matrix, path)
+        report = run_campaign([str(path)])
+        assert report.entries[0].name == "poisson"
+        assert report.entries[0].converged
+
+    def test_mixed_sources(self, tmp_path):
+        path = tmp_path / "grid.mtx"
+        write_matrix_market(poisson_2d(8).matrix, path)
+        report = run_campaign(["Wa", poisson_2d(10), str(path)])
+        assert len(report.entries) == 3
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(DatasetError, match="cannot resolve"):
+            run_campaign(["not-a-key"])
+
+
+class TestAggregation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_campaign(["Wa", "Fe", "If"])
+
+    def test_solver_mix_counts_final_solver(self, report):
+        mix = report.solver_mix
+        assert sum(mix.values()) == 3
+        assert mix.get("jacobi", 0) >= 1  # Fe converges via jacobi
+
+    def test_statistics_in_range(self, report):
+        assert report.convergence_rate == 1.0
+        assert 0.0 < report.mean_underutilization < 1.0
+        assert 0.0 < report.mean_throughput <= 1.0
+        assert report.total_compute_ms > 0
+
+    def test_summary_lines(self, report):
+        lines = report.summary_lines()
+        assert any("convergence rate" in line for line in lines)
+        assert any("100%" in line for line in lines)
+
+    def test_csv_export(self, report, tmp_path):
+        path = report.to_csv(tmp_path / "campaign.csv")
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert len(rows) == 4
+        assert rows[0][0] == "name"
+
+    def test_config_forwarded(self):
+        config = AcamarConfig(max_iterations=5)
+        report = run_campaign([poisson_2d(16)], config=config)
+        # Cap of 5 iterations: CG cannot converge; campaign records it.
+        assert report.convergence_rate < 1.0
+
+    def test_empty_campaign(self):
+        report = run_campaign([])
+        assert report.convergence_rate == 0.0
+        assert report.solver_mix == {}
+        assert report.mean_throughput == 0.0

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListDatasets:
+    def test_prints_all_rows(self, capsys):
+        assert main(["list-datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "2cubes_sphere" in out
+        assert out.count("\n") >= 26  # header + 25 rows
+
+
+class TestSolve:
+    def test_dataset_solve_succeeds(self, capsys):
+        assert main(["solve", "--dataset", "Wa"]) == 0
+        out = capsys.readouterr().out
+        assert "solver sequence" in out
+        assert "converged" in out
+
+    def test_poisson_solve(self, capsys):
+        assert main(["solve", "--poisson", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "poisson_2d_12x12" in out
+
+    def test_fixed_solver_bypass(self, capsys):
+        assert main(["solve", "--poisson", "10", "--solver", "cg"]) == 0
+        out = capsys.readouterr().out
+        assert "fixed solver 'cg'" in out
+
+    def test_fixed_solver_failure_exit_code(self, capsys):
+        # Jacobi on the 2C class diverges: nonzero exit.
+        assert main(["solve", "--dataset", "2C", "--solver", "jacobi"]) == 1
+
+    def test_config_flags_forwarded(self, capsys):
+        assert main([
+            "solve", "--poisson", "10",
+            "--sampling-rate", "4", "--r-opt", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4 sets" in out
+
+    def test_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            main(["solve"])
+
+    def test_config_file(self, tmp_path, capsys):
+        import json
+
+        from repro import AcamarConfig
+
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps(AcamarConfig(r_opt=0).to_dict()))
+        assert main([
+            "solve", "--poisson", "10", "--config", str(path),
+            "--r-opt", "0",
+        ]) == 0
+        assert "sets" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_export_command(self, tmp_path, capsys):
+        target = tmp_path / "exports"
+        assert main(["export", str(target), "--keys", "2C,Wi"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 34 files" in out
+        assert (target / "table2.csv").exists()
+
+
+class TestExperiments:
+    def test_single_experiment_with_subset(self, capsys):
+        assert main(["experiment", "fig2", "--keys", "2C,Wi"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "2C" in out and "Wi" in out
+
+    def test_chart_flag(self, capsys):
+        assert main([
+            "experiment", "fig2", "--keys", "2C,Wi", "--chart", "URB=64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "-- URB=64 --" in out
+        assert "|#" in out
+
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
