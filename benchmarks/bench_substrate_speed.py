@@ -9,8 +9,8 @@ accidental algorithmic regressions in the hot paths.
 import numpy as np
 import pytest
 
-from repro.core import FineGrainedReconfigurationUnit
 from repro.config import AcamarConfig
+from repro.core import FineGrainedReconfigurationUnit
 from repro.datasets.generators import sdd_matrix
 from repro.fpga import ALVEO_U55C, spmv_sweep
 

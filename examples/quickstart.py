@@ -55,8 +55,10 @@ def main() -> None:
         static_latency.compute_seconds, acamar_latency.compute_seconds
     )
     lengths = problem.matrix.row_lengths()
-    print(f"\nmodeled compute latency: acamar={acamar_latency.compute_seconds*1e3:.3f} ms"
-          f"  static(URB={static.spmv_urb})={static_latency.compute_seconds*1e3:.3f} ms"
+    acamar_ms = acamar_latency.compute_seconds * 1e3
+    static_ms = static_latency.compute_seconds * 1e3
+    print(f"\nmodeled compute latency: acamar={acamar_ms:.3f} ms"
+          f"  static(URB={static.spmv_urb})={static_ms:.3f} ms"
           f"  speedup={speedup:.2f}x")
     print(f"SpMV underutilization (Eq. 5): "
           f"acamar={mean_underutilization(lengths, plan.unroll_for_rows):.1%}  "

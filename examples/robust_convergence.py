@@ -27,8 +27,15 @@ def main() -> None:
 
         # A static accelerator is built around ONE solver; show each.
         for name, result in run_solver_portfolio(problem.matrix, problem.b).items():
-            verdict = "converged" if result.converged else f"FAILED ({result.status.value})"
-            print(f"  static {name:10s}: {verdict:28s} after {result.iterations} iterations")
+            verdict = (
+                "converged"
+                if result.converged
+                else f"FAILED ({result.status.value})"
+            )
+            print(
+                f"  static {name:10s}: {verdict:28s} "
+                f"after {result.iterations} iterations"
+            )
 
         # Acamar: structure-driven selection + runtime solver switching.
         result = acamar.solve(problem.matrix, problem.b)

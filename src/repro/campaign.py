@@ -2,23 +2,40 @@
 
 A deployment evaluates the accelerator against *its* workload population,
 not single matrices.  :func:`run_campaign` takes any mix of problem
-sources — Table II keys, ``.mtx`` paths, or in-memory
+sources — Table II keys, ``.mtx``/``.mtx.gz`` paths, or in-memory
 :class:`~repro.datasets.problem.Problem` objects — solves each with
 Acamar, costs it on the FPGA model, and aggregates a
 :class:`CampaignReport` (convergence rate, solver mix, latency and
 utilization statistics).  The CSV export plugs into the same downstream
 tooling as the experiment exports.
+
+Scaling and observability:
+
+- ``workers=N`` shards the population across a process pool via
+  :mod:`repro.parallel` — cost-balanced chunks, deterministic per-problem
+  seeds (``seed + position``), ordered reassembly, and per-problem fault
+  isolation, so results are entry-for-entry identical to the serial path;
+- a solve that raises (or a lost worker process, after bounded retries)
+  yields a **failure-annotated** :class:`CampaignEntry` instead of
+  aborting the campaign,
+- every run collects :mod:`repro.telemetry` spans/counters from the
+  decision loops and cost model; the aggregate rides on
+  :attr:`CampaignReport.telemetry` and serializes with
+  :meth:`CampaignReport.write_telemetry`.
 """
 
 from __future__ import annotations
 
 import csv
+import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Union
+from typing import Any, Callable, Iterable, Union
 
 import numpy as np
 
+from repro import telemetry as tm
 from repro.config import AcamarConfig
 from repro.core import Acamar
 from repro.datasets import load_problem, manufacture_problem
@@ -27,13 +44,22 @@ from repro.datasets.suite import dataset_keys
 from repro.errors import DatasetError
 from repro.fpga import PerformanceModel, mean_underutilization
 from repro.metrics import achieved_throughput_fraction
+from repro.telemetry import TELEMETRY_SCHEMA_VERSION, Telemetry
 
 ProblemSource = Union[str, Path, Problem]
+
+_MTX_SUFFIXES = (".mtx", ".mtx.gz")
 
 
 @dataclass(frozen=True)
 class CampaignEntry:
-    """Outcome of one campaign solve."""
+    """Outcome of one campaign solve.
+
+    ``failure`` is ``None`` for a completed solve (converged or not) and
+    an ``"ExceptionType: message"`` string when the solve raised or its
+    worker process was lost — in which case the numerical fields are
+    zeroed and ``converged`` is False.
+    """
 
     name: str
     n: int
@@ -45,6 +71,28 @@ class CampaignEntry:
     reconfig_ms: float
     underutilization: float
     throughput: float
+    failure: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
+
+
+def failure_entry(name: str, error: str) -> CampaignEntry:
+    """A zeroed entry recording why ``name`` produced no result."""
+    return CampaignEntry(
+        name=name,
+        n=0,
+        nnz=0,
+        converged=False,
+        solver_sequence=(),
+        iterations=0,
+        compute_ms=0.0,
+        reconfig_ms=0.0,
+        underutilization=0.0,
+        throughput=0.0,
+        failure=error,
+    )
 
 
 @dataclass
@@ -52,6 +100,7 @@ class CampaignReport:
     """Aggregate over all campaign entries."""
 
     entries: list[CampaignEntry]
+    telemetry: dict[str, Any] | None = None
 
     @property
     def convergence_rate(self) -> float:
@@ -60,10 +109,16 @@ class CampaignReport:
         return sum(e.converged for e in self.entries) / len(self.entries)
 
     @property
+    def failures(self) -> list[CampaignEntry]:
+        return [e for e in self.entries if e.failed]
+
+    @property
     def solver_mix(self) -> dict[str, int]:
         """How often each solver produced the final (converging) result."""
         mix: dict[str, int] = {}
         for entry in self.entries:
+            if not entry.solver_sequence:
+                continue
             final = entry.solver_sequence[-1]
             mix[final] = mix.get(final, 0) + 1
         return mix
@@ -91,7 +146,7 @@ class CampaignReport:
             writer.writerow([
                 "name", "n", "nnz", "converged", "solver_sequence",
                 "iterations", "compute_ms", "reconfig_ms",
-                "underutilization", "throughput",
+                "underutilization", "throughput", "failure",
             ])
             for e in self.entries:
                 writer.writerow([
@@ -99,11 +154,22 @@ class CampaignReport:
                     "->".join(e.solver_sequence), e.iterations,
                     f"{e.compute_ms:.6f}", f"{e.reconfig_ms:.6f}",
                     f"{e.underutilization:.6f}", f"{e.throughput:.6f}",
+                    e.failure or "",
                 ])
         return path
 
+    def write_telemetry(self, path: str | Path) -> Path:
+        """Serialize the telemetry aggregate (see docs/operations.md)."""
+        import json
+
+        if self.telemetry is None:
+            raise ValueError("this report carries no telemetry aggregate")
+        path = Path(path)
+        path.write_text(json.dumps(self.telemetry, indent=2) + "\n")
+        return path
+
     def summary_lines(self) -> list[str]:
-        return [
+        lines = [
             f"systems solved        : {len(self.entries)}",
             f"convergence rate      : {self.convergence_rate:.0%}",
             f"solver mix            : {self.solver_mix}",
@@ -111,60 +177,216 @@ class CampaignReport:
             f"mean throughput       : {self.mean_throughput:.1%}",
             f"total compute         : {self.total_compute_ms:.3f} ms",
         ]
+        if self.failures:
+            lines.append(
+                f"failures              : {len(self.failures)} "
+                f"({', '.join(e.name for e in self.failures)})"
+            )
+        return lines
 
 
-def _resolve(source: ProblemSource, seed: int) -> Problem:
+def problem_name_from_path(text: str | Path) -> str:
+    """Problem name for a Matrix Market path, stripping ``.mtx[.gz]``."""
+    name = Path(text).name
+    for suffix in (".mtx.gz", ".mtx"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return Path(text).stem
+
+
+def validate_source(source: ProblemSource) -> None:
+    """Raise :class:`DatasetError` if ``source`` cannot be resolved.
+
+    Cheap (no matrix is built or read), so the campaign can reject a bad
+    population up front — before any worker process is spawned.
+    """
+    if isinstance(source, Problem):
+        return
+    text = str(source)
+    if text.endswith(_MTX_SUFFIXES):
+        if not os.path.exists(text):
+            raise DatasetError(
+                f"cannot resolve problem source {source!r}: "
+                "Matrix Market file does not exist"
+            )
+        return
+    if text not in dataset_keys():
+        raise DatasetError(
+            f"cannot resolve problem source {source!r}: expected a Table II "
+            "key, a .mtx path, or a Problem instance"
+        )
+
+
+def resolve_source(source: ProblemSource, seed: int) -> Problem:
+    """Materialize a problem source into a :class:`Problem`."""
     if isinstance(source, Problem):
         return source
+    validate_source(source)
     text = str(source)
-    if text.endswith(".mtx") or text.endswith(".mtx.gz"):
+    if text.endswith(_MTX_SUFFIXES):
         from repro.sparse.io import read_matrix_market
 
         matrix = read_matrix_market(text)
-        return manufacture_problem(Path(text).stem, matrix, seed=seed)
-    if text in dataset_keys():
-        return load_problem(text)
-    raise DatasetError(
-        f"cannot resolve problem source {source!r}: expected a Table II "
-        "key, a .mtx path, or a Problem instance"
+        return manufacture_problem(
+            problem_name_from_path(text), matrix, seed=seed
+        )
+    return load_problem(text)
+
+
+# Kept for callers/tests that used the historical private name.
+_resolve = resolve_source
+
+
+def build_entry(
+    problem: Problem,
+    config: AcamarConfig,
+    acamar: Acamar | None = None,
+    model: PerformanceModel | None = None,
+) -> CampaignEntry:
+    """Solve one problem and cost it on the FPGA model."""
+    acamar = acamar if acamar is not None else Acamar(config)
+    model = model if model is not None else PerformanceModel()
+    with tm.span("campaign.solve"):
+        result = acamar.solve(problem.matrix, problem.b)
+    with tm.span("campaign.cost_model"):
+        latency = model.acamar_latency(problem.matrix, result)
+        lengths = problem.matrix.row_lengths()
+        underutilization = mean_underutilization(
+            lengths, result.plan.unroll_for_rows
+        )
+        throughput = achieved_throughput_fraction(
+            latency.final.spmv_report,
+            latency.final.loop_sweeps,
+            model.device,
+        )
+    return CampaignEntry(
+        name=problem.name,
+        n=problem.n,
+        nnz=problem.nnz,
+        converged=result.converged,
+        solver_sequence=result.solver_sequence,
+        iterations=result.final.iterations,
+        compute_ms=latency.compute_seconds * 1e3,
+        reconfig_ms=sum(a.reconfig_seconds for a in latency.attempts) * 1e3,
+        underutilization=underutilization,
+        throughput=throughput,
     )
+
+
+def _campaign_telemetry(
+    collector: Telemetry,
+    entries: list[CampaignEntry],
+    workers: int,
+    wall_seconds: float,
+    engine: dict[str, int] | None = None,
+) -> dict[str, Any]:
+    """Assemble the documented campaign telemetry schema."""
+    base = collector.as_dict()
+    counters = base["counters"]
+    solver_attempts = {
+        name.split(".", 1)[1]: value
+        for name, value in counters.items()
+        if name.startswith("solver_attempts.")
+    }
+    failures = sum(1 for e in entries if e.failed)
+    document: dict[str, Any] = {
+        "schema_version": TELEMETRY_SCHEMA_VERSION,
+        "campaign": {
+            "workers": workers,
+            "wall_seconds": round(wall_seconds, 6),
+            "problems": len(entries),
+            "converged": sum(1 for e in entries if e.converged),
+            "failures": failures,
+        },
+        "solver_attempts": solver_attempts,
+        "reconfigurations": {
+            "spmv_events": counters.get("spmv_reconfig_events", 0),
+            "solver_swaps": counters.get("solver_swaps", 0),
+            "msid_events_removed": counters.get("msid_events_removed", 0),
+        },
+        "stages": base["spans"],
+        "counters": counters,
+    }
+    if engine:
+        document["campaign"].update(engine)
+    return document
 
 
 def run_campaign(
     sources: Iterable[ProblemSource],
     config: AcamarConfig | None = None,
     seed: int = 1,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    max_pool_restarts: int = 2,
+    executor_factory: Callable[[int], Any] | None = None,
 ) -> CampaignReport:
-    """Solve every source with Acamar and aggregate the results."""
+    """Solve every source with Acamar and aggregate the results.
+
+    ``workers=None`` (or ``<= 1``) runs serially in-process; ``workers=N``
+    shards across ``N`` worker processes.  Both paths use the same
+    per-problem seed derivation and entry construction, so the parallel
+    report is entry-for-entry identical to the serial one.  Unresolvable
+    sources raise :class:`DatasetError` immediately; solve-time faults
+    become failure-annotated entries.
+    """
+    from repro.parallel.engine import WorkItem, estimate_cost, run_sharded
+
     config = config if config is not None else AcamarConfig()
-    acamar = Acamar(config)
-    model = PerformanceModel()
-    entries: list[CampaignEntry] = []
-    for source in sources:
-        problem = _resolve(source, seed)
-        result = acamar.solve(problem.matrix, problem.b)
-        latency = model.acamar_latency(problem.matrix, result)
-        lengths = problem.matrix.row_lengths()
-        entries.append(
-            CampaignEntry(
-                name=problem.name,
-                n=problem.n,
-                nnz=problem.nnz,
-                converged=result.converged,
-                solver_sequence=result.solver_sequence,
-                iterations=result.final.iterations,
-                compute_ms=latency.compute_seconds * 1e3,
-                reconfig_ms=sum(
-                    a.reconfig_seconds for a in latency.attempts
-                ) * 1e3,
-                underutilization=mean_underutilization(
-                    lengths, result.plan.unroll_for_rows
-                ),
-                throughput=achieved_throughput_fraction(
-                    latency.final.spmv_report,
-                    latency.final.loop_sweeps,
-                    model.device,
-                ),
-            )
+    source_list = list(sources)
+    for source in source_list:
+        validate_source(source)
+    items = [
+        WorkItem(
+            index=index,
+            source=source,
+            seed=seed + index,
+            cost=estimate_cost(source),
         )
-    return CampaignReport(entries=entries)
+        for index, source in enumerate(source_list)
+    ]
+
+    collector = Telemetry()
+    start = time.perf_counter()
+    entries: list[CampaignEntry] = []
+    engine_stats: dict[str, int] | None = None
+
+    if workers is not None and workers > 1 and len(items) > 1:
+        outcome = run_sharded(
+            items,
+            config,
+            workers=workers,
+            chunk_size=chunk_size,
+            max_pool_restarts=max_pool_restarts,
+            executor_factory=executor_factory,
+        )
+        collector.merge(outcome.telemetry)
+        for result in outcome.results:
+            if result.entry is not None:
+                entries.append(result.entry)
+            else:
+                entries.append(failure_entry(result.label, result.error))
+        engine_stats = {
+            "chunks": outcome.chunks,
+            "pool_restarts": outcome.pool_restarts,
+            "in_process_items": outcome.in_process_items,
+            "abandoned_items": outcome.abandoned_items,
+        }
+        effective_workers = workers
+    else:
+        from repro.parallel.engine import solve_items
+
+        for result in solve_items(items, config):
+            collector.merge(result.telemetry)
+            if result.entry is not None:
+                entries.append(result.entry)
+            else:
+                entries.append(failure_entry(result.label, result.error))
+        effective_workers = 1
+
+    wall_seconds = time.perf_counter() - start
+    report = CampaignReport(entries=entries)
+    report.telemetry = _campaign_telemetry(
+        collector, entries, effective_workers, wall_seconds, engine_stats
+    )
+    return report

@@ -7,6 +7,10 @@ Commands
 ``solve``
     Run Acamar (or a single fixed solver) on a dataset or generated
     problem and print the decision trace plus modeled performance.
+``campaign``
+    Solve a whole workload population (keys and/or ``.mtx`` paths),
+    optionally sharded across ``--workers`` processes, with CSV and
+    telemetry-JSON export.
 ``experiment``
     Regenerate one paper table/figure (``table2``, ``fig6``, …) over all
     datasets or a subset.
@@ -57,6 +61,34 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--config", metavar="FILE",
         help="JSON file of AcamarConfig fields (overridden by flags)",
+    )
+
+    campaign = sub.add_parser(
+        "campaign", help="solve a workload population, optionally in parallel"
+    )
+    campaign.add_argument(
+        "sources", nargs="*",
+        help="Table II keys and/or .mtx/.mtx.gz paths",
+    )
+    campaign.add_argument(
+        "--all", action="store_true", dest="all_datasets",
+        help="run the full Table II suite (may be combined with sources)",
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard across N worker processes (default: serial)",
+    )
+    campaign.add_argument(
+        "--chunk-size", type=int, default=None, metavar="K",
+        help="cap scheduling chunks at K problems each",
+    )
+    campaign.add_argument("--seed", type=int, default=1)
+    campaign.add_argument(
+        "--telemetry", metavar="FILE",
+        help="write the telemetry aggregate as JSON (docs/operations.md)",
+    )
+    campaign.add_argument(
+        "--csv", metavar="FILE", help="write the per-problem table as CSV"
     )
 
     experiment = sub.add_parser(
@@ -155,6 +187,41 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0 if result.converged else 1
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import run_campaign
+
+    sources: list[str] = list(args.sources)
+    if args.all_datasets:
+        sources = list(dataset_keys()) + sources
+    if not sources:
+        print(
+            "campaign: no sources given (pass keys/.mtx paths or --all)",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.errors import DatasetError
+
+    try:
+        report = run_campaign(
+            sources,
+            seed=args.seed,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+        )
+    except DatasetError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    for line in report.summary_lines():
+        print(line)
+    for entry in report.failures:
+        print(f"FAILED {entry.name}: {entry.failure}")
+    if args.csv:
+        print(f"wrote CSV to {report.to_csv(args.csv)}")
+    if args.telemetry:
+        print(f"wrote telemetry to {report.write_telemetry(args.telemetry)}")
+    return 0 if report.convergence_rate == 1.0 else 1
+
+
 def _parse_keys(raw: str | None) -> tuple[str, ...] | None:
     if raw is None:
         return None
@@ -186,6 +253,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list_datasets()
     if args.command == "solve":
         return _cmd_solve(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "experiments":

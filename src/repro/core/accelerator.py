@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry as tm
 from repro.config import AcamarConfig
 from repro.core.finegrained import FineGrainedReconfigurationUnit, ReconfigurationPlan
 from repro.core.matrix_structure import MatrixStructureUnit, SolverSelection
@@ -151,15 +152,18 @@ class Acamar:
         Solver Modifier's preference order until one converges (Table II's
         Acamar column) or all configurations are exhausted.
         """
-        selection = self.matrix_structure.select_solver(matrix)
+        with tm.span("matrix_structure.select"):
+            selection = self.matrix_structure.select_solver(matrix)
         plan = self.fine_grained.plan(matrix)
         modifier = SolverModifierUnit(self.config.solver_fallback_order)
         attempts: list[SolverAttempt] = []
         solver_name: str | None = selection.solver
         selected_by = "matrix_structure"
         while solver_name is not None:
-            solver = self._make_solver(solver_name, matrix.shape[0])
-            result = solver.solve(matrix, b, x0)
+            with tm.span("reconfigurable_solver.attempt"):
+                solver = self._make_solver(solver_name, matrix.shape[0])
+                result = solver.solve(matrix, b, x0)
+            tm.count(f"solver_attempts.{solver_name}")
             attempts.append(
                 SolverAttempt(
                     solver=solver_name, selected_by=selected_by, result=result
@@ -170,6 +174,8 @@ class Acamar:
                 break
             solver_name = modifier.next_solver()
             selected_by = "solver_modifier"
+        tm.count("solver_swaps", max(0, len(attempts) - 1))
+        tm.count("spmv_reconfig_events", plan.reconfiguration_count)
         return AcamarResult(
             selection=selection, plan=plan, attempts=tuple(attempts)
         )

@@ -21,9 +21,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry as tm
 from repro.config import AcamarConfig
-from repro.errors import ConfigurationError
 from repro.core.msid import MSIDChain, MSIDResult, reconfiguration_events
+from repro.errors import ConfigurationError
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.stats import partition_row_sets
 
@@ -174,6 +175,10 @@ class FineGrainedReconfigurationUnit:
 
     def plan(self, matrix: CSRMatrix) -> ReconfigurationPlan:
         """Build the unroll schedule for ``matrix``."""
+        with tm.span("fine_grained.plan"):
+            return self._plan(matrix)
+
+    def _plan(self, matrix: CSRMatrix) -> ReconfigurationPlan:
         averages, bounds = self.trace_unit.trace(matrix)
         mode = self.config.unroll_rounding
         raw_unrolls = np.array(
@@ -181,6 +186,7 @@ class FineGrainedReconfigurationUnit:
             dtype=np.int64,
         )
         msid = self.msid_chain.optimize(raw_unrolls)
+        tm.count("msid_events_removed", msid.events_removed)
         final_unrolls = np.array(
             [quantize_unroll(u, self.config.max_unroll, mode) for u in msid.final],
             dtype=np.int64,

@@ -171,7 +171,11 @@ def _clique_pattern(
     start = 0
     while start < n:
         size = int(
-            np.clip(round(rng.lognormal(np.log(clique_mean), 0.4)), clique_min, clique_max)
+            np.clip(
+                round(rng.lognormal(np.log(clique_mean), 0.4)),
+                clique_min,
+                clique_max,
+            )
         )
         size = min(size, n - start)
         if size >= 2:
@@ -326,8 +330,9 @@ def balanced_indefinite_matrix(
     scale = np.exp(rng.normal(0.0, magnitude_spread, half))
     v_sym = v_sym * scale[r_sym] * scale[c_sym]
     diag_mag = scale * scale
-    rows = np.concatenate([r_sym, half + r_sym, np.arange(half), half + np.arange(half)])
-    cols = np.concatenate([half + c_sym, c_sym, np.arange(half), half + np.arange(half)])
+    diag_idx = np.arange(half)
+    rows = np.concatenate([r_sym, half + r_sym, diag_idx, half + diag_idx])
+    cols = np.concatenate([half + c_sym, c_sym, diag_idx, half + diag_idx])
     vals = np.concatenate([v_sym, v_sym, diag_mag, -diag_mag])
     return COOMatrix((n, n), rows, cols, vals).canonical().to_csr()
 

@@ -48,7 +48,9 @@ def poisson_2d_matrix(nx: int, ny: int | None = None) -> CSRMatrix:
     ).to_csr()
 
 
-def poisson_3d_matrix(nx: int, ny: int | None = None, nz: int | None = None) -> CSRMatrix:
+def poisson_3d_matrix(
+    nx: int, ny: int | None = None, nz: int | None = None
+) -> CSRMatrix:
     """Seven-point Laplacian on an ``nx × ny × nz`` interior grid."""
     ny = ny if ny is not None else nx
     nz = nz if nz is not None else nx

@@ -29,19 +29,19 @@ an extension artifact: Table II re-run over the full solver registry.
 
 from repro.experiments import (  # noqa: F401
     extended_coverage,
-    kernel_mix,
-    precision_study,
     fig1,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
     fig2,
     fig5,
     fig6,
     fig7,
     fig8,
     fig9,
-    fig10,
-    fig11,
-    fig12,
-    fig13,
+    kernel_mix,
+    precision_study,
     table1,
     table2,
 )

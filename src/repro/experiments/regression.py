@@ -18,7 +18,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.experiments import fig1, fig5, fig6, fig8, fig9, fig10, table2
+from repro.experiments import fig1, fig10, fig5, fig6, fig8, fig9, table2
 
 DEFAULT_BANDS_PATH = (
     Path(__file__).resolve().parents[3] / "benchmarks" / "reference_bands.json"

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from repro import telemetry as tm
 from repro.baselines import run_solver_portfolio
 from repro.config import AcamarConfig
 from repro.core import Acamar, AcamarResult
@@ -29,21 +30,24 @@ DEFAULT_KEYS: tuple[str, ...] | None = None
 @lru_cache(maxsize=None)
 def problem(key: str) -> Problem:
     """The (cached) stand-in problem for a dataset key."""
-    return load_problem(key)
+    with tm.span("runner.load_problem"):
+        return load_problem(key)
 
 
 @lru_cache(maxsize=None)
 def acamar_result(key: str) -> AcamarResult:
     """Acamar's solve of the dataset, under paper-default configuration."""
     prob = problem(key)
-    return Acamar(AcamarConfig()).solve(prob.matrix, prob.b)
+    with tm.span("runner.acamar_solve"):
+        return Acamar(AcamarConfig()).solve(prob.matrix, prob.b)
 
 
 @lru_cache(maxsize=None)
 def portfolio(key: str) -> dict[str, SolveResult]:
     """Independent Jacobi / CG / BiCG-STAB runs (Table II's ✓/✗ columns)."""
     prob = problem(key)
-    return run_solver_portfolio(prob.matrix, prob.b)
+    with tm.span("runner.portfolio_solve"):
+        return run_solver_portfolio(prob.matrix, prob.b)
 
 
 @lru_cache(maxsize=1)

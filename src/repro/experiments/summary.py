@@ -14,16 +14,16 @@ import numpy as np
 
 from repro.experiments import (
     fig1,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
     fig2,
     fig5,
     fig6,
     fig7,
     fig8,
     fig9,
-    fig10,
-    fig11,
-    fig12,
-    fig13,
     table2,
 )
 from repro.experiments.report import ExperimentTable
@@ -46,10 +46,11 @@ def collect_claims(keys: tuple[str, ...] | None = None) -> list[ClaimCheck]:
 
     t2 = table2.run(keys)
     matches = sum(1 for m in t2.column("matches paper") if m)
+    acamar_all = "all" if all(t2.column("Acamar")) else "NOT all"
     checks.append(ClaimCheck(
         "Table II", "per-solver convergence patterns match; Acamar all-converge",
         "25 rows, Acamar all ✓",
-        f"{matches}/{len(t2.rows)} match, Acamar {'all' if all(t2.column('Acamar')) else 'NOT all'} ✓",
+        f"{matches}/{len(t2.rows)} match, Acamar {acamar_all} ✓",
         matches == len(t2.rows) and all(t2.column("Acamar")),
     ))
 

@@ -15,15 +15,9 @@ from repro.fpga.cost_model import (
     operator_row_lengths,
     plan_event_unrolls,
 )
-from repro.fpga.device import ALVEO_U55C, FPGADevice
 from repro.fpga.counters import PerfCounters, collect_counters
+from repro.fpga.device import ALVEO_U55C, FPGADevice
 from repro.fpga.energy import EnergyModel, EnergyReport
-from repro.fpga.roofline import (
-    RooflinePoint,
-    fpga_roofline,
-    gpu_roofline,
-    spmv_arithmetic_intensity,
-)
 from repro.fpga.host import (
     EndToEndReport,
     end_to_end,
@@ -31,6 +25,7 @@ from repro.fpga.host import (
     transfer_seconds,
     vector_transfer_bytes,
 )
+from repro.fpga.kernels import SweepReport, dense_kernel, spmv_sweep
 from repro.fpga.memory import (
     HBM_BANDWIDTH_BPS,
     StreamBuffer,
@@ -40,21 +35,26 @@ from repro.fpga.memory import (
     tbuffer_for,
     validate_plan_bandwidth,
 )
-from repro.fpga.pipeline import (
-    PipelineTrace,
-    SetTrace,
-    SpMVPipelineSimulator,
-)
-from repro.fpga.kernels import SweepReport, dense_kernel, spmv_sweep
 from repro.fpga.multitenancy import (
     DENSE_GEMM_TILE,
     CoTenancyReport,
     TenantSpec,
     co_tenancy,
 )
+from repro.fpga.pipeline import (
+    PipelineTrace,
+    SetTrace,
+    SpMVPipelineSimulator,
+)
 from repro.fpga.reconfiguration import (
     ReconfigurationModel,
     spmv_bitstream_bytes,
+)
+from repro.fpga.roofline import (
+    RooflinePoint,
+    fpga_roofline,
+    gpu_roofline,
+    spmv_arithmetic_intensity,
 )
 from repro.fpga.utilization import (
     mean_underutilization,

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry as tm
 from repro.core.accelerator import AcamarResult
 from repro.core.finegrained import ReconfigurationPlan
 from repro.core.initialize import STATIC_INITIALIZE_UNROLL, initialize_spmv_count
@@ -233,10 +234,13 @@ class PerformanceModel:
         self, matrix: CSRMatrix, acamar_result: AcamarResult
     ) -> AcamarLatencyReport:
         """Latency of a full Acamar solve, including Solver Modifier swaps."""
-        attempts = tuple(
-            self.solver_latency(matrix, attempt.result, plan=acamar_result.plan)
-            for attempt in acamar_result.attempts
-        )
+        with tm.span("cost_model.acamar_latency"):
+            attempts = tuple(
+                self.solver_latency(
+                    matrix, attempt.result, plan=acamar_result.plan
+                )
+                for attempt in acamar_result.attempts
+            )
         swaps = acamar_result.solver_reconfigurations
         return AcamarLatencyReport(
             attempts=attempts,

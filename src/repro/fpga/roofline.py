@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from repro.fpga.device import ALVEO_U55C, FPGADevice
 from repro.fpga.memory import CSR_STREAM_BYTES_PER_LANE, HBM_BANDWIDTH_BPS
 from repro.gpu.cusparse_model import CSR_BYTES_PER_NNZ, CSR_BYTES_PER_ROW
-from repro.gpu.device import GPUDevice, GTX_1650_SUPER
+from repro.gpu.device import GTX_1650_SUPER, GPUDevice
 from repro.sparse.csr import CSRMatrix
 
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.gpu.device import GPUDevice, GTX_1650_SUPER
+from repro.gpu.device import GTX_1650_SUPER, GPUDevice
 from repro.sparse.csr import CSRMatrix
 
 CSR_BYTES_PER_NNZ = 12.0

@@ -6,12 +6,12 @@ Resource-underutilization math lives next to the hardware model in
 :mod:`repro.fpga.utilization`.
 """
 
+from repro.metrics.efficiency import area_saving_ratio, gflops_per_mm2
 from repro.metrics.speedup import geometric_mean, latency_speedup
 from repro.metrics.throughput import (
     achieved_throughput_fraction,
     spmv_achieved_fraction,
 )
-from repro.metrics.efficiency import area_saving_ratio, gflops_per_mm2
 
 __all__ = [
     "achieved_throughput_fraction",

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sparse.csr import CSRMatrix
 from repro.solvers.base import (
     IterativeSolver,
     OpCounter,
@@ -21,6 +20,7 @@ from repro.solvers.base import (
     tolerate_float_excursions,
 )
 from repro.solvers.monitor import ConvergenceMonitor
+from repro.sparse.csr import CSRMatrix
 
 _BREAKDOWN_EPS = 1e-30
 

@@ -15,19 +15,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.solvers.base import (
+    IterativeSolver,
+    OpCounter,
+    SolveResult,
+    tolerate_float_excursions,
+)
+from repro.solvers.monitor import ConvergenceMonitor
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.properties import (
     diagonal_dominance_margin,
     estimate_spectral_radius,
 )
-from repro.solvers.base import (
-    IterativeSolver,
-    OpCounter,
-    SolveResult,
-    SolveStatus,
-    tolerate_float_excursions,
-)
-from repro.solvers.monitor import ConvergenceMonitor
 
 
 class ChebyshevSolver(IterativeSolver):

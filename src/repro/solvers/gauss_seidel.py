@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sparse.csr import CSRMatrix
 from repro.solvers.base import (
     IterativeSolver,
     OpCounter,
@@ -23,6 +22,7 @@ from repro.solvers.base import (
     tolerate_float_excursions,
 )
 from repro.solvers.monitor import ConvergenceMonitor
+from repro.sparse.csr import CSRMatrix
 
 
 class GaussSeidelSolver(IterativeSolver):
@@ -70,7 +70,11 @@ class GaussSeidelSolver(IterativeSolver):
                 x[i] = (b64[i] - acc) / diag[i]
             # One full sweep costs one SpMV-equivalent pass over the matrix.
             ops.record("spmv", matrix.nnz)
-            residual = float(np.linalg.norm(b64 - matrix.matvec(x.astype(self.dtype)).astype(np.float64)))
+            residual = float(
+                np.linalg.norm(
+                    b64 - matrix.matvec(x.astype(self.dtype)).astype(np.float64)
+                )
+            )
             ops.record("spmv", matrix.nnz)
             ops.record("vadd", n)
             ops.record("norm", n)

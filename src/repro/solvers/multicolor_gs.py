@@ -14,8 +14,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sparse.coloring import color_classes, greedy_coloring
-from repro.sparse.csr import CSRMatrix
 from repro.solvers.base import (
     IterativeSolver,
     OpCounter,
@@ -24,6 +22,8 @@ from repro.solvers.base import (
     tolerate_float_excursions,
 )
 from repro.solvers.monitor import ConvergenceMonitor
+from repro.sparse.coloring import color_classes, greedy_coloring
+from repro.sparse.csr import CSRMatrix
 
 
 class MulticolorGaussSeidelSolver(IterativeSolver):

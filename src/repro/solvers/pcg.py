@@ -16,7 +16,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SolverBreakdownError
-from repro.sparse.csr import CSRMatrix
 from repro.solvers.base import (
     IterativeSolver,
     OpCounter,
@@ -26,6 +25,7 @@ from repro.solvers.base import (
 )
 from repro.solvers.monitor import ConvergenceMonitor
 from repro.solvers.preconditioners import make_preconditioner
+from repro.sparse.csr import CSRMatrix
 
 _BREAKDOWN_EPS = 1e-30
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.sparse.csr import CSRMatrix
 from repro.solvers.base import (
     IterativeSolver,
     OpCounter,
@@ -21,6 +20,7 @@ from repro.solvers.base import (
     tolerate_float_excursions,
 )
 from repro.solvers.monitor import ConvergenceMonitor
+from repro.sparse.csr import CSRMatrix
 
 
 class SORSolver(IterativeSolver):
@@ -77,7 +77,9 @@ class SORSolver(IterativeSolver):
                 x[i] = (1.0 - self.omega) * x[i] + self.omega * gs_value
             ops.record("spmv", matrix.nnz)
             residual = float(
-                np.linalg.norm(b64 - matrix.matvec(x.astype(self.dtype)).astype(np.float64))
+                np.linalg.norm(
+                    b64 - matrix.matvec(x.astype(self.dtype)).astype(np.float64)
+                )
             )
             ops.record("spmv", matrix.nnz)
             ops.record("vadd", n)

@@ -18,7 +18,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.sparse.csr import CSRMatrix
 from repro.solvers.base import (
     IterativeSolver,
     OpCounter,
@@ -27,6 +26,7 @@ from repro.solvers.base import (
     tolerate_float_excursions,
 )
 from repro.solvers.monitor import ConvergenceMonitor
+from repro.sparse.csr import CSRMatrix
 
 SRJ_SCHEDULES: dict[int, tuple[float, ...]] = {
     1: (1.0,),

@@ -21,6 +21,14 @@ from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ell import ELLMatrix, padded_slots_for_unroll
 from repro.sparse.io import read_matrix_market, write_matrix_market
+from repro.sparse.properties import (
+    MatrixProperties,
+    analyze_properties,
+    is_strictly_diagonally_dominant,
+    is_symmetric,
+    jacobi_iteration_spectral_radius,
+    positive_definite_probe,
+)
 from repro.sparse.reorder import (
     bandwidth,
     permute_symmetric,
@@ -30,15 +38,7 @@ from repro.sparse.reorder import (
     unpermute_vector,
 )
 from repro.sparse.sliced_ell import ELLSlice, SlicedELLMatrix
-from repro.sparse.properties import (
-    MatrixProperties,
-    analyze_properties,
-    is_strictly_diagonally_dominant,
-    is_symmetric,
-    jacobi_iteration_spectral_radius,
-    positive_definite_probe,
-)
-from repro.sparse.stats import RowLengthStats, row_lengths, row_length_stats
+from repro.sparse.stats import RowLengthStats, row_length_stats, row_lengths
 
 __all__ = [
     "COOMatrix",

@@ -34,7 +34,8 @@ def is_strictly_diagonally_dominant(matrix: CSRMatrix) -> bool:
     row_of = np.repeat(np.arange(matrix.n_rows), matrix.row_lengths())
     off_diag = row_of != matrix.indices
     off_sums = np.zeros(matrix.n_rows, dtype=np.float64)
-    np.add.at(off_sums, row_of[off_diag], np.abs(matrix.data[off_diag].astype(np.float64)))
+    off_vals = np.abs(matrix.data[off_diag].astype(np.float64))
+    np.add.at(off_sums, row_of[off_diag], off_vals)
     return bool(np.all(off_sums < diag.astype(np.float64)))
 
 
@@ -44,7 +45,8 @@ def diagonal_dominance_margin(matrix: CSRMatrix) -> np.ndarray:
     row_of = np.repeat(np.arange(matrix.n_rows), matrix.row_lengths())
     off_diag = row_of != matrix.indices
     off_sums = np.zeros(matrix.n_rows, dtype=np.float64)
-    np.add.at(off_sums, row_of[off_diag], np.abs(matrix.data[off_diag].astype(np.float64)))
+    off_vals = np.abs(matrix.data[off_diag].astype(np.float64))
+    np.add.at(off_sums, row_of[off_diag], off_vals)
     return diag - off_sums
 
 

@@ -1,0 +1,176 @@
+"""Span/counter telemetry for the accelerator's decision loops.
+
+Production campaigns need to know *where* wall-time goes — structure
+inspection, unroll planning, solver attempts, cost modeling — without a
+profiler attached.  This module provides a deliberately small telemetry
+layer:
+
+- :class:`Telemetry` collects **spans** (named wall-time intervals with
+  count / total / max statistics) and **counters** (monotonic integers),
+- instrumented code calls the module-level :func:`span` and :func:`count`
+  helpers, which are no-ops unless a collector is *activated* on the
+  current context (a ``contextvars.ContextVar``, so parallel campaign
+  workers and threads each aggregate into their own collector),
+- collectors merge associatively (:meth:`Telemetry.merge`), which is how
+  the campaign engine folds per-worker telemetry into one report,
+- :meth:`Telemetry.as_dict` emits the stable JSON schema documented in
+  ``docs/operations.md`` (``TELEMETRY_SCHEMA_VERSION`` guards it).
+
+The instrumented sites are the Solver Decision loop and Fine-Grained
+Reconfiguration unit (:mod:`repro.core`) and the FPGA cost model
+(:mod:`repro.fpga.cost_model`); the campaign runner adds per-problem
+resolve/solve spans on top.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+TELEMETRY_SCHEMA_VERSION = 1
+
+_ACTIVE: ContextVar["Telemetry | None"] = ContextVar(
+    "repro_telemetry", default=None
+)
+
+
+@dataclass
+class SpanStats:
+    """Aggregate statistics of one named span."""
+
+    count: int = 0
+    total_ms: float = 0.0
+    max_ms: float = 0.0
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+    def record(self, elapsed_ms: float) -> None:
+        self.count += 1
+        self.total_ms += elapsed_ms
+        self.max_ms = max(self.max_ms, elapsed_ms)
+
+    def merged_with(self, other: "SpanStats") -> "SpanStats":
+        return SpanStats(
+            count=self.count + other.count,
+            total_ms=self.total_ms + other.total_ms,
+            max_ms=max(self.max_ms, other.max_ms),
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_ms": round(self.total_ms, 6),
+            "mean_ms": round(self.mean_ms, 6),
+            "max_ms": round(self.max_ms, 6),
+        }
+
+
+class Telemetry:
+    """One collector of spans and counters.
+
+    Instances are cheap; the campaign engine creates one per worker task
+    and merges them.  Activation installs the instance on the current
+    execution context so library code can record without plumbing.
+    """
+
+    def __init__(self) -> None:
+        self.spans: dict[str, SpanStats] = {}
+        self.counters: dict[str, int] = {}
+
+    # -- recording -----------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_span(name, (time.perf_counter() - start) * 1e3)
+
+    def record_span(self, name: str, elapsed_ms: float) -> None:
+        self.spans.setdefault(name, SpanStats()).record(elapsed_ms)
+
+    def count(self, name: str, increment: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + int(increment)
+
+    # -- activation ----------------------------------------------------
+
+    @contextmanager
+    def activate(self) -> Iterator["Telemetry"]:
+        """Install this collector on the current context."""
+        token = _ACTIVE.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE.reset(token)
+
+    # -- aggregation ---------------------------------------------------
+
+    def merge(self, other: "Telemetry | Mapping[str, Any]") -> None:
+        """Fold another collector (or its ``as_dict`` form) into this one."""
+        if isinstance(other, Telemetry):
+            span_items = [(k, v) for k, v in other.spans.items()]
+            counter_items = other.counters.items()
+        else:
+            span_items = [
+                (name, SpanStats(
+                    count=int(stats["count"]),
+                    total_ms=float(stats["total_ms"]),
+                    max_ms=float(stats["max_ms"]),
+                ))
+                for name, stats in other.get("spans", {}).items()
+            ]
+            counter_items = other.get("counters", {}).items()
+        for name, stats in span_items:
+            mine = self.spans.setdefault(name, SpanStats())
+            self.spans[name] = mine.merged_with(stats)
+        for name, value in counter_items:
+            self.count(name, value)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "spans": {
+                name: stats.as_dict()
+                for name, stats in sorted(self.spans.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+        return path
+
+
+# -- module-level recording API (no-ops without an active collector) ----
+
+
+def active() -> Telemetry | None:
+    """The collector installed on the current context, if any."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def span(name: str) -> Iterator[None]:
+    """Time a block under ``name`` on the active collector (no-op if none)."""
+    collector = _ACTIVE.get()
+    if collector is None:
+        yield
+        return
+    with collector.span(name):
+        yield
+
+
+def count(name: str, increment: int = 1) -> None:
+    """Bump counter ``name`` on the active collector (no-op if none)."""
+    collector = _ACTIVE.get()
+    if collector is not None:
+        collector.count(name, increment)

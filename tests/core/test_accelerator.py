@@ -1,11 +1,10 @@
 """Tests for the Acamar accelerator orchestration (both decision loops)."""
 
 import numpy as np
-import pytest
 
 from repro import Acamar, AcamarConfig
 from repro.datasets import load_problem, poisson_2d
-from repro.datasets.generators import sdd_matrix, spd_clique_skew_matrix
+from repro.datasets.generators import spd_clique_skew_matrix
 
 
 class TestSolverDecisionLoop:

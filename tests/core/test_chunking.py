@@ -6,7 +6,6 @@ import pytest
 from repro.core.chunking import ChunkStream, chunk_count, chunked_matvec
 from repro.datasets.generators import sdd_matrix
 from repro.errors import ConfigurationError
-from repro.sparse import CSRMatrix
 
 
 @pytest.fixture

@@ -12,7 +12,6 @@ from repro.core.finegrained import (
     unsmoothed_event_count,
 )
 from repro.datasets.generators import sdd_matrix
-from repro.sparse import CSRMatrix
 
 
 @pytest.fixture

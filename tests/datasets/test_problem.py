@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.datasets.problem import Problem, manufacture_problem
-from repro.sparse import CSRMatrix
 
 
 @pytest.fixture

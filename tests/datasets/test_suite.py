@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.baselines import run_solver_portfolio
-from repro.datasets import dataset_keys, dataset_spec, load_extra, load_matrix, load_problem
+from repro.datasets import (
+    dataset_keys,
+    dataset_spec,
+    load_extra,
+    load_matrix,
+    load_problem,
+)
 from repro.errors import DatasetError
 from repro.sparse.properties import (
     is_strictly_diagonally_dominant,
@@ -59,7 +65,10 @@ class TestStructuralClasses:
         spec = dataset_spec(key)
         matrix = load_matrix(key)
         description = spec.structure.lower()
-        if "strictly diagonally dominant" in description or "sdd" in description.lower():
+        if (
+            "strictly diagonally dominant" in description
+            or "sdd" in description.lower()
+        ):
             assert is_strictly_diagonally_dominant(matrix), key
         if "symmetric indefinite" in description or description.startswith("spd"):
             assert is_symmetric(matrix), key

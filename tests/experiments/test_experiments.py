@@ -8,24 +8,24 @@ representative subset covering all structural classes.
 import numpy as np
 import pytest
 
+from repro.errors import DatasetError
 from repro.experiments import (
     ALL_EXPERIMENTS,
     fig1,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
     fig2,
     fig5,
     fig6,
     fig7,
     fig8,
     fig9,
-    fig10,
-    fig11,
-    fig12,
-    fig13,
     table1,
     table2,
 )
 from repro.experiments.runner import resolve_keys
-from repro.errors import DatasetError
 
 SUBSET = ("2C", "Wi", "Fe", "Bc", "If", "Po")
 """One dataset from each structural class (all five Table II patterns)."""

@@ -2,10 +2,7 @@
 
 import json
 
-import pytest
-
 from repro.experiments.regression import (
-    DEFAULT_BANDS_PATH,
     check_regression,
     load_bands,
     measure_headlines,

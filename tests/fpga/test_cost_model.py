@@ -14,7 +14,7 @@ from repro.fpga.cost_model import (
     operator_row_lengths,
     plan_event_unrolls,
 )
-from repro.solvers import ConjugateGradientSolver, JacobiSolver
+from repro.solvers import JacobiSolver
 
 
 @pytest.fixture

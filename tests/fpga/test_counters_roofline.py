@@ -1,13 +1,11 @@
 """Tests for performance counters and roofline analysis."""
 
-import numpy as np
 import pytest
 
 from repro import Acamar
 from repro.datasets import load_problem, poisson_2d
 from repro.fpga import (
     ALVEO_U55C,
-    PerformanceModel,
     collect_counters,
     fpga_roofline,
     gpu_roofline,

@@ -6,10 +6,9 @@ from repro import Acamar
 from repro.datasets import load_problem, poisson_2d
 from repro.fpga import PerformanceModel
 from repro.fpga.energy import (
+    ICAP_POWER_W,
     EnergyModel,
     EnergyReport,
-    ICAP_POWER_W,
-    LEAKAGE_W_PER_MM2,
 )
 
 

@@ -6,9 +6,9 @@ import pytest
 from repro.datasets.generators import sdd_matrix
 from repro.errors import ConfigurationError
 from repro.gpu import (
+    GTX_1650_SUPER,
     CuSparseSpMVModel,
     GPUDevice,
-    GTX_1650_SUPER,
     warp_lane_underutilization,
 )
 

@@ -9,7 +9,6 @@ from repro.gpu import (
     ADAPTIVE_VECTOR_THRESHOLD,
     CuSparseSpMVModel,
     scalar_kernel_underutilization,
-    warp_lane_underutilization,
 )
 from repro.sparse import COOMatrix
 

@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro import Acamar, AcamarConfig
-from repro.errors import ReproError, SparseFormatError
+from repro.errors import SparseFormatError
 from repro.solvers import SOLVER_REGISTRY, make_solver
 from repro.sparse import COOMatrix, CSRMatrix
 

@@ -1,7 +1,6 @@
 """CG-specific tests (paper Algorithm 2)."""
 
 import numpy as np
-import pytest
 
 from repro.solvers import ConjugateGradientSolver, SolveStatus
 from repro.sparse import CSRMatrix

@@ -1,7 +1,6 @@
 """Jacobi-specific tests (paper Algorithm 1)."""
 
 import numpy as np
-import pytest
 
 from repro.solvers import JacobiSolver, SolveStatus
 from repro.sparse import CSRMatrix

@@ -8,10 +8,10 @@ from repro.datasets.generators import sdd_matrix
 from repro.errors import ConfigurationError, SolverBreakdownError
 from repro.solvers import PreconditionedCGSolver
 from repro.solvers.preconditioners import (
-    ILU0Preconditioner,
-    IdentityPreconditioner,
-    JacobiPreconditioner,
     PRECONDITIONER_REGISTRY,
+    IdentityPreconditioner,
+    ILU0Preconditioner,
+    JacobiPreconditioner,
     SSORPreconditioner,
     make_preconditioner,
 )

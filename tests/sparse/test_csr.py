@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ShapeMismatchError, SparseFormatError
-from repro.sparse import COOMatrix, CSRMatrix
+from repro.sparse import CSRMatrix
 from tests.conftest import random_dense
 
 

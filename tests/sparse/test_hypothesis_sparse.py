@@ -77,7 +77,11 @@ def test_diagonal_plus_offdiagonal_reconstructs(dense):
 
 @given(
     st.lists(
-        st.tuples(st.integers(0, 7), st.integers(0, 7), st.floats(-5, 5, allow_nan=False)),
+        st.tuples(
+            st.integers(0, 7),
+            st.integers(0, 7),
+            st.floats(-5, 5, allow_nan=False),
+        ),
         max_size=50,
     )
 )

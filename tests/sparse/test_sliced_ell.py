@@ -36,6 +36,7 @@ class TestConstruction:
     def test_empty_matrix(self):
         empty = CSRMatrix((0, 5), [0], [], [])
         sell = SlicedELLMatrix((0, 5), [])
+        assert empty.nnz == 0
         assert sell.nnz == 0
         assert sell.padding_fraction == 0.0
 

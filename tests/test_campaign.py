@@ -1,12 +1,21 @@
 """Tests for the campaign runner."""
 
 import csv
+import gzip
+import shutil
 
+import numpy as np
 import pytest
 
-from repro.campaign import run_campaign
+from repro.campaign import (
+    CampaignReport,
+    failure_entry,
+    problem_name_from_path,
+    run_campaign,
+)
 from repro.config import AcamarConfig
 from repro.datasets import poisson_2d
+from repro.datasets.problem import Problem
 from repro.errors import DatasetError
 from repro.sparse.io import write_matrix_market
 
@@ -79,3 +88,156 @@ class TestAggregation:
         assert report.convergence_rate == 0.0
         assert report.solver_mix == {}
         assert report.mean_throughput == 0.0
+
+    def test_empty_campaign_summary_is_well_formed(self):
+        report = run_campaign([])
+        assert report.entries == []
+        assert report.failures == []
+        assert report.mean_underutilization == 0.0
+        assert report.total_compute_ms == 0.0
+        lines = report.summary_lines()
+        assert any("systems solved        : 0" in line for line in lines)
+        assert any("convergence rate      : 0%" in line for line in lines)
+
+
+class TestResolveNames:
+    """Regression: `.mtx.gz` sources must not keep a stray `.mtx` suffix."""
+
+    def test_problem_name_from_path(self):
+        assert problem_name_from_path("runs/wang3.mtx") == "wang3"
+        assert problem_name_from_path("runs/wang3.mtx.gz") == "wang3"
+
+    def test_gz_source_name_has_no_mtx_suffix(self, tmp_path):
+        plain = tmp_path / "grid.mtx"
+        write_matrix_market(poisson_2d(8).matrix, plain)
+        gz_path = tmp_path / "grid.mtx.gz"
+        with open(plain, "rb") as src, gzip.open(gz_path, "wb") as dst:
+            shutil.copyfileobj(src, dst)
+        report = run_campaign([str(gz_path)])
+        assert report.entries[0].name == "grid"
+        assert report.entries[0].converged
+
+
+class TestFailurePaths:
+    def test_unresolvable_source_names_the_source(self):
+        with pytest.raises(DatasetError, match="'bogus-key'"):
+            run_campaign(["Wa", "bogus-key"])
+
+    def test_missing_mtx_path_raises_dataset_error(self):
+        with pytest.raises(DatasetError, match="does-not-exist.mtx"):
+            run_campaign(["does-not-exist.mtx"])
+
+    def test_unresolvable_source_rejected_before_any_solve(self):
+        # Eager validation: the bad source aborts the campaign up front,
+        # even when it comes last.
+        with pytest.raises(DatasetError):
+            run_campaign([poisson_2d(8), "bogus-key"])
+
+    def test_solve_crash_becomes_failure_entry(self):
+        good = poisson_2d(8)
+        bad = Problem(name="bad_rhs", matrix=good.matrix, b=np.ones(3))
+        report = run_campaign([bad, good])
+        assert len(report.entries) == 2
+        first, second = report.entries
+        assert first.failed and not first.converged
+        assert first.name == "bad_rhs"
+        assert first.failure  # "ExceptionType: message"
+        assert second.converged and not second.failed
+        assert report.failures == [first]
+        assert any("failures" in line for line in report.summary_lines())
+
+    def test_failure_entry_shape(self):
+        entry = failure_entry("broken", "ValueError: nope")
+        assert entry.failed
+        assert entry.solver_sequence == ()
+        assert entry.iterations == 0
+        report = CampaignReport(entries=[entry])
+        assert report.convergence_rate == 0.0
+        assert report.solver_mix == {}
+
+    def test_failure_recorded_in_csv(self, tmp_path):
+        good = poisson_2d(8)
+        bad = Problem(name="bad_rhs", matrix=good.matrix, b=np.ones(3))
+        report = run_campaign([bad, good])
+        path = report.to_csv(tmp_path / "campaign.csv")
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        header = rows[0]
+        assert header[-1] == "failure"
+        assert rows[1][-1] != ""
+        assert rows[2][-1] == ""
+
+
+class TestParallelCampaign:
+    KEYS = ["Wa", "Li", "Fe", "If", "Qa", "Th"]
+
+    @staticmethod
+    def signature(report):
+        return [
+            (e.name, e.converged, e.iterations, e.solver_sequence)
+            for e in report.entries
+        ]
+
+    def test_parallel_matches_serial(self):
+        serial = run_campaign(self.KEYS)
+        parallel = run_campaign(self.KEYS, workers=2)
+        assert self.signature(serial) == self.signature(parallel)
+
+    def test_parallel_engine_stats_in_telemetry(self):
+        report = run_campaign(self.KEYS, workers=2)
+        campaign = report.telemetry["campaign"]
+        assert campaign["workers"] == 2
+        assert campaign["problems"] == len(self.KEYS)
+        assert campaign["chunks"] >= 1
+        assert campaign["pool_restarts"] == 0
+
+    def test_parallel_failure_isolation(self):
+        good = poisson_2d(8)
+        bad = Problem(name="bad_rhs", matrix=good.matrix, b=np.ones(3))
+        report = run_campaign([bad, "Wa", good], workers=2)
+        assert len(report.entries) == 3
+        assert report.entries[0].failed
+        assert report.entries[1].converged
+        assert report.entries[2].converged
+
+    def test_single_worker_stays_serial(self):
+        report = run_campaign(["Wa"], workers=1)
+        assert report.telemetry["campaign"]["workers"] == 1
+        assert "chunks" not in report.telemetry["campaign"]
+
+    def test_seed_derivation_is_per_position(self, tmp_path):
+        path = tmp_path / "grid.mtx"
+        write_matrix_market(poisson_2d(8).matrix, path)
+        # Same file at two positions → same matrix, different manufactured
+        # right-hand sides (seed + position), deterministically.
+        once = run_campaign([str(path), str(path)], seed=7)
+        again = run_campaign([str(path), str(path)], seed=7)
+        assert self.signature(once) == self.signature(again)
+
+
+class TestTelemetryReport:
+    def test_schema_sections_present(self):
+        report = run_campaign(["Wa"])
+        document = report.telemetry
+        assert document["schema_version"] == 1
+        for section in (
+            "campaign", "solver_attempts", "reconfigurations", "stages",
+            "counters",
+        ):
+            assert section in document
+        assert document["campaign"]["problems"] == 1
+        assert document["campaign"]["converged"] == 1
+        assert sum(document["solver_attempts"].values()) >= 1
+        assert document["stages"]["campaign.solve"]["count"] == 1
+
+    def test_write_telemetry_roundtrip(self, tmp_path):
+        import json
+
+        report = run_campaign(["Wa"])
+        path = report.write_telemetry(tmp_path / "telemetry.json")
+        assert json.loads(path.read_text()) == report.telemetry
+
+    def test_write_telemetry_requires_aggregate(self):
+        report = CampaignReport(entries=[])
+        with pytest.raises(ValueError, match="no telemetry"):
+            report.write_telemetry("unused.json")

@@ -91,3 +91,39 @@ class TestExperiments:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
+
+
+class TestCampaign:
+    def test_campaign_with_keys(self, capsys):
+        assert main(["campaign", "Wa", "Li"]) == 0
+        out = capsys.readouterr().out
+        assert "systems solved        : 2" in out
+        assert "convergence rate      : 100%" in out
+
+    def test_campaign_all_flag(self, capsys):
+        assert main(["campaign", "--all", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "systems solved        : 25" in out
+
+    def test_campaign_without_sources_errors(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "no sources" in capsys.readouterr().err
+
+    def test_campaign_unknown_source_errors(self, capsys):
+        assert main(["campaign", "bogus-key"]) == 2
+        assert "bogus-key" in capsys.readouterr().err
+
+    def test_campaign_writes_csv_and_telemetry(self, tmp_path, capsys):
+        import json
+
+        csv_path = tmp_path / "campaign.csv"
+        telemetry_path = tmp_path / "telemetry.json"
+        assert main([
+            "campaign", "Wa", "--csv", str(csv_path),
+            "--telemetry", str(telemetry_path),
+        ]) == 0
+        assert csv_path.exists()
+        document = json.loads(telemetry_path.read_text())
+        assert document["schema_version"] == 1
+        assert document["campaign"]["problems"] == 1
+        assert "stages" in document
