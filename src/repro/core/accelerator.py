@@ -159,10 +159,19 @@ class Acamar:
         attempts: list[SolverAttempt] = []
         solver_name: str | None = selection.solver
         selected_by = "matrix_structure"
+        # Every configuration runs at the same solver precision, so cast
+        # the operator once up front instead of once per fallback attempt
+        # (each solver's ``_prepare`` then sees a matching dtype and the
+        # cast matrix's structure cache is shared across attempts).
+        solver_dtype = np.dtype(self.config.dtype)
+        if matrix.data.dtype != solver_dtype:
+            compute_matrix = matrix.astype(solver_dtype)
+        else:
+            compute_matrix = matrix
         while solver_name is not None:
             with tm.span("reconfigurable_solver.attempt"):
                 solver = self._make_solver(solver_name, matrix.shape[0])
-                result = solver.solve(matrix, b, x0)
+                result = solver.solve(compute_matrix, b, x0)
             tm.count(f"solver_attempts.{solver_name}")
             attempts.append(
                 SolverAttempt(

@@ -18,6 +18,7 @@ partial reconfiguration.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -63,22 +64,33 @@ class ReconfigurationPlan:
         """Partial-reconfiguration events (excludes the initial load)."""
         return sum(1 for s in self.sets if s.reconfigure)
 
-    @property
+    @cached_property
     def unroll_for_rows(self) -> np.ndarray:
-        """Per-row unroll factor implied by the plan."""
+        """Per-row unroll factor implied by the plan.
+
+        Sets tile ``[0, n_rows)`` contiguously, so the expansion is one
+        ``np.repeat``.  Computed once per plan and cached (plans are
+        frozen); the returned array is read-only.
+        """
         if not self.sets:
             return np.array([], dtype=np.int64)
-        n_rows = self.sets[-1].stop_row
-        out = np.empty(n_rows, dtype=np.int64)
-        for row_set in self.sets:
-            out[row_set.start_row : row_set.stop_row] = row_set.unroll
+        unrolls = np.array([s.unroll for s in self.sets], dtype=np.int64)
+        counts = np.array([s.n_rows for s in self.sets], dtype=np.int64)
+        out = np.repeat(unrolls, counts)
+        out.flags.writeable = False
         return out
 
 
 def quantize_unroll(
-    average_nnz: float, max_unroll: int, mode: str = "nearest"
-) -> int:
+    average_nnz: float | np.ndarray, max_unroll: int, mode: str = "nearest"
+) -> int | np.ndarray:
     """Quantize Eq. 7's average to an implementable unroll factor.
+
+    Accepts a scalar (returns ``int``) or an array (returns an int64
+    array), so the Resource Decision loop quantizes a whole ``tBuffer``
+    in one vectorized call.  ``np.rint`` rounds half-to-even exactly like
+    Python's ``round``, keeping the array path bit-identical to the old
+    per-element loop.
 
     ``mode`` selects the rounding policy — a design choice the ablation
     benchmarks sweep:
@@ -92,18 +104,22 @@ def quantize_unroll(
     The result is clamped to ``[1, max_unroll]`` — the Dynamic SpMV
     region cannot hold more MAC units than its partition provides.
     """
+    values = np.asarray(average_nnz, dtype=np.float64)
     if mode == "nearest":
-        value = round(average_nnz)
+        quantized = np.rint(values)
     elif mode == "ceil":
-        value = int(np.ceil(average_nnz))
+        quantized = np.ceil(values)
     elif mode == "floor":
-        value = int(np.floor(average_nnz))
+        quantized = np.floor(values)
     else:
         raise ConfigurationError(
             f"unknown quantization mode {mode!r}; "
             "expected 'nearest', 'ceil' or 'floor'"
         )
-    return int(np.clip(value, 1, max_unroll))
+    quantized = np.clip(quantized, 1, max_unroll).astype(np.int64)
+    if np.ndim(average_nnz) == 0:
+        return int(quantized)
+    return quantized
 
 
 class RowLengthTrace:
@@ -132,10 +148,20 @@ class RowLengthTrace:
         return bounds
 
     def trace(self, matrix: CSRMatrix) -> tuple[np.ndarray, list[tuple[int, int]]]:
-        """Average NNZ/row per set, plus the set boundaries."""
-        lengths = matrix.row_lengths().astype(np.float64)
+        """Average NNZ/row per set, plus the set boundaries.
+
+        The per-set mean is read straight off the CSR offsets:
+        ``(indptr[hi] - indptr[lo]) / (hi - lo)``.  Integer NNZ totals are
+        exact in float64, so this is bit-identical to averaging the
+        row-length array per set — and identical by construction to the
+        single-pass :meth:`stream` formulation.
+        """
         bounds = self.set_bounds(matrix.n_rows)
-        averages = np.array([lengths[lo:hi].mean() for lo, hi in bounds])
+        if not bounds:
+            return np.array([], dtype=np.float64), bounds
+        edges = np.asarray(bounds, dtype=np.int64)
+        los, his = edges[:, 0], edges[:, 1]
+        averages = (matrix.indptr[his] - matrix.indptr[los]) / (his - los)
         return averages, bounds
 
     def stream(self, indptr: np.ndarray):
@@ -181,30 +207,25 @@ class FineGrainedReconfigurationUnit:
     def _plan(self, matrix: CSRMatrix) -> ReconfigurationPlan:
         averages, bounds = self.trace_unit.trace(matrix)
         mode = self.config.unroll_rounding
-        raw_unrolls = np.array(
-            [quantize_unroll(a, self.config.max_unroll, mode) for a in averages],
-            dtype=np.int64,
-        )
+        raw_unrolls = quantize_unroll(averages, self.config.max_unroll, mode)
         msid = self.msid_chain.optimize(raw_unrolls)
         tm.count("msid_events_removed", msid.events_removed)
-        final_unrolls = np.array(
-            [quantize_unroll(u, self.config.max_unroll, mode) for u in msid.final],
-            dtype=np.int64,
+        final_unrolls = quantize_unroll(
+            np.asarray(msid.final), self.config.max_unroll, mode
         )
-        sets: list[RowSetPlan] = []
-        previous_unroll: int | None = None
-        for (lo, hi), unroll in zip(bounds, final_unrolls):
-            sets.append(
-                RowSetPlan(
-                    start_row=lo,
-                    stop_row=hi,
-                    unroll=int(unroll),
-                    reconfigure=(
-                        previous_unroll is not None and unroll != previous_unroll
-                    ),
-                )
+        # A set reconfigures when its unroll differs from its predecessor;
+        # the first set is the initial load, never a reconfiguration.
+        reconfigure = np.zeros(len(final_unrolls), dtype=bool)
+        reconfigure[1:] = final_unrolls[1:] != final_unrolls[:-1]
+        sets = [
+            RowSetPlan(
+                start_row=lo,
+                stop_row=hi,
+                unroll=int(unroll),
+                reconfigure=bool(flag),
             )
-            previous_unroll = int(unroll)
+            for (lo, hi), unroll, flag in zip(bounds, final_unrolls, reconfigure)
+        ]
         return ReconfigurationPlan(
             sets=tuple(sets),
             msid=msid,

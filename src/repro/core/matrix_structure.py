@@ -59,7 +59,12 @@ class MatrixStructureUnit:
         self.policy = policy
 
     def analyze(self, matrix: CSRMatrix) -> MatrixProperties:
-        """Run the two hardware checks (diag dominance, CSR-vs-CSC)."""
+        """Run the two hardware checks (diag dominance, CSR-vs-CSC).
+
+        The CSC view comes from the matrix's cached transpose, so a
+        solve that later needs ``rmatvec`` (BiCG's shadow sweep) reuses
+        the same transposition instead of re-sorting the entries.
+        """
         return analyze_properties(matrix, rtol=self.symmetry_rtol)
 
     def _cg_selection(self, props: MatrixProperties) -> SolverSelection:

@@ -105,10 +105,9 @@ def operator_row_lengths(matrix: CSRMatrix, solver: str) -> np.ndarray:
     if solver != "jacobi":
         return lengths
     n = min(matrix.shape)
-    row_of = np.repeat(np.arange(matrix.n_rows), lengths)
-    has_diag = np.zeros(matrix.n_rows, dtype=np.int64)
+    row_of = matrix.row_ids()
     on_diag = (row_of == matrix.indices) & (matrix.indices < n)
-    np.add.at(has_diag, row_of[on_diag], 1)
+    has_diag = np.bincount(row_of[on_diag], minlength=matrix.n_rows)
     return lengths - has_diag
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 import functools
 from abc import ABC, abstractmethod
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, TypeVar
 
@@ -61,13 +62,13 @@ class OpCounter:
     DENSE_KINDS = ("dot", "axpy", "scale", "vadd", "norm")
 
     def __init__(self) -> None:
-        self.counts: dict[str, int] = {}
-        self.sizes: dict[str, int] = {}
+        self.counts: Counter[str] = Counter()
+        self.sizes: Counter[str] = Counter()
 
     def record(self, kind: str, size: int) -> None:
         """Count one invocation of ``kind`` touching ``size`` elements."""
-        self.counts[kind] = self.counts.get(kind, 0) + 1
-        self.sizes[kind] = self.sizes.get(kind, 0) + int(size)
+        self.counts[kind] += 1
+        self.sizes[kind] += int(size)
 
     def spmv_count(self) -> int:
         """Number of SpMV passes executed."""
@@ -78,13 +79,17 @@ class OpCounter:
         return sum(self.sizes.get(kind, 0) for kind in self.DENSE_KINDS)
 
     def merged_with(self, other: "OpCounter") -> "OpCounter":
-        """Return a new counter with both tallies combined."""
+        """Return a new counter with both tallies combined.
+
+        ``Counter.update`` rather than ``Counter.__add__``: the latter
+        drops non-positive entries, and a recorded kind with total size 0
+        (e.g. an empty-vector kernel) must survive the merge.
+        """
         merged = OpCounter()
-        for source in (self, other):
-            for kind, count in source.counts.items():
-                merged.counts[kind] = merged.counts.get(kind, 0) + count
-            for kind, size in source.sizes.items():
-                merged.sizes[kind] = merged.sizes.get(kind, 0) + size
+        merged.counts.update(self.counts)
+        merged.counts.update(other.counts)
+        merged.sizes.update(self.sizes)
+        merged.sizes.update(other.sizes)
         return merged
 
     def as_dict(self) -> dict[str, int]:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry as tm
 from repro.solvers.base import (
     IterativeSolver,
     OpCounter,
@@ -66,9 +67,13 @@ class BiCGSolver(IterativeSolver):
             if abs(rho) < _BREAKDOWN_EPS:
                 status = SolveStatus.BREAKDOWN
                 break
-            ap = matrix.matvec(p)
+            with tm.span("kernel.spmv"):
+                ap = matrix.matvec(p)
             ops.record("spmv", matrix.nnz)
-            atp = matrix.rmatvec(p_shadow.astype(self.dtype)).astype(np.float64)
+            with tm.span("kernel.rmatvec"):
+                atp = matrix.rmatvec(
+                    p_shadow.astype(self.dtype)
+                ).astype(np.float64)
             ops.record("spmv", matrix.nnz)
             denom = float(p_shadow @ ap.astype(np.float64))
             ops.record("dot", n)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry as tm
 from repro.solvers.base import (
     IterativeSolver,
     OpCounter,
@@ -47,7 +48,9 @@ class BiCGStabSolver(IterativeSolver):
         n = matrix.shape[0]
 
         # Initialize unit: r_0 = b - A x_0 (static SpMV), r0* = r_0, p_0 = r_0.
-        r = b - matrix.matvec(x)
+        with tm.span("kernel.spmv"):
+            ax = matrix.matvec(x)
+        r = b - ax
         ops.record("spmv", matrix.nnz)
         ops.record("vadd", n)
         r_shadow = r.astype(np.float64).copy()
@@ -66,7 +69,8 @@ class BiCGStabSolver(IterativeSolver):
             if abs(rho) < _BREAKDOWN_EPS:
                 status = SolveStatus.BREAKDOWN  # rho-breakdown
                 break
-            ap = matrix.matvec(p)
+            with tm.span("kernel.spmv"):
+                ap = matrix.matvec(p)
             ops.record("spmv", matrix.nnz)
             ap_rs = float(ap.astype(np.float64) @ r_shadow)
             ops.record("dot", n)
@@ -84,7 +88,8 @@ class BiCGStabSolver(IterativeSolver):
                 ops.record("axpy", n)
                 status = monitor.update(s_norm)
                 break
-            a_s = matrix.matvec(s)
+            with tm.span("kernel.spmv"):
+                a_s = matrix.matvec(s)
             ops.record("spmv", matrix.nnz)
             as_s = float(a_s.astype(np.float64) @ s.astype(np.float64))
             as_as = float(a_s.astype(np.float64) @ a_s.astype(np.float64))

@@ -61,12 +61,11 @@ class JacobiSolver(IterativeSolver):
         inv_diag = (1.0 / diag).astype(self.dtype)
         off_diag = matrix.without_diagonal()
         # T = D^-1 (L + U): scale each stored row of (L+U) by 1/d_i.
-        row_of = np.repeat(np.arange(n), off_diag.row_lengths())
-        t_matrix = CSRMatrix(
-            off_diag.shape,
-            off_diag.indptr,
-            off_diag.indices,
-            (off_diag.data * inv_diag[row_of]).astype(self.dtype),
+        # ``row_ids``/``without_diagonal`` are cached on the matrix, so
+        # repeated solves of the same operator skip the structure work.
+        row_of = off_diag.row_ids()
+        t_matrix = off_diag.with_data(
+            (off_diag.data * inv_diag[row_of]).astype(self.dtype)
         )
         c = (inv_diag * b).astype(self.dtype)
 

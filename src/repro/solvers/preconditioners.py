@@ -77,8 +77,7 @@ class JacobiPreconditioner(Preconditioner):
 
 def _split_triangles(matrix: CSRMatrix):
     """Return (lower-strict, diag, upper-strict) views as index arrays."""
-    n = matrix.shape[0]
-    row_of = np.repeat(np.arange(n), matrix.row_lengths())
+    row_of = matrix.row_ids()
     lower = row_of > matrix.indices
     upper = row_of < matrix.indices
     return row_of, lower, upper
@@ -164,7 +163,7 @@ class ILU0Preconditioner(Preconditioner):
         factor = self._factor
         # Position of each (row, col) entry for pattern lookups.
         position: dict[tuple[int, int], int] = {}
-        row_of = np.repeat(np.arange(n), self._matrix.row_lengths())
+        row_of = self._matrix.row_ids()
         for idx, (r, c) in enumerate(zip(row_of, indices)):
             position[(int(r), int(c))] = idx
         diag_pos = np.full(n, -1, dtype=np.int64)
@@ -231,7 +230,7 @@ class ILU0Preconditioner(Preconditioner):
         n = self._n
         lower = np.eye(n)
         upper = np.zeros((n, n))
-        row_of = np.repeat(np.arange(n), self._matrix.row_lengths())
+        row_of = self._matrix.row_ids()
         for idx, (r, c) in enumerate(zip(row_of, self._matrix.indices)):
             if c < r:
                 lower[r, c] = self._factor[idx]

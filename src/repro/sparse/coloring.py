@@ -61,7 +61,7 @@ def color_classes(colors: np.ndarray) -> list[np.ndarray]:
 def verify_coloring(matrix: CSRMatrix, colors: np.ndarray) -> bool:
     """True when no stored off-diagonal entry couples same-colored rows."""
     colors = np.asarray(colors)
-    row_of = np.repeat(np.arange(matrix.n_rows), matrix.row_lengths())
+    row_of = matrix.row_ids()
     off = row_of != matrix.indices
     return bool(
         np.all(colors[row_of[off]] != colors[matrix.indices[off]])

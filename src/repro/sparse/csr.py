@@ -6,6 +6,16 @@ mirrors that layout and provides the operations the rest of the library is
 built on: a vectorized SpMV, row slicing for the 4096-row chunking, diagonal
 extraction for Jacobi, and transposition (which doubles as CSR→CSC
 conversion in the Matrix Structure unit).
+
+Immutability contract
+---------------------
+``CSRMatrix`` instances are immutable by construction: no method mutates
+``indptr``/``indices``/``data`` after ``__init__``, and callers must not
+either.  That contract is what makes the internal structure cache sound —
+derived views (row ids, row lengths, the diagonal, the transposed matrix,
+the off-diagonal split, the SpMV kernel plan) are computed lazily on first
+use and reused for the lifetime of the matrix.  Cached vector views are
+returned as read-only arrays; copy before writing.
 """
 
 from __future__ import annotations
@@ -13,6 +23,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ShapeMismatchError, SparseFormatError
+
+_DIA_MAX_DIAGONALS = 24
+"""Upper bound on distinct diagonals for the banded SpMV fast path."""
+
+_DIA_MIN_FILL = 0.5
+"""Minimum occupied fraction of the banded footprint for the fast path."""
 
 
 class CSRMatrix:
@@ -33,7 +49,7 @@ class CSRMatrix:
         Stored values, same length as ``indices``.
     """
 
-    __slots__ = ("shape", "indptr", "indices", "data")
+    __slots__ = ("shape", "indptr", "indices", "data", "_cache")
 
     def __init__(
         self,
@@ -66,6 +82,29 @@ class CSRMatrix:
         self.indptr = indptr
         self.indices = indices
         self.data = data
+        self._cache: dict = {}
+
+    @classmethod
+    def _from_canonical_parts(
+        cls,
+        shape: tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ) -> "CSRMatrix":
+        """Build a matrix from arrays already known to be canonical CSR.
+
+        Skips the O(nnz) constructor validation; only for internal callers
+        whose outputs are canonical by construction (transpose, slicing,
+        casts, diagonal removal).  ``indptr``/``indices`` must be int64.
+        """
+        self = object.__new__(cls)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self._cache = {}
+        return self
 
     @staticmethod
     def _check_sorted_rows(indptr: np.ndarray, indices: np.ndarray) -> None:
@@ -108,8 +147,41 @@ class CSRMatrix:
         return self.nnz / cells if cells else 0.0
 
     def row_lengths(self) -> np.ndarray:
-        """NNZ per row — the quantity the Row Length Trace unit streams."""
-        return np.diff(self.indptr)
+        """NNZ per row — the quantity the Row Length Trace unit streams.
+
+        Cached; the returned array is read-only.
+        """
+        lengths = self._cache.get("row_lengths")
+        if lengths is None:
+            lengths = np.diff(self.indptr)
+            lengths.flags.writeable = False
+            self._cache["row_lengths"] = lengths
+        return lengths
+
+    def row_ids(self) -> np.ndarray:
+        """Row index of each stored entry (the COO row stream).
+
+        Cached; the returned array is read-only.
+        """
+        ids = self._cache.get("row_ids")
+        if ids is None:
+            ids = np.repeat(np.arange(self.n_rows), self.row_lengths())
+            ids.flags.writeable = False
+            self._cache["row_ids"] = ids
+        return ids
+
+    def _workspace(self, tag: str, size: int, dtype: np.dtype) -> np.ndarray:
+        """Reusable scratch buffer keyed by role and dtype.
+
+        Kernel-internal only: contents are clobbered by the next kernel
+        call on this matrix, so nothing user-visible may alias it.
+        """
+        key = ("ws", tag, np.dtype(dtype))
+        buf = self._cache.get(key)
+        if buf is None or len(buf) < size:
+            buf = np.empty(size, dtype=dtype)
+            self._cache[key] = buf
+        return buf[:size]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -121,12 +193,65 @@ class CSRMatrix:
     # Compute kernels
     # ------------------------------------------------------------------
 
+    def _spmv_plan(self) -> tuple:
+        """Kernel plan for :meth:`matvec`, built once per matrix.
+
+        ``("empty",)`` — no stored entries, the product is all zeros.
+
+        ``("dia", terms)`` — banded fast path: the matrix has few distinct
+        diagonals and they are densely occupied (regular stencils such as
+        the 5-point Poisson operator).  Each term is
+        ``(offset, lo, hi, weights)`` and the product is accumulated as
+        contiguous multiply-add sweeps in ascending-offset order, which
+        matches the per-row left-to-right accumulation order.
+
+        ``("csr", starts, nonempty)`` — general gather + segmented
+        reduction.  ``nonempty`` is ``None`` when every row has at least
+        one entry (the common case), letting the kernel skip the masked
+        scatter of results.
+        """
+        plan = self._cache.get("spmv_plan")
+        if plan is None:
+            plan = self._build_spmv_plan()
+            self._cache["spmv_plan"] = plan
+        return plan
+
+    def _build_spmv_plan(self) -> tuple:
+        if self.nnz == 0:
+            return ("empty",)
+        n_rows, n_cols = self.shape
+        offsets = self.indices - self.row_ids()
+        distinct = np.unique(offsets)
+        if len(distinct) <= _DIA_MAX_DIAGONALS:
+            bounds = [
+                (max(0, -int(d)), min(n_rows, n_cols - int(d)))
+                for d in distinct
+            ]
+            footprint = sum(hi - lo for lo, hi in bounds)
+            if footprint and self.nnz >= _DIA_MIN_FILL * footprint:
+                terms = []
+                row_ids = self.row_ids()
+                for d, (lo, hi) in zip(distinct, bounds):
+                    mask = offsets == d
+                    weights = np.zeros(hi - lo, dtype=self.data.dtype)
+                    weights[row_ids[mask] - lo] = self.data[mask]
+                    weights.flags.writeable = False
+                    terms.append((int(d), lo, hi, weights))
+                return ("dia", tuple(terms))
+        nonempty = self.indptr[:-1] != self.indptr[1:]
+        if nonempty.all():
+            return ("csr", self.indptr[:-1], None)
+        nonempty.flags.writeable = False
+        starts = self.indptr[:-1][nonempty]
+        return ("csr", starts, nonempty)
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Sparse matrix–vector product ``A @ x``.
 
         Implemented with gather + segmented reduction
         (:func:`numpy.add.reduceat`), which mirrors the accelerator's
-        gather-multiply-reduce pipeline without scipy.
+        gather-multiply-reduce pipeline without scipy; densely banded
+        matrices instead take a per-diagonal multiply-add fast path.
         """
         x = np.asarray(x)
         if x.shape != (self.n_cols,):
@@ -134,74 +259,116 @@ class CSRMatrix:
                 f"matvec expects a vector of length {self.n_cols}, got {x.shape}"
             )
         out_dtype = np.result_type(self.data, x)
-        products = self.data * x[self.indices]
+        plan = self._spmv_plan()
+        if plan[0] == "empty":
+            return np.zeros(self.n_rows, dtype=out_dtype)
+        if plan[0] == "dia":
+            result = np.zeros(self.n_rows, dtype=out_dtype)
+            scratch = self._workspace("dia", self.n_rows, out_dtype)
+            for offset, lo, hi, weights in plan[1]:
+                seg = scratch[: hi - lo]
+                np.multiply(weights, x[lo + offset : hi + offset], out=seg)
+                np.add(result[lo:hi], seg, out=result[lo:hi])
+            return result
+        _, starts, nonempty = plan
+        products = self._workspace("products", self.nnz, out_dtype)
+        np.multiply(self.data, x[self.indices], out=products)
+        if nonempty is None:
+            return np.add.reduceat(products, starts)
         result = np.zeros(self.n_rows, dtype=out_dtype)
-        nonempty = self.indptr[:-1] != self.indptr[1:]
-        if np.any(nonempty):
-            starts = self.indptr[:-1][nonempty]
-            result[nonempty] = np.add.reduceat(products, starts)
+        result[nonempty] = np.add.reduceat(products, starts)
         return result
 
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
-        """Transposed product ``A.T @ x`` without materializing ``A.T``."""
+        """Transposed product ``A.T @ x`` via the cached transpose.
+
+        Delegating to ``A.T.matvec`` turns the per-call ``np.add.at``
+        scatter into a one-time transposition (argsort) plus the same
+        gather + ``reduceat`` kernel as :meth:`matvec`, which is what
+        makes BiCG's shadow recurrence affordable.
+        """
         x = np.asarray(x)
         if x.shape != (self.n_rows,):
             raise ShapeMismatchError(
                 f"rmatvec expects a vector of length {self.n_rows}, got {x.shape}"
             )
-        out_dtype = np.result_type(self.data, x)
-        row_of = np.repeat(np.arange(self.n_rows), self.row_lengths())
-        result = np.zeros(self.n_cols, dtype=out_dtype)
-        np.add.at(result, self.indices, self.data * x[row_of])
-        return result
+        return self.transpose().matvec(x)
 
     # ------------------------------------------------------------------
     # Structure manipulation
     # ------------------------------------------------------------------
 
     def diagonal(self) -> np.ndarray:
-        """Main diagonal as a dense vector (zeros where unstored)."""
-        n = min(self.shape)
-        diag = np.zeros(n, dtype=self.data.dtype)
-        row_of = np.repeat(np.arange(self.n_rows), self.row_lengths())
-        on_diag = (row_of == self.indices) & (self.indices < n)
-        diag[self.indices[on_diag]] = self.data[on_diag]
+        """Main diagonal as a dense vector (zeros where unstored).
+
+        Cached; the returned array is read-only.
+        """
+        diag = self._cache.get("diagonal")
+        if diag is None:
+            n = min(self.shape)
+            diag = np.zeros(n, dtype=self.data.dtype)
+            on_diag = (self.row_ids() == self.indices) & (self.indices < n)
+            diag[self.indices[on_diag]] = self.data[on_diag]
+            diag.flags.writeable = False
+            self._cache["diagonal"] = diag
         return diag
 
     def without_diagonal(self) -> "CSRMatrix":
-        """Copy with the main diagonal removed (the ``L + U`` of Jacobi)."""
-        row_of = np.repeat(np.arange(self.n_rows), self.row_lengths())
-        keep = row_of != self.indices
-        new_counts = np.bincount(row_of[keep], minlength=self.n_rows)
-        indptr = np.zeros(self.n_rows + 1, dtype=np.int64)
-        np.cumsum(new_counts, out=indptr[1:])
-        return CSRMatrix(self.shape, indptr, self.indices[keep], self.data[keep])
+        """Copy with the main diagonal removed (the ``L + U`` of Jacobi).
+
+        Cached: repeated calls return the same matrix object.
+        """
+        off = self._cache.get("without_diagonal")
+        if off is None:
+            row_of = self.row_ids()
+            keep = row_of != self.indices
+            new_counts = np.bincount(row_of[keep], minlength=self.n_rows)
+            indptr = np.zeros(self.n_rows + 1, dtype=np.int64)
+            np.cumsum(new_counts, out=indptr[1:])
+            off = CSRMatrix._from_canonical_parts(
+                self.shape, indptr, self.indices[keep], self.data[keep]
+            )
+            self._cache["without_diagonal"] = off
+        return off
 
     def transpose(self) -> "CSRMatrix":
-        """Return ``A.T`` as a new CSR matrix.
+        """Return ``A.T`` as a CSR matrix.
 
         This is the same data shuffle as converting to CSC and re-reading the
         arrays as CSR, which is exactly how the paper's Matrix Structure unit
         produces the CSC view for its symmetry comparison.
+
+        Cached: repeated calls return the same matrix object, and the
+        transpose links back so ``A.T.T is A``.
         """
-        n_rows, n_cols = self.shape
-        counts = np.bincount(self.indices, minlength=n_cols)
-        indptr = np.zeros(n_cols + 1, dtype=np.int64)
-        np.cumsum(counts, out=indptr[1:])
-        row_of = np.repeat(np.arange(n_rows), self.row_lengths())
-        # Stable sort by column produces rows in increasing order per column.
-        order = np.argsort(self.indices, kind="stable")
-        return CSRMatrix(
-            (n_cols, n_rows), indptr, row_of[order], self.data[order]
-        )
+        t = self._cache.get("transpose")
+        if t is None:
+            n_rows, n_cols = self.shape
+            counts = np.bincount(self.indices, minlength=n_cols)
+            indptr = np.zeros(n_cols + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            # Stable sort by column produces rows in increasing order per
+            # column.
+            order = np.argsort(self.indices, kind="stable")
+            t = CSRMatrix._from_canonical_parts(
+                (n_cols, n_rows), indptr, self.row_ids()[order],
+                self.data[order],
+            )
+            t._cache["transpose"] = self
+            self._cache["transpose"] = t
+        return t
 
     def row_slice(self, start: int, stop: int) -> "CSRMatrix":
-        """Rows ``start:stop`` as a new CSR matrix (used for 4096-row chunks)."""
+        """Rows ``start:stop`` as a new CSR matrix (used for 4096-row chunks).
+
+        The slice owns copies of its arrays and starts with a fresh, empty
+        structure cache — nothing is shared with this matrix's cache.
+        """
         start = max(0, min(start, self.n_rows))
         stop = max(start, min(stop, self.n_rows))
         lo, hi = self.indptr[start], self.indptr[stop]
-        indptr = (self.indptr[start : stop + 1] - lo).copy()
-        return CSRMatrix(
+        indptr = self.indptr[start : stop + 1] - lo
+        return CSRMatrix._from_canonical_parts(
             (stop - start, self.n_cols),
             indptr,
             self.indices[lo:hi].copy(),
@@ -210,9 +377,26 @@ class CSRMatrix:
 
     def astype(self, dtype: np.dtype | type) -> "CSRMatrix":
         """Copy with values cast to ``dtype`` (e.g. ``np.float32``)."""
-        return CSRMatrix(
+        return type(self)._from_canonical_parts(
             self.shape, self.indptr.copy(), self.indices.copy(),
             self.data.astype(dtype),
+        )
+
+    def with_data(self, data: np.ndarray) -> "CSRMatrix":
+        """Same sparsity pattern, new stored values.
+
+        The structure arrays are shared (they are immutable); only the
+        value stream is replaced.  Used by Jacobi to build
+        ``T = D^-1 (L + U)`` without revalidating the pattern.
+        """
+        data = np.asarray(data)
+        if data.shape != self.data.shape:
+            raise SparseFormatError(
+                f"with_data expects {self.data.shape[0]} values, "
+                f"got {data.shape}"
+            )
+        return CSRMatrix._from_canonical_parts(
+            self.shape, self.indptr, self.indices, data
         )
 
     # ------------------------------------------------------------------
@@ -221,15 +405,16 @@ class CSRMatrix:
 
     def to_dense(self) -> np.ndarray:
         dense = np.zeros(self.shape, dtype=self.data.dtype)
-        row_of = np.repeat(np.arange(self.n_rows), self.row_lengths())
-        dense[row_of, self.indices] = self.data
+        dense[self.row_ids(), self.indices] = self.data
         return dense
 
     def to_coo(self) -> "COOMatrix":
         from repro.sparse.coo import COOMatrix
 
-        row_of = np.repeat(np.arange(self.n_rows), self.row_lengths())
-        return COOMatrix(self.shape, row_of, self.indices.copy(), self.data.copy())
+        return COOMatrix(
+            self.shape, self.row_ids().copy(), self.indices.copy(),
+            self.data.copy(),
+        )
 
     def to_csc(self) -> "CSCMatrix":
         """Convert to CSC — the Matrix Structure unit's comparison format."""

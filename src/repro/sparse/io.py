@@ -145,7 +145,7 @@ def write_matrix_market(
         for comment in comments:
             stream.write(f"% {comment}\n")
         stream.write(f"{matrix.shape[0]} {matrix.shape[1]} {matrix.nnz}\n")
-        row_of = np.repeat(np.arange(matrix.n_rows), matrix.row_lengths())
+        row_of = matrix.row_ids()
         for r, c, v in zip(row_of, matrix.indices, matrix.data):
             stream.write(f"{r + 1} {c + 1} {float(v)!r}\n")
     finally:

@@ -31,23 +31,29 @@ def is_strictly_diagonally_dominant(matrix: CSRMatrix) -> bool:
     if matrix.shape[0] != matrix.shape[1]:
         return False
     diag = np.abs(matrix.diagonal())
-    row_of = np.repeat(np.arange(matrix.n_rows), matrix.row_lengths())
-    off_diag = row_of != matrix.indices
-    off_sums = np.zeros(matrix.n_rows, dtype=np.float64)
-    off_vals = np.abs(matrix.data[off_diag].astype(np.float64))
-    np.add.at(off_sums, row_of[off_diag], off_vals)
+    off_sums = _off_diagonal_abs_sums(matrix)
     return bool(np.all(off_sums < diag.astype(np.float64)))
+
+
+def _off_diagonal_abs_sums(matrix: CSRMatrix) -> np.ndarray:
+    """Per-row ``sum_{j != i} |A_ij|`` via a weighted bincount.
+
+    ``np.bincount`` accumulates weights sequentially in array order, so
+    this is bit-identical to the former ``np.add.at`` scatter while being
+    a single C pass; ``row_ids`` comes from the matrix's structure cache.
+    """
+    row_of = matrix.row_ids()
+    off_diag = row_of != matrix.indices
+    off_vals = np.abs(matrix.data[off_diag].astype(np.float64))
+    return np.bincount(
+        row_of[off_diag], weights=off_vals, minlength=matrix.n_rows
+    )
 
 
 def diagonal_dominance_margin(matrix: CSRMatrix) -> np.ndarray:
     """Per-row margin ``|A_ii| - sum_{j != i} |A_ij|`` (positive = dominant)."""
     diag = np.abs(matrix.diagonal()).astype(np.float64)
-    row_of = np.repeat(np.arange(matrix.n_rows), matrix.row_lengths())
-    off_diag = row_of != matrix.indices
-    off_sums = np.zeros(matrix.n_rows, dtype=np.float64)
-    off_vals = np.abs(matrix.data[off_diag].astype(np.float64))
-    np.add.at(off_sums, row_of[off_diag], off_vals)
-    return diag - off_sums
+    return diag - _off_diagonal_abs_sums(matrix)
 
 
 def is_symmetric(matrix: CSRMatrix, rtol: float = 1e-6) -> bool:

@@ -25,12 +25,7 @@ from repro.sparse.csr import CSRMatrix
 def _symmetrized_adjacency(matrix: CSRMatrix) -> CSRMatrix:
     """Structural adjacency of ``A + A.T`` with the diagonal removed."""
     transpose = matrix.transpose()
-    rows = np.concatenate(
-        [
-            np.repeat(np.arange(matrix.n_rows), matrix.row_lengths()),
-            np.repeat(np.arange(transpose.n_rows), transpose.row_lengths()),
-        ]
-    )
+    rows = np.concatenate([matrix.row_ids(), transpose.row_ids()])
     cols = np.concatenate([matrix.indices, transpose.indices])
     keep = rows != cols
     pattern = COOMatrix(
@@ -93,7 +88,7 @@ def permute_symmetric(matrix: CSRMatrix, perm: np.ndarray) -> CSRMatrix:
         raise ConfigurationError("perm must be a permutation of 0..n-1")
     inverse = np.empty(n, dtype=np.int64)
     inverse[perm] = np.arange(n)
-    row_of = np.repeat(np.arange(n), matrix.row_lengths())
+    row_of = matrix.row_ids()
     return COOMatrix(
         matrix.shape,
         inverse[row_of],
@@ -106,7 +101,7 @@ def bandwidth(matrix: CSRMatrix) -> int:
     """Maximum |row - column| over stored entries (0 for diagonal/empty)."""
     if matrix.nnz == 0:
         return 0
-    row_of = np.repeat(np.arange(matrix.n_rows), matrix.row_lengths())
+    row_of = matrix.row_ids()
     return int(np.abs(row_of - matrix.indices).max())
 
 

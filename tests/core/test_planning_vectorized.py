@@ -1,0 +1,110 @@
+"""Parity tests for the vectorized Resource Decision loop.
+
+The hot-path overhaul replaced the per-set Python loops in the
+Fine-Grained Reconfiguration unit with whole-array operations.  Each
+test here re-derives the quantity with the seed's scalar formulation and
+asserts bitwise equality — the planning numbers feed the cost model and
+must not move at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import AcamarConfig
+from repro.core.finegrained import (
+    FineGrainedReconfigurationUnit,
+    RowLengthTrace,
+    quantize_unroll,
+)
+from repro.datasets.generators import sdd_matrix
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return sdd_matrix(2048, 9.0, seed=21)
+
+
+def scalar_quantize(value: float, max_unroll: int, mode: str) -> int:
+    """The seed's scalar quantizer (round / ceil / floor + clamp)."""
+    if mode == "nearest":
+        quantized = round(value)
+    elif mode == "ceil":
+        quantized = int(np.ceil(value))
+    else:
+        quantized = int(np.floor(value))
+    return int(np.clip(quantized, 1, max_unroll))
+
+
+class TestQuantizeUnrollArray:
+    @pytest.mark.parametrize("mode", ["nearest", "ceil", "floor"])
+    def test_matches_scalar_loop(self, mode):
+        rng = np.random.default_rng(13)
+        values = np.concatenate(
+            [
+                rng.uniform(0.0, 100.0, size=500),
+                # Exact halves exercise round-half-to-even parity.
+                np.arange(0.5, 80.0, 0.5),
+                np.array([0.0, 1.0, 63.5, 64.5, 1e9]),
+            ]
+        )
+        vectorized = quantize_unroll(values, 64, mode)
+        assert vectorized.dtype == np.int64
+        expected = [scalar_quantize(v, 64, mode) for v in values]
+        np.testing.assert_array_equal(vectorized, expected)
+
+    def test_scalar_input_returns_int(self):
+        result = quantize_unroll(5.5, 64)
+        assert isinstance(result, int)
+        assert result == round(5.5)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ConfigurationError):
+            quantize_unroll(np.array([2.0]), 64, mode="stochastic")
+
+
+class TestTraceVectorized:
+    def test_matches_per_set_means(self, matrix):
+        trace_unit = RowLengthTrace(sampling_rate=32, chunk_size=4096)
+        averages, bounds = trace_unit.trace(matrix)
+        lengths = np.diff(matrix.indptr).astype(np.float64)
+        expected = np.array([lengths[lo:hi].mean() for lo, hi in bounds])
+        np.testing.assert_array_equal(averages, expected)
+
+    def test_empty_matrix_yields_empty_trace(self):
+        from repro.sparse.csr import CSRMatrix
+
+        empty = CSRMatrix((0, 0), np.array([0]), np.array([]), np.array([]))
+        averages, bounds = RowLengthTrace(32, 4096).trace(empty)
+        assert bounds == []
+        assert averages.shape == (0,)
+
+
+class TestPlanVectorized:
+    def test_matches_scalar_replan(self, matrix):
+        config = AcamarConfig()
+        plan = FineGrainedReconfigurationUnit(config).plan(matrix)
+        trace_unit = RowLengthTrace(config.sampling_rate, config.chunk_size)
+        averages, bounds = trace_unit.trace(matrix)
+        expected_raw = [
+            scalar_quantize(a, config.max_unroll, config.unroll_rounding)
+            for a in averages
+        ]
+        np.testing.assert_array_equal(plan.raw_unrolls, expected_raw)
+        # Reconfigure flags: change-of-unroll against the previous set.
+        unrolls = [s.unroll for s in plan.sets]
+        expected_flags = [False] + [
+            unrolls[i] != unrolls[i - 1] for i in range(1, len(unrolls))
+        ]
+        assert [s.reconfigure for s in plan.sets] == expected_flags
+
+    def test_unroll_for_rows_is_cached_and_read_only(self, matrix):
+        plan = FineGrainedReconfigurationUnit(AcamarConfig()).plan(matrix)
+        expansion = plan.unroll_for_rows
+        assert plan.unroll_for_rows is expansion
+        assert not expansion.flags.writeable
+        # Matches the seed's per-set fill loop.
+        expected = np.empty(plan.sets[-1].stop_row, dtype=np.int64)
+        for row_set in plan.sets:
+            expected[row_set.start_row : row_set.stop_row] = row_set.unroll
+        np.testing.assert_array_equal(expansion, expected)

@@ -1,0 +1,77 @@
+"""Equivalence tests for the Counter-backed :class:`OpCounter`.
+
+The satellite swapped ``OpCounter``'s dict-churn internals for
+:class:`collections.Counter`.  These tests pin the public behaviour
+against a plain-dict reference implementation, including the edge case
+``Counter.__add__`` would get wrong (zero-size records must survive a
+merge, while ``+`` drops non-positive entries).
+"""
+
+import numpy as np
+
+from repro.solvers.base import OpCounter
+
+
+def reference_merge(a: OpCounter, b: OpCounter) -> tuple[dict, dict]:
+    """Merge two counters the way the seed's dict loop did."""
+    counts: dict[str, int] = {}
+    sizes: dict[str, int] = {}
+    for source in (a, b):
+        for kind, count in source.counts.items():
+            counts[kind] = counts.get(kind, 0) + count
+        for kind, size in source.sizes.items():
+            sizes[kind] = sizes.get(kind, 0) + size
+    return counts, sizes
+
+
+def test_record_tallies_counts_and_sizes():
+    ops = OpCounter()
+    ops.record("spmv", 100)
+    ops.record("spmv", 50)
+    ops.record("dot", 10)
+    assert ops.counts == {"spmv": 2, "dot": 1}
+    assert ops.sizes == {"spmv": 150, "dot": 10}
+    assert ops.spmv_count() == 2
+
+
+def test_merged_with_matches_dict_reference():
+    rng = np.random.default_rng(5)
+    kinds = ("spmv", "dot", "axpy", "scale", "vadd", "norm")
+    a, b = OpCounter(), OpCounter()
+    for ops in (a, b):
+        for _ in range(200):
+            ops.record(str(rng.choice(kinds)), int(rng.integers(0, 4096)))
+    merged = a.merged_with(b)
+    ref_counts, ref_sizes = reference_merge(a, b)
+    assert dict(merged.counts) == ref_counts
+    assert dict(merged.sizes) == ref_sizes
+
+
+def test_merge_keeps_zero_size_kinds():
+    # Counter.__add__ drops non-positive values; merged_with must not.
+    a, b = OpCounter(), OpCounter()
+    a.record("norm", 0)
+    b.record("dot", 8)
+    merged = a.merged_with(b)
+    assert merged.counts == {"norm": 1, "dot": 1}
+    assert merged.sizes["norm"] == 0
+
+
+def test_merge_leaves_operands_untouched():
+    a, b = OpCounter(), OpCounter()
+    a.record("spmv", 7)
+    b.record("spmv", 9)
+    merged = a.merged_with(b)
+    assert merged.sizes["spmv"] == 16
+    assert a.sizes["spmv"] == 7 and b.sizes["spmv"] == 9
+
+
+def test_dense_element_total_and_as_dict():
+    ops = OpCounter()
+    ops.record("spmv", 1000)
+    ops.record("dot", 64)
+    ops.record("axpy", 64)
+    assert ops.dense_element_total() == 128
+    as_dict = ops.as_dict()
+    assert as_dict == {"spmv": 1, "dot": 1, "axpy": 1}
+    assert type(as_dict) is dict
