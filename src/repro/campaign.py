@@ -330,7 +330,8 @@ def run_campaign(
     sources raise :class:`DatasetError` immediately; solve-time faults
     become failure-annotated entries.
     """
-    from repro.parallel.engine import WorkItem, estimate_cost, run_sharded
+    from repro.parallel.cost import estimate_cost
+    from repro.parallel.engine import WorkItem, run_sharded
 
     config = config if config is not None else AcamarConfig()
     source_list = list(sources)

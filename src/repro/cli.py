@@ -11,6 +11,13 @@ Commands
     Solve a whole workload population (keys and/or ``.mtx`` paths),
     optionally sharded across ``--workers`` processes, with CSV and
     telemetry-JSON export.
+``serve``
+    Run the online serving simulator over a request log (``--requests``
+    JSONL) or freshly generated synthetic traffic.
+``loadtest``
+    Deterministic synthetic load test: generate traffic for a seed and
+    serve it, emitting latency percentiles, queue/shed statistics and
+    cache hit rate (byte-identical report for a fixed seed).
 ``experiment``
     Regenerate one paper table/figure (``table2``, ``fig6``, …) over all
     datasets or a subset.
@@ -91,6 +98,76 @@ def _build_parser() -> argparse.ArgumentParser:
         "--csv", metavar="FILE", help="write the per-problem table as CSV"
     )
 
+    def add_serving_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--duration", type=float, default=5.0, metavar="S",
+            help="simulated traffic duration in seconds",
+        )
+        p.add_argument(
+            "--rate", type=float, default=120.0, metavar="RPS",
+            help="mean request arrival rate",
+        )
+        p.add_argument(
+            "--mix", default="repeat-heavy",
+            choices=("uniform", "repeat-heavy", "bursty"),
+            help="traffic mix over the Table II registry",
+        )
+        p.add_argument(
+            "--deadline-ms", type=float, default=100.0,
+            help="relative deadline of interactive requests",
+        )
+        p.add_argument("--queue-capacity", type=int, default=64)
+        p.add_argument("--max-batch", type=int, default=8)
+        p.add_argument("--batch-window-ms", type=float, default=1.0)
+        p.add_argument(
+            "--devices", type=int, default=1,
+            help="FPGAs in the serving fleet",
+        )
+        p.add_argument(
+            "--slots-per-device", type=int, default=4,
+            help="co-resident solver instances per device",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the fingerprint-keyed plan cache",
+        )
+        p.add_argument("--cache-capacity", type=int, default=256)
+        p.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="worker processes for cold-solve profiling",
+        )
+        p.add_argument(
+            "--out", metavar="FILE",
+            help="write the full JSON report (deterministic for a seed)",
+        )
+        p.add_argument(
+            "--responses", metavar="FILE",
+            help="write the response log as JSONL",
+        )
+        p.add_argument(
+            "--telemetry", metavar="FILE",
+            help="write wall-clock telemetry (spans are NOT deterministic)",
+        )
+
+    serve = sub.add_parser(
+        "serve", help="run the serving simulator over a request stream"
+    )
+    serve.add_argument(
+        "--requests", metavar="FILE",
+        help="JSONL request log to replay (default: generate synthetic)",
+    )
+    serve.add_argument(
+        "--save-requests", metavar="FILE",
+        help="write the generated request log as JSONL",
+    )
+    add_serving_flags(serve)
+
+    loadtest = sub.add_parser(
+        "loadtest", help="deterministic synthetic load test"
+    )
+    add_serving_flags(loadtest)
+
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
     )
@@ -130,6 +207,12 @@ def _cmd_list_datasets() -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    """Solve one problem.
+
+    Exit-code contract (pinned in ``tests/test_cli.py``): 0 when the
+    final attempt converges, 1 when it does not (fixed solver or the
+    Acamar fallback chain alike), 2 for an unresolvable source.
+    """
     if args.config:
         import json
 
@@ -148,10 +231,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             msid_tolerance=args.msid_tolerance,
             max_iterations=args.max_iterations,
         )
-    if args.dataset:
-        problem = load_problem(args.dataset)
-    else:
-        problem = poisson_2d(args.poisson)
+    from repro.errors import DatasetError
+
+    try:
+        if args.dataset:
+            problem = load_problem(args.dataset)
+        else:
+            problem = poisson_2d(args.poisson)
+    except DatasetError as exc:
+        print(f"solve: {exc}", file=sys.stderr)
+        return 2
     print(f"problem: {problem.name}  n={problem.n}  nnz={problem.nnz}")
 
     model = PerformanceModel()
@@ -222,6 +311,76 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if report.convergence_rate == 1.0 else 1
 
 
+def _cmd_serving(args: argparse.Namespace, command: str) -> int:
+    """Shared implementation of ``serve`` and ``loadtest``."""
+    from repro.fpga import FleetSpec
+    from repro.serve import (
+        LoadSpec,
+        ServiceConfig,
+        generate_requests,
+        read_request_log,
+        run_service,
+        write_request_log,
+    )
+
+    service_config = ServiceConfig(
+        queue_capacity=args.queue_capacity,
+        max_batch=args.max_batch,
+        batch_window_ms=args.batch_window_ms,
+        cache_enabled=not args.no_cache,
+        cache_capacity=args.cache_capacity,
+        fleet=FleetSpec(
+            devices=args.devices, slots_per_device=args.slots_per_device
+        ),
+        workers=args.workers,
+    )
+    requests_path = getattr(args, "requests", None)
+    if requests_path:
+        requests = read_request_log(requests_path)
+        meta = {"request_log": str(requests_path)}
+    else:
+        spec = LoadSpec(
+            seed=args.seed,
+            duration_s=args.duration,
+            rate_rps=args.rate,
+            mix=args.mix,
+            deadline_ms=args.deadline_ms,
+        )
+        requests = generate_requests(spec)
+        meta = {
+            "seed": spec.seed,
+            "duration_s": spec.duration_s,
+            "rate_rps": spec.rate_rps,
+            "mix": spec.mix,
+        }
+        if getattr(args, "save_requests", None):
+            print(
+                f"wrote request log to "
+                f"{write_request_log(requests, args.save_requests)}"
+            )
+    report = run_service(requests, service_config, meta=meta)
+    print(f"{command}: served {len(requests)} requests "
+          f"({'no cache' if args.no_cache else 'fingerprint cache on'})")
+    for line in report.summary_lines():
+        print(line)
+    if report.unaccounted:
+        print(
+            f"{command}: {report.unaccounted} request(s) received no "
+            "response — accounting invariant violated",
+            file=sys.stderr,
+        )
+        return 1
+    if args.out:
+        print(f"wrote report to {report.write_json(args.out)}")
+    if args.responses:
+        print(f"wrote response log to "
+              f"{report.write_response_log(args.responses)}")
+    if args.telemetry:
+        print(f"wrote telemetry to "
+              f"{report.telemetry.write_json(args.telemetry)}")
+    return 0
+
+
 def _parse_keys(raw: str | None) -> tuple[str, ...] | None:
     if raw is None:
         return None
@@ -255,6 +414,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_solve(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command in ("serve", "loadtest"):
+        return _cmd_serving(args, args.command)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "experiments":

@@ -38,6 +38,7 @@ from repro.fpga.memory import (
 from repro.fpga.multitenancy import (
     DENSE_GEMM_TILE,
     CoTenancyReport,
+    FleetSpec,
     TenantSpec,
     co_tenancy,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "RooflinePoint",
     "CoTenancyReport",
     "DENSE_GEMM_TILE",
+    "FleetSpec",
     "TenantSpec",
     "co_tenancy",
     "collect_counters",

@@ -7,6 +7,13 @@ remark into a number: given a device, a reconfiguration plan and a
 co-tenant's resource footprint, how many tenant instances fit in the
 fabric the static design would have wasted — and what compute throughput
 that capacity represents.
+
+It also models the *fleet* view the serving subsystem schedules against
+(:class:`FleetSpec`): a deployment runs several devices, each hosting a
+bounded number of co-resident Reconfigurable Solver instances.  The
+serving scheduler (:mod:`repro.serve`) charges simulated device time
+against these slots, so tenancy limits bound in-flight batches exactly
+the way fabric area bounds co-running kernels.
 """
 
 from __future__ import annotations
@@ -51,6 +58,61 @@ class CoTenancyReport:
     static_instances: int
     extra_instances: int
     extra_peak_flops: float
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A serving deployment: ``devices`` FPGAs × solver slots per device.
+
+    A *slot* is one co-resident Reconfigurable Solver instance — an SpMV
+    region provisioned up to the configured maximum unroll plus its
+    dense-unit complement.  Slots are the unit of concurrency the
+    serving scheduler dispatches micro-batches onto; each slot remembers
+    the reconfiguration-plan signature it was last configured with, so
+    routing a compatible batch to it skips the ICAP configuration load.
+    """
+
+    devices: int = 1
+    slots_per_device: int = 4
+    device: FPGADevice = ALVEO_U55C
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise ConfigurationError(
+                f"fleet needs >= 1 device, got {self.devices}"
+            )
+        if self.slots_per_device < 1:
+            raise ConfigurationError(
+                f"fleet needs >= 1 slot per device, got {self.slots_per_device}"
+            )
+
+    @property
+    def total_slots(self) -> int:
+        """Concurrent solver instances across the fleet."""
+        return self.devices * self.slots_per_device
+
+    @classmethod
+    def sized_for(
+        cls,
+        max_unroll: int,
+        devices: int = 1,
+        device: FPGADevice = ALVEO_U55C,
+        max_slots_per_device: int = 16,
+    ) -> "FleetSpec":
+        """Derive slots per device from the DSP budget.
+
+        Each solver instance reserves ``max_unroll`` MACs for its SpMV
+        region plus an equal budget for its static dense units, so a
+        device fits ``max_macs // (2 * max_unroll)`` instances (capped at
+        ``max_slots_per_device`` to keep control overheads plausible).
+        """
+        if max_unroll < 1:
+            raise ConfigurationError(
+                f"max_unroll must be >= 1, got {max_unroll}"
+            )
+        budget = device.max_macs // (2 * max_unroll)
+        slots = max(1, min(int(budget), int(max_slots_per_device)))
+        return cls(devices=devices, slots_per_device=slots, device=device)
 
 
 def co_tenancy(

@@ -6,10 +6,11 @@ the software analogue of the paper's point that end-to-end throughput
 comes from overlapping *independent* solves across compute units.
 """
 
+from repro.parallel.cost import estimate_cost, source_label
 from repro.parallel.engine import (
     ParallelOutcome,
     WorkItem,
-    estimate_cost,
+    default_worker_count,
     run_sharded,
     shard_by_cost,
 )
@@ -17,7 +18,9 @@ from repro.parallel.engine import (
 __all__ = [
     "ParallelOutcome",
     "WorkItem",
+    "default_worker_count",
     "estimate_cost",
     "run_sharded",
     "shard_by_cost",
+    "source_label",
 ]

@@ -34,7 +34,23 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.config import AcamarConfig
+from repro.errors import ConfigurationError
+from repro.parallel.cost import estimate_cost, source_label
 from repro.telemetry import Telemetry
+
+__all__ = [
+    "DEFAULT_OVERSUBSCRIPTION",
+    "MAX_ITEM_ATTEMPTS",
+    "ItemResult",
+    "ParallelOutcome",
+    "WorkItem",
+    "default_worker_count",
+    "estimate_cost",  # re-exported from repro.parallel.cost
+    "run_sharded",
+    "shard_by_cost",
+    "solve_items",
+    "source_label",  # re-exported from repro.parallel.cost
+]
 
 DEFAULT_OVERSUBSCRIPTION = 4
 """Chunks per worker in the first scheduling epoch.
@@ -82,33 +98,29 @@ class ParallelOutcome:
     chunks: int = 0
 
 
+WORKER_COUNT_ENV = "REPRO_WORKERS"
+"""Environment variable that pins the default pool size."""
+
+
 def default_worker_count() -> int:
-    return max(1, os.cpu_count() or 1)
+    """Worker-pool size when the caller does not pass one.
 
-
-def estimate_cost(source: Any) -> float:
-    """Estimated solve cost of a source, in NNZ-like units.
-
-    In-memory problems report their exact NNZ.  Matrix Market paths are
-    costed by file size (proportional to NNZ — one text line per entry).
-    Table II keys fall back to the registry's dimension ``n``; relative
-    error against true NNZ only skews chunk balance, never correctness.
+    Defaults to the host CPU count; a ``REPRO_WORKERS`` environment
+    variable overrides it so serve/campaign deployments can pin pool
+    size without code changes.  The override must be a positive integer.
     """
-    from repro.datasets.problem import Problem
-
-    if isinstance(source, Problem):
-        return float(source.nnz)
-    text = str(source)
-    if text.endswith((".mtx", ".mtx.gz")):
+    raw = os.environ.get(WORKER_COUNT_ENV)
+    if raw is not None:
         try:
-            return float(os.path.getsize(text))
-        except OSError:
-            return 1.0
-    from repro.datasets.suite import dataset_keys, dataset_spec
-
-    if text in dataset_keys():
-        return float(dataset_spec(text).n)
-    return 1.0
+            workers = int(raw.strip())
+        except ValueError:
+            workers = -1
+        if workers < 1:
+            raise ConfigurationError(
+                f"{WORKER_COUNT_ENV} must be a positive integer, got {raw!r}"
+            )
+        return workers
+    return max(1, os.cpu_count() or 1)
 
 
 def shard_by_cost(
@@ -129,19 +141,6 @@ def shard_by_cost(
         loads[target] += item.cost
     packed = [sorted(chunk, key=lambda it: it.index) for chunk in chunks]
     return [chunk for chunk in packed if chunk]
-
-
-def source_label(source: Any) -> str:
-    """Human-readable name for a source (used in failure records)."""
-    from repro.campaign import problem_name_from_path
-    from repro.datasets.problem import Problem
-
-    if isinstance(source, Problem):
-        return source.name
-    text = str(source)
-    if text.endswith((".mtx", ".mtx.gz")):
-        return problem_name_from_path(text)
-    return text
 
 
 def solve_items(
@@ -208,13 +207,19 @@ def run_sharded(
     chunk_size: int | None = None,
     max_pool_restarts: int = 2,
     executor_factory: Callable[[int], Any] | None = None,
+    work_fn: Callable[..., list[ItemResult]] = solve_items,
 ) -> ParallelOutcome:
     """Solve ``items`` on a worker pool; always returns a full outcome.
 
     ``executor_factory`` exists for tests (inject a deterministic fake);
     production use leaves it ``None`` for ``ProcessPoolExecutor``.
     ``chunk_size`` caps items per chunk; by default chunk count is
-    ``workers * DEFAULT_OVERSUBSCRIPTION``.
+    ``workers * DEFAULT_OVERSUBSCRIPTION``.  ``work_fn`` is the worker
+    entry point (``(items, config) -> list[ItemResult]``); it defaults to
+    the campaign's :func:`solve_items` and must be a picklable top-level
+    function — the serving profiler passes its own
+    (:func:`repro.serve.profile.profile_items`) to reuse the pool,
+    restart, and reassembly machinery for a different unit of work.
     """
     telemetry = Telemetry()
     outcome = ParallelOutcome(results=[], telemetry=telemetry, workers=workers)
@@ -248,7 +253,7 @@ def run_sharded(
             break  # cannot start workers at all → in-process fallback
         try:
             futures = {
-                executor.submit(solve_items, tuple(chunk), config): chunk
+                executor.submit(work_fn, tuple(chunk), config): chunk
                 for chunk in chunks
             }
             not_done = set(futures)
@@ -290,7 +295,7 @@ def run_sharded(
         # remaining, presumed-innocent items in this process.
         leftovers = sorted(pending.values(), key=lambda it: it.index)
         outcome.in_process_items += len(leftovers)
-        for result in solve_items(leftovers, config):
+        for result in work_fn(leftovers, config):
             collected[result.index] = result
             telemetry.merge(result.telemetry)
 

@@ -1,0 +1,146 @@
+"""Admission control: a bounded queue with explicit backpressure.
+
+An online service must prefer *refusing* work over unbounded queue
+growth: a shed response costs the client one retry, while an unbounded
+queue costs every client compounding latency until the process dies.
+The controller enforces:
+
+- a **hard queue capacity** — when full, an incoming request is either
+  refused (``queue_full``) or, if it outranks queued work, admitted by
+  **preempting** the lowest-priority, youngest queued request (which
+  then receives its own shed response: nothing is dropped silently),
+- **deadline feasibility** — a request whose deadline already passed, or
+  cannot possibly be met even on an idle fleet (service estimate alone
+  exceeds the remaining budget), is shed at admission rather than
+  occupying queue space it cannot use,
+- queued requests whose deadline lapses before dispatch are **expired**
+  by the scheduler sweep, again with an explicit response.
+
+Cost hints come from :func:`repro.parallel.cost.estimate_cost` — the
+same heuristic the campaign engine balances chunks with — so admission
+needs no pool machinery imports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro import telemetry as tm
+from repro.errors import ConfigurationError
+from repro.parallel.cost import estimate_cost
+from repro.serve.api import SolveRequest
+
+
+class AdmissionVerdict(enum.Enum):
+    ADMITTED = "admitted"
+    SHED_QUEUE_FULL = "queue_full"
+    SHED_DEADLINE = "deadline_unmeetable"
+
+
+@dataclass
+class QueuedRequest:
+    """A request waiting for dispatch, with its admission-time cost hint."""
+
+    request: SolveRequest
+    admitted_s: float
+    cost: float
+
+    @property
+    def priority(self) -> int:
+        return int(self.request.priority)
+
+
+@dataclass
+class AdmissionController:
+    """Bounded priority queue with preemptive admission.
+
+    ``min_service_estimate_s`` is the optimistic service floor used for
+    the deadline-feasibility check (a deadline tighter than this can
+    never be met, queue or no queue).
+    """
+
+    capacity: int = 64
+    min_service_estimate_s: float = 0.0
+    queue: list[QueuedRequest] = field(default_factory=list)
+    shed_full: int = 0
+    shed_deadline: int = 0
+    preemptions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError(
+                f"admission queue capacity must be >= 1, got {self.capacity}"
+            )
+
+    def depth(self) -> int:
+        return len(self.queue)
+
+    def _sort(self) -> None:
+        # Priority class first, then FIFO within a class; request_id
+        # breaks exact-arrival ties deterministically.
+        self.queue.sort(
+            key=lambda q: (
+                q.priority,
+                q.request.arrival_s,
+                q.request.request_id,
+            )
+        )
+
+    def offer(
+        self, request: SolveRequest, now: float
+    ) -> tuple[AdmissionVerdict, QueuedRequest | None]:
+        """Decide one arrival.
+
+        Returns the verdict plus the *victim* queued request when
+        admission preempted one (the caller owes the victim a shed
+        response).  On ``ADMITTED`` the request is in the queue.
+        """
+        if request.deadline_s is not None and (
+            request.deadline_s <= now
+            or request.deadline_s - now < self.min_service_estimate_s
+        ):
+            self.shed_deadline += 1
+            tm.count("serve.shed.deadline")
+            return AdmissionVerdict.SHED_DEADLINE, None
+        victim: QueuedRequest | None = None
+        if len(self.queue) >= self.capacity:
+            candidate = max(
+                self.queue,
+                key=lambda q: (
+                    q.priority,
+                    q.request.arrival_s,
+                    q.request.request_id,
+                ),
+            )
+            if candidate.priority <= int(request.priority):
+                self.shed_full += 1
+                tm.count("serve.shed.queue_full")
+                return AdmissionVerdict.SHED_QUEUE_FULL, None
+            self.queue.remove(candidate)
+            victim = candidate
+            self.preemptions += 1
+            tm.count("serve.preemptions")
+        self.queue.append(
+            QueuedRequest(
+                request=request,
+                admitted_s=now,
+                cost=estimate_cost(request.source),
+            )
+        )
+        self._sort()
+        tm.count("serve.admitted")
+        return AdmissionVerdict.ADMITTED, victim
+
+    def expire(self, now: float) -> list[QueuedRequest]:
+        """Remove and return queued requests whose deadline has passed."""
+        lapsed = [
+            q
+            for q in self.queue
+            if q.request.deadline_s is not None and q.request.deadline_s <= now
+        ]
+        if lapsed:
+            keep = {id(q) for q in lapsed}
+            self.queue = [q for q in self.queue if id(q) not in keep]
+            tm.count("serve.expired", len(lapsed))
+        return lapsed

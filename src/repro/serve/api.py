@@ -1,0 +1,168 @@
+"""Request/response contract of the online solver service.
+
+A :class:`SolveRequest` is one client ask: solve the system identified
+by ``source`` (a Table II key, an ``.mtx`` path, or an in-memory
+problem) under a priority class and an optional deadline.  Every
+generated request receives **exactly one** :class:`SolveResponse` — a
+completed solve, an explicit shed (admission refused or preempted), an
+expiry (deadline passed while queued), or a failure (the solve raised).
+"Zero dropped without a shed response" is the subsystem's accounting
+invariant and is asserted by the CI smoke job.
+
+All timestamps are *virtual* seconds on the simulator clock (see
+``docs/serving.md``): the serving layer is a discrete-event model, so a
+fixed request log always yields a byte-identical response log.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class Priority(enum.IntEnum):
+    """Request priority class; lower value = more urgent.
+
+    ``INTERACTIVE`` requests typically carry deadlines and may preempt
+    queued ``BEST_EFFORT`` work when the admission queue is full;
+    ``BATCH`` is the default for bulk traffic.
+    """
+
+    INTERACTIVE = 0
+    BATCH = 1
+    BEST_EFFORT = 2
+
+
+PRIORITY_NAMES = {p: p.name.lower() for p in Priority}
+
+
+def parse_priority(value: "str | int | Priority") -> Priority:
+    """Coerce a CLI/JSON value to a :class:`Priority`."""
+    if isinstance(value, Priority):
+        return value
+    if isinstance(value, int):
+        return Priority(value)
+    try:
+        return Priority[str(value).strip().upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown priority {value!r}; expected one of "
+            f"{sorted(PRIORITY_NAMES.values())}"
+        ) from None
+
+
+class Outcome(enum.Enum):
+    """Terminal state of one request."""
+
+    COMPLETED = "completed"  # solved; converged flag says how it went
+    SHED = "shed"            # admission refused or preempted (backpressure)
+    EXPIRED = "expired"      # deadline passed while still queued
+    FAILED = "failed"        # the solve itself raised
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One solve request on the virtual clock.
+
+    Attributes
+    ----------
+    request_id:
+        Dense, unique id (generation order).
+    source:
+        Problem source — Table II key or ``.mtx``/``.mtx.gz`` path.
+    arrival_s:
+        Virtual arrival time in seconds.
+    priority:
+        Scheduling class.
+    deadline_s:
+        Absolute virtual deadline, or ``None`` for no deadline.
+    tenant:
+        Logical traffic owner (used for accounting only).
+    """
+
+    request_id: int
+    source: str
+    arrival_s: float
+    priority: Priority = Priority.BATCH
+    deadline_s: float | None = None
+    tenant: str = "default"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "source": self.source,
+            "arrival_s": round(self.arrival_s, 9),
+            "priority": PRIORITY_NAMES[self.priority],
+            "deadline_s": (
+                None if self.deadline_s is None else round(self.deadline_s, 9)
+            ),
+            "tenant": self.tenant,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SolveRequest":
+        return cls(
+            request_id=int(payload["request_id"]),
+            source=str(payload["source"]),
+            arrival_s=float(payload["arrival_s"]),
+            priority=parse_priority(payload.get("priority", Priority.BATCH)),
+            deadline_s=(
+                None
+                if payload.get("deadline_s") is None
+                else float(payload["deadline_s"])
+            ),
+            tenant=str(payload.get("tenant", "default")),
+        )
+
+
+@dataclass(frozen=True)
+class SolveResponse:
+    """What the service reports back for one request.
+
+    Latency fields decompose as ``latency_s = queue_s + service_s`` where
+    ``service_s`` covers configuration load, structure analysis (cache
+    misses only) and modeled device compute.  For non-``COMPLETED``
+    outcomes the solve fields are zeroed and ``detail`` carries the shed
+    or failure reason.
+    """
+
+    request_id: int
+    source: str
+    outcome: Outcome
+    priority: Priority
+    arrival_s: float
+    finish_s: float
+    queue_s: float = 0.0
+    service_s: float = 0.0
+    cache_hit: bool = False
+    batch_id: int = -1
+    instance: int = -1
+    converged: bool = False
+    solver_sequence: tuple[str, ...] = ()
+    iterations: int = 0
+    detail: str = ""
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "source": self.source,
+            "outcome": self.outcome.value,
+            "priority": PRIORITY_NAMES[self.priority],
+            "arrival_s": round(self.arrival_s, 9),
+            "finish_s": round(self.finish_s, 9),
+            "latency_s": round(self.latency_s, 9),
+            "queue_s": round(self.queue_s, 9),
+            "service_s": round(self.service_s, 9),
+            "cache_hit": self.cache_hit,
+            "batch_id": self.batch_id,
+            "instance": self.instance,
+            "converged": self.converged,
+            "solver_sequence": list(self.solver_sequence),
+            "iterations": self.iterations,
+            "detail": self.detail,
+        }

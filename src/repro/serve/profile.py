@@ -1,0 +1,167 @@
+"""Cold-solve profiling: one real Acamar solve per unique structure.
+
+The serving simulator charges *modeled* device time, so each distinct
+problem source needs a ground-truth profile: which solver sequence the
+decision loops pick, how many iterations the final attempt runs, and the
+cost model's per-attempt compute latency.  :func:`profile_items` is a
+worker entry point with the same ``(items, config) -> list[ItemResult]``
+shape as the campaign's ``solve_items``, so the service can dispatch
+profiling through :func:`repro.parallel.engine.run_sharded` (pool
+restarts, fault isolation and ordered reassembly included) when warming
+many unique sources, or call it directly in-process for lazy misses.
+
+Host-side analysis latency is modeled with explicit constants below:
+the Matrix Structure unit reads every stored entry (dominance sums plus
+the CSR-vs-CSC comparison), so its cost scales with NNZ; the Fine-
+Grained Reconfiguration unit walks row sets, so its cost scales with row
+count.  These charges are what a fingerprint-cache hit skips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro import telemetry as tm
+from repro.config import AcamarConfig
+from repro.parallel.cost import source_label
+from repro.parallel.engine import ItemResult, WorkItem
+from repro.serve.cache import CacheEntry, plan_signature, structure_fingerprint
+from repro.telemetry import Telemetry
+
+ANALYSIS_SECONDS_PER_NNZ = 25e-9
+"""Host time per stored entry for the structure checks (Eq. 1 sums plus
+the CSR/CSC symmetry comparison)."""
+
+PLANNING_SECONDS_PER_ROW = 10e-9
+"""Host time per matrix row for the Row Length Trace, MSID chain and
+unroll quantization."""
+
+DISPATCH_OVERHEAD_SECONDS = 5e-6
+"""Fixed per-request dispatch cost (queue pop, fingerprint lookup,
+descriptor DMA) charged on every served request, hit or miss."""
+
+
+@dataclass(frozen=True)
+class SolveProfile:
+    """Deterministic serving profile of one problem source."""
+
+    label: str
+    fingerprint: str
+    plan_signature: str
+    n: int
+    nnz: int
+    converged: bool
+    solver_sequence: tuple[str, ...]
+    iterations: int
+    attempt_compute_s: tuple[float, ...]
+    solver_swap_s: float
+    analysis_s: float
+
+    @property
+    def final_compute_s(self) -> float:
+        return self.attempt_compute_s[-1] if self.attempt_compute_s else 0.0
+
+    @property
+    def cold_service_s(self) -> float:
+        """Device+host seconds for a cache-miss solve.
+
+        Full analysis, every fallback attempt, and a solver-region swap
+        per Solver Modifier firing.
+        """
+        swaps = max(0, len(self.attempt_compute_s) - 1)
+        return (
+            self.analysis_s
+            + sum(self.attempt_compute_s)
+            + swaps * self.solver_swap_s
+        )
+
+    @property
+    def warm_service_s(self) -> float:
+        """Device seconds when analysis and solver choice come from cache."""
+        return self.final_compute_s
+
+    def cache_entry(self) -> CacheEntry:
+        return CacheEntry(
+            fingerprint=self.fingerprint,
+            plan_signature=self.plan_signature,
+            solver_sequence=self.solver_sequence,
+            converged=self.converged,
+            iterations=self.iterations,
+            attempt_compute_s=self.attempt_compute_s,
+            analysis_s=self.analysis_s,
+        )
+
+
+def build_profile(problem: Any, config: AcamarConfig) -> SolveProfile:
+    """Run the real decision loops + cost model for one problem."""
+    from repro.core import Acamar
+    from repro.fpga import PerformanceModel
+
+    acamar = Acamar(config)
+    model = PerformanceModel()
+    with tm.span("serve.profile.solve"):
+        result = acamar.solve(problem.matrix, problem.b)
+    with tm.span("serve.profile.cost_model"):
+        latency = model.acamar_latency(problem.matrix, result)
+    matrix = problem.matrix
+    return SolveProfile(
+        label=problem.name,
+        fingerprint=structure_fingerprint(matrix),
+        plan_signature=plan_signature(result.plan),
+        n=int(matrix.n_rows),
+        nnz=int(matrix.nnz),
+        converged=result.converged,
+        solver_sequence=result.solver_sequence,
+        iterations=result.final.iterations,
+        attempt_compute_s=tuple(
+            a.compute_seconds for a in latency.attempts
+        ),
+        solver_swap_s=model.reconfig.solver_swap_seconds(),
+        analysis_s=(
+            ANALYSIS_SECONDS_PER_NNZ * matrix.nnz
+            + PLANNING_SECONDS_PER_ROW * matrix.n_rows
+        ),
+    )
+
+
+def profile_items(
+    items: Sequence[WorkItem], config: AcamarConfig
+) -> list[ItemResult]:
+    """Worker entry point: profile a chunk of sources, isolating faults.
+
+    Mirrors the campaign's ``solve_items`` contract so it can ride
+    ``run_sharded`` unchanged: each item gets its own telemetry
+    collector and any exception becomes a structured error record.
+    """
+    from repro.campaign import resolve_source
+
+    results: list[ItemResult] = []
+    for item in items:
+        collector = Telemetry()
+        with collector.activate():
+            try:
+                with tm.span("serve.profile.resolve"):
+                    problem = resolve_source(item.source, item.seed)
+                profile = build_profile(problem, config)
+                results.append(
+                    ItemResult(
+                        index=item.index,
+                        entry=profile,
+                        error=None,
+                        label=profile.label,
+                        telemetry=collector.as_dict(),
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 — fault isolation
+                tm.count("serve.profile_failures")
+                results.append(
+                    ItemResult(
+                        index=item.index,
+                        entry=None,
+                        error=f"{type(exc).__name__}: {exc}",
+                        label=source_label(item.source),
+                        telemetry=collector.as_dict(),
+                    )
+                )
+    return results

@@ -1,0 +1,326 @@
+"""Micro-batched dispatch onto the solver fleet.
+
+The scheduler converts the admission queue into **micro-batches** of
+compatible requests and places them on fleet slots
+(:class:`repro.fpga.multitenancy.FleetSpec`), charging simulated device
+time so tenancy limits genuinely bound concurrency.
+
+Compatibility follows the fabric, not the client: requests whose
+matrices share a structure fingerprint — or, once their analysis is
+cached, a reconfiguration-plan *signature* — can run back-to-back on one
+Reconfigurable Solver instance with no reconfiguration between them.
+Batching therefore amortizes exactly the costs Acamar's decision loops
+amortize: the structure analysis is charged once per cold batch, the
+ICAP configuration load once per placement on a slot whose resident
+configuration differs (plan-signature **affinity** routes batches to
+slots already configured for them), and every member after the first
+pays only its final-attempt device compute.
+
+Dispatch policy per scheduling tick: groups are considered in
+(priority, arrival) order and dispatch when a slot is free **and** the
+group is ripe — full, interactive-headed, or older than the batch
+window.  Everything is deterministic: ties break on request id and slot
+index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import telemetry as tm
+from repro.errors import ConfigurationError
+from repro.fpga.multitenancy import FleetSpec
+from repro.serve.admission import QueuedRequest
+from repro.serve.api import Outcome, Priority, SolveResponse
+from repro.serve.cache import PlanCache
+from repro.serve.profile import DISPATCH_OVERHEAD_SECONDS, SolveProfile
+
+
+@dataclass
+class FleetSlot:
+    """One solver instance's dispatch state on the virtual clock."""
+
+    index: int
+    busy_until_s: float = 0.0
+    resident_signature: str | None = None
+    busy_seconds: float = 0.0
+    config_loads: int = 0
+    batches: int = 0
+
+    def free_at(self, now: float) -> bool:
+        return self.busy_until_s <= now
+
+
+@dataclass
+class BatchRecord:
+    """Accounting for one dispatched micro-batch."""
+
+    batch_id: int
+    size: int
+    instance: int
+    start_s: float
+    end_s: float
+    cold: bool
+    config_load: bool
+
+
+@dataclass
+class MicroBatchScheduler:
+    """Forms and places micro-batches; owns the fleet slot state.
+
+    ``profiles`` maps source text to its :class:`SolveProfile` (or an
+    error string when profiling failed); the service resolves it before
+    the simulation loop.  ``cache`` is ``None`` when serving runs
+    cache-less (``--no-cache``) — batching still amortizes within a
+    batch, but every batch re-runs the analysis.
+    """
+
+    fleet: FleetSpec
+    profiles: dict[str, "SolveProfile | str"]
+    cache: PlanCache | None = None
+    max_batch: int = 8
+    batch_window_s: float = 2e-3
+    solver_swap_s: float = 0.0
+    slots: list[FleetSlot] = field(default_factory=list)
+    batches: list[BatchRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.batch_window_s < 0:
+            raise ConfigurationError(
+                f"batch window must be >= 0, got {self.batch_window_s}"
+            )
+        if not self.slots:
+            self.slots = [
+                FleetSlot(index=i) for i in range(self.fleet.total_slots)
+            ]
+        if not self.solver_swap_s:
+            from repro.fpga import PerformanceModel
+
+            self.solver_swap_s = PerformanceModel(
+                self.fleet.device
+            ).reconfig.solver_swap_seconds()
+
+    # -- batch formation ----------------------------------------------
+
+    def group_key(self, queued: QueuedRequest) -> tuple[str, str]:
+        """Compatibility key: plan signature when cached, else fingerprint.
+
+        A fingerprint's plan signature is only *known* to the service
+        once its analysis ran and is cached, so signature-level merging
+        (batching different structures that share a schedule) engages
+        for warm traffic only.  Failed profiles group by source so one
+        poisoned source cannot contaminate a healthy batch.
+        """
+        profile = self.profiles[queued.request.source]
+        if isinstance(profile, str):
+            return ("error", queued.request.source)
+        if self.cache is not None and self.cache.peek(profile.fingerprint):
+            return ("plan", profile.plan_signature)
+        return ("fp", profile.fingerprint)
+
+    def _form_groups(
+        self, queue: list[QueuedRequest]
+    ) -> list[tuple[tuple[str, str], list[QueuedRequest]]]:
+        """Partition the (priority-sorted) queue into compatible groups,
+        preserving the order of each group's head."""
+        groups: dict[tuple[str, str], list[QueuedRequest]] = {}
+        order: list[tuple[str, str]] = []
+        for queued in queue:
+            key = self.group_key(queued)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(queued)
+        return [(key, groups[key]) for key in order]
+
+    def _ripe(self, members: list[QueuedRequest], now: float) -> bool:
+        if len(members) >= self.max_batch:
+            return True
+        if members[0].request.priority is Priority.INTERACTIVE:
+            return True
+        eldest = min(q.admitted_s for q in members)
+        return now - eldest >= self.batch_window_s
+
+    # -- placement ----------------------------------------------------
+
+    def _pick_slot(self, now: float, signature: str | None) -> FleetSlot | None:
+        free = [slot for slot in self.slots if slot.free_at(now)]
+        if not free:
+            return None
+        if signature is not None:
+            for slot in free:  # affinity: already-configured slot first
+                if slot.resident_signature == signature:
+                    return slot
+        return min(free, key=lambda slot: slot.index)
+
+    def has_free_slot(self, now: float) -> bool:
+        return any(slot.free_at(now) for slot in self.slots)
+
+    def _serve_batch(
+        self,
+        slot: FleetSlot,
+        members: list[QueuedRequest],
+        profile: SolveProfile,
+        now: float,
+        batch_id: int,
+    ) -> list[SolveResponse]:
+        signature = profile.plan_signature
+        # Residency matching needs the cache: without it the service
+        # never learns a structure's plan signature ahead of dispatch, so
+        # it cannot prove the slot's resident configuration matches and
+        # must reload the region for every batch.
+        config_load = (
+            self.cache is None or slot.resident_signature != signature
+        )
+        cursor = now + (self.solver_swap_s if config_load else 0.0)
+        if config_load:
+            slot.config_loads += 1
+            tm.count("serve.config_loads")
+        entry = self.cache.get(profile.fingerprint) if self.cache else None
+        batch_warm = entry is not None
+        if self.cache is not None and not batch_warm:
+            self.cache.put(profile.cache_entry())
+        responses: list[SolveResponse] = []
+        for position, queued in enumerate(members):
+            # The first member of a cold batch pays the full analysis and
+            # fallback chain; later members share it (micro-batch
+            # amortization) but still count as cache misses — only a
+            # warm batch's members were truly served from the cache.
+            cold_member = not batch_warm and position == 0
+            service = DISPATCH_OVERHEAD_SECONDS + (
+                profile.cold_service_s if cold_member else profile.warm_service_s
+            )
+            start = cursor
+            cursor += service
+            responses.append(
+                SolveResponse(
+                    request_id=queued.request.request_id,
+                    source=queued.request.source,
+                    outcome=Outcome.COMPLETED,
+                    priority=queued.request.priority,
+                    arrival_s=queued.request.arrival_s,
+                    finish_s=cursor,
+                    queue_s=start - queued.request.arrival_s,
+                    service_s=service,
+                    cache_hit=batch_warm,
+                    batch_id=batch_id,
+                    instance=slot.index,
+                    converged=profile.converged,
+                    solver_sequence=profile.solver_sequence,
+                    iterations=profile.iterations,
+                )
+            )
+            tm.count("serve.cache_hits" if batch_warm else "serve.cache_misses")
+        slot.resident_signature = signature
+        slot.busy_seconds += cursor - now
+        slot.busy_until_s = cursor
+        slot.batches += 1
+        self.batches.append(
+            BatchRecord(
+                batch_id=batch_id,
+                size=len(members),
+                instance=slot.index,
+                start_s=now,
+                end_s=cursor,
+                cold=not batch_warm,
+                config_load=config_load,
+            )
+        )
+        tm.count("serve.batches")
+        return responses
+
+    def _fail_batch(
+        self,
+        slot: FleetSlot,
+        members: list[QueuedRequest],
+        error: str,
+        now: float,
+        batch_id: int,
+    ) -> list[SolveResponse]:
+        """Charge the failed analysis and report the error per request."""
+        cursor = now
+        responses = []
+        for queued in members:
+            service = DISPATCH_OVERHEAD_SECONDS
+            start = cursor
+            cursor += service
+            responses.append(
+                SolveResponse(
+                    request_id=queued.request.request_id,
+                    source=queued.request.source,
+                    outcome=Outcome.FAILED,
+                    priority=queued.request.priority,
+                    arrival_s=queued.request.arrival_s,
+                    finish_s=cursor,
+                    queue_s=start - queued.request.arrival_s,
+                    service_s=service,
+                    batch_id=batch_id,
+                    instance=slot.index,
+                    detail=error,
+                )
+            )
+            tm.count("serve.failed")
+        slot.busy_seconds += cursor - now
+        slot.busy_until_s = cursor
+        slot.batches += 1
+        self.batches.append(
+            BatchRecord(
+                batch_id=batch_id,
+                size=len(members),
+                instance=slot.index,
+                start_s=now,
+                end_s=cursor,
+                cold=True,
+                config_load=False,
+            )
+        )
+        return responses
+
+    def dispatch(
+        self, queue: list[QueuedRequest], now: float, next_batch_id: int
+    ) -> tuple[list[SolveResponse], list[QueuedRequest], int]:
+        """Place every ripe group a free slot can take at ``now``.
+
+        Returns (responses, remaining queue, next batch id).  The queue
+        comes in admission (priority) order and leaves the same way.
+        """
+        remaining = list(queue)
+        responses: list[SolveResponse] = []
+        while remaining and self.has_free_slot(now):
+            dispatched = False
+            for key, members in self._form_groups(remaining):
+                if not self._ripe(members, now):
+                    continue
+                take = members[: self.max_batch]
+                profile = self.profiles[take[0].request.source]
+                signature = (
+                    profile.plan_signature
+                    if self.cache is not None
+                    and not isinstance(profile, str)
+                    else None
+                )
+                slot = self._pick_slot(now, signature)
+                if slot is None:
+                    break
+                if isinstance(profile, str):
+                    responses.extend(
+                        self._fail_batch(slot, take, profile, now, next_batch_id)
+                    )
+                else:
+                    responses.extend(
+                        self._serve_batch(slot, take, profile, now, next_batch_id)
+                    )
+                next_batch_id += 1
+                taken = {q.request.request_id for q in take}
+                remaining = [
+                    q for q in remaining if q.request.request_id not in taken
+                ]
+                dispatched = True
+                break
+            if not dispatched:
+                break
+        return responses, remaining, next_batch_id

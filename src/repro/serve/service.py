@@ -1,0 +1,486 @@
+"""The serving simulator: admission → micro-batching → fleet, on a
+virtual clock.
+
+:func:`run_service` consumes a request log (usually from
+:mod:`repro.serve.loadgen`) and produces a :class:`ServingReport`.  The
+simulation is **discrete-event over scheduling ticks**: virtual time
+advances in fixed quanta (``tick_ms``); each tick admits the arrivals it
+covers, expires lapsed deadlines, and lets the scheduler place ripe
+micro-batches on free fleet slots.  All latencies are simulated —
+device compute from the FPGA cost model, analysis/configuration charges
+from the profile constants — so a fixed request log yields a
+byte-identical JSON report on every run, on every machine.
+
+Real numerics still happen: every unique source is profiled once with a
+true Acamar solve (dispatched through :mod:`repro.parallel` when
+``workers > 1``), and its decision-loop outcome is what the simulator
+replays.  Wall-clock quantities (profiling spans) live only in the
+separate telemetry export, never in the deterministic report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro import telemetry as tm
+from repro.config import AcamarConfig
+from repro.errors import ConfigurationError
+from repro.fpga.multitenancy import FleetSpec
+from repro.parallel.cost import estimate_cost
+from repro.parallel.engine import WorkItem, run_sharded
+from repro.serve.admission import AdmissionController, AdmissionVerdict
+from repro.serve.api import (
+    PRIORITY_NAMES,
+    Outcome,
+    Priority,
+    SolveRequest,
+    SolveResponse,
+)
+from repro.serve.cache import PlanCache
+from repro.serve.profile import SolveProfile, profile_items
+from repro.serve.scheduler import MicroBatchScheduler
+from repro.telemetry import Telemetry, percentile
+
+if TYPE_CHECKING:  # pragma: no cover — type name only, avoids eager import
+    from repro.serve.loadgen import LoadSpec
+
+SERVING_SCHEMA_VERSION = 1
+
+DRAIN_LIMIT_FACTOR = 20.0
+"""The simulator refuses to run past ``duration * factor`` draining a
+queue that cannot empty; survivors are shed with an explicit response."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the serving layer (defaults favor a small deployment)."""
+
+    queue_capacity: int = 64
+    max_batch: int = 8
+    batch_window_ms: float = 1.0
+    tick_ms: float = 0.5
+    cache_enabled: bool = True
+    cache_capacity: int = 256
+    fleet: FleetSpec = field(default_factory=FleetSpec)
+    workers: int = 1
+    profile_seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tick_ms <= 0:
+            raise ConfigurationError(
+                f"tick must be > 0 ms, got {self.tick_ms}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "queue_capacity": self.queue_capacity,
+            "max_batch": self.max_batch,
+            "batch_window_ms": self.batch_window_ms,
+            "tick_ms": self.tick_ms,
+            "cache_enabled": self.cache_enabled,
+            "cache_capacity": self.cache_capacity,
+            "fleet": {
+                "devices": self.fleet.devices,
+                "slots_per_device": self.fleet.slots_per_device,
+                "total_slots": self.fleet.total_slots,
+            },
+        }
+
+
+@dataclass
+class ServingReport:
+    """Everything one serving run produced, with a stable JSON form."""
+
+    config: ServiceConfig
+    requests: list[SolveRequest]
+    responses: list[SolveResponse]
+    queue_depth_samples: list[int]
+    scheduler: MicroBatchScheduler
+    admission: AdmissionController
+    cache: PlanCache | None
+    horizon_s: float
+    counters: dict[str, int]
+    telemetry: Telemetry = field(default_factory=Telemetry)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    # -- derived statistics -------------------------------------------
+
+    def _by_outcome(self, outcome: Outcome) -> list[SolveResponse]:
+        return [r for r in self.responses if r.outcome is outcome]
+
+    @property
+    def completed(self) -> list[SolveResponse]:
+        return self._by_outcome(Outcome.COMPLETED)
+
+    @property
+    def shed_count(self) -> int:
+        return len(self._by_outcome(Outcome.SHED))
+
+    @property
+    def expired_count(self) -> int:
+        return len(self._by_outcome(Outcome.EXPIRED))
+
+    @property
+    def unaccounted(self) -> int:
+        """Requests without a response — the invariant says zero."""
+        return len(self.requests) - len(self.responses)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        done = self.completed
+        if not done:
+            return 0.0
+        return sum(r.cache_hit for r in done) / len(done)
+
+    def latency_stats_ms(
+        self, responses: Sequence[SolveResponse]
+    ) -> dict[str, float]:
+        values = [r.latency_s * 1e3 for r in responses]
+        return {
+            "count": len(values),
+            "mean": round(sum(values) / len(values), 6) if values else 0.0,
+            "p50": round(percentile(values, 50.0), 6),
+            "p90": round(percentile(values, 90.0), 6),
+            "p99": round(percentile(values, 99.0), 6),
+            "max": round(max(values), 6) if values else 0.0,
+        }
+
+    def as_dict(self, include_responses: bool = True) -> dict[str, Any]:
+        done = self.completed
+        generated = len(self.requests)
+        batch_sizes = [b.size for b in self.scheduler.batches]
+        document: dict[str, Any] = {
+            "schema_version": SERVING_SCHEMA_VERSION,
+            "serving": {**self.meta, **self.config.as_dict()},
+            "requests": {
+                "generated": generated,
+                "completed": len(done),
+                "converged": sum(1 for r in done if r.converged),
+                "failed": len(self._by_outcome(Outcome.FAILED)),
+                "shed": self.shed_count,
+                "expired": self.expired_count,
+                "unaccounted": self.unaccounted,
+                "shed_rate": round(
+                    (self.shed_count + self.expired_count) / generated, 9
+                ) if generated else 0.0,
+            },
+            "latency_ms": {
+                "overall": self.latency_stats_ms(done),
+                "by_priority": {
+                    PRIORITY_NAMES[priority]: self.latency_stats_ms(
+                        [r for r in done if r.priority is priority]
+                    )
+                    for priority in Priority
+                },
+            },
+            "queue": {
+                "max_depth": max(self.queue_depth_samples, default=0),
+                "mean_depth": round(
+                    sum(self.queue_depth_samples)
+                    / len(self.queue_depth_samples),
+                    9,
+                ) if self.queue_depth_samples else 0.0,
+                "shed_full": self.admission.shed_full,
+                "shed_deadline": self.admission.shed_deadline,
+                "preemptions": self.admission.preemptions,
+            },
+            "cache": {
+                "enabled": self.cache is not None,
+                "hit_rate": round(self.cache_hit_rate, 9),
+                "entries": len(self.cache) if self.cache else 0,
+                "lookups": (
+                    self.cache.stats.as_dict() if self.cache else None
+                ),
+            },
+            "batches": {
+                "count": len(batch_sizes),
+                "mean_size": round(
+                    sum(batch_sizes) / len(batch_sizes), 9
+                ) if batch_sizes else 0.0,
+                "max_size": max(batch_sizes, default=0),
+                "cold": sum(1 for b in self.scheduler.batches if b.cold),
+                "config_loads": sum(
+                    s.config_loads for s in self.scheduler.slots
+                ),
+            },
+            "fleet": {
+                "total_slots": len(self.scheduler.slots),
+                "horizon_s": round(self.horizon_s, 9),
+                "busy_fraction": [
+                    round(s.busy_seconds / self.horizon_s, 9)
+                    if self.horizon_s else 0.0
+                    for s in self.scheduler.slots
+                ],
+                "device_seconds": round(
+                    sum(s.busy_seconds for s in self.scheduler.slots), 9
+                ),
+            },
+            "counters": dict(sorted(self.counters.items())),
+        }
+        if include_responses:
+            document["responses"] = [r.as_dict() for r in self.responses]
+        return document
+
+    def to_json(self, include_responses: bool = True) -> str:
+        return json.dumps(
+            self.as_dict(include_responses=include_responses),
+            indent=2,
+            sort_keys=True,
+        ) + "\n"
+
+    def write_json(
+        self, path: str | Path, include_responses: bool = True
+    ) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json(include_responses=include_responses))
+        return path
+
+    def write_response_log(self, path: str | Path) -> Path:
+        path = Path(path)
+        with open(path, "w") as fh:
+            for response in self.responses:
+                fh.write(json.dumps(response.as_dict(), sort_keys=True) + "\n")
+        return path
+
+    def summary_lines(self) -> list[str]:
+        doc = self.as_dict(include_responses=False)
+        overall = doc["latency_ms"]["overall"]
+        return [
+            f"requests generated    : {doc['requests']['generated']}",
+            f"completed / converged : {doc['requests']['completed']} / "
+            f"{doc['requests']['converged']}",
+            f"shed / expired        : {doc['requests']['shed']} / "
+            f"{doc['requests']['expired']} "
+            f"(shed rate {doc['requests']['shed_rate']:.1%})",
+            f"latency p50 / p99     : {overall['p50']:.3f} / "
+            f"{overall['p99']:.3f} ms",
+            f"cache hit rate        : {doc['cache']['hit_rate']:.1%} "
+            f"({doc['cache']['entries']} entries)",
+            f"batches (mean size)   : {doc['batches']['count']} "
+            f"({doc['batches']['mean_size']:.2f})",
+            f"queue depth max/mean  : {doc['queue']['max_depth']} / "
+            f"{doc['queue']['mean_depth']:.2f}",
+            f"fleet device seconds  : {doc['fleet']['device_seconds']:.4f} "
+            f"over {doc['fleet']['total_slots']} slots",
+        ]
+
+
+def build_profiles(
+    sources: Sequence[str],
+    config: AcamarConfig,
+    workers: int = 1,
+    seed: int = 1,
+    collector: Telemetry | None = None,
+) -> dict[str, "SolveProfile | str"]:
+    """Profile every unique source once (real solves, memoized).
+
+    ``workers > 1`` fans profiling out through the parallel engine's
+    pool machinery with :func:`profile_items` as the work function;
+    otherwise it runs in-process.  A profiling failure maps the source
+    to its error string — requests for it will be answered with
+    ``FAILED`` responses rather than sinking the run.
+    """
+    unique: list[str] = []
+    seen = set()
+    for source in sources:
+        if source not in seen:
+            seen.add(source)
+            unique.append(source)
+    items = [
+        WorkItem(
+            index=index,
+            source=source,
+            seed=seed,
+            cost=estimate_cost(source),
+        )
+        for index, source in enumerate(unique)
+    ]
+    collector = collector if collector is not None else Telemetry()
+    if workers > 1 and len(items) > 1:
+        outcome = run_sharded(
+            items, config, workers=workers, work_fn=profile_items
+        )
+        results = outcome.results
+        collector.merge(outcome.telemetry)
+    else:
+        results = profile_items(items, config)
+        for result in results:
+            collector.merge(result.telemetry)
+    profiles: dict[str, SolveProfile | str] = {}
+    for item, result in zip(items, sorted(results, key=lambda r: r.index)):
+        profiles[str(item.source)] = (
+            result.entry if result.entry is not None else result.error
+        )
+    return profiles
+
+
+def run_loadtest(
+    spec: "LoadSpec",
+    service_config: ServiceConfig | None = None,
+    acamar_config: AcamarConfig | None = None,
+) -> ServingReport:
+    """Generate synthetic traffic for ``spec`` and serve it."""
+    from repro.serve.loadgen import generate_requests
+
+    requests = generate_requests(spec)
+    meta = {
+        "seed": spec.seed,
+        "duration_s": spec.duration_s,
+        "rate_rps": spec.rate_rps,
+        "mix": spec.mix,
+    }
+    return run_service(
+        requests, service_config, acamar_config, meta=meta
+    )
+
+
+def run_service(
+    requests: Sequence[SolveRequest],
+    service_config: ServiceConfig | None = None,
+    acamar_config: AcamarConfig | None = None,
+    meta: dict[str, Any] | None = None,
+) -> ServingReport:
+    """Simulate serving ``requests``; every request gets one response."""
+    service_config = (
+        service_config if service_config is not None else ServiceConfig()
+    )
+    acamar_config = (
+        acamar_config if acamar_config is not None else AcamarConfig()
+    )
+    requests = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+    collector = Telemetry()
+    with collector.activate():
+        profiles = build_profiles(
+            [r.source for r in requests],
+            acamar_config,
+            workers=service_config.workers,
+            seed=service_config.profile_seed,
+            collector=collector,
+        )
+        cache = (
+            PlanCache(capacity=service_config.cache_capacity)
+            if service_config.cache_enabled
+            else None
+        )
+        scheduler = MicroBatchScheduler(
+            fleet=service_config.fleet,
+            profiles=profiles,
+            cache=cache,
+            max_batch=service_config.max_batch,
+            batch_window_s=service_config.batch_window_ms * 1e-3,
+        )
+        admission = AdmissionController(
+            capacity=service_config.queue_capacity
+        )
+        responses: list[SolveResponse] = []
+        queue_depth_samples: list[int] = []
+        tick = service_config.tick_ms * 1e-3
+        duration = requests[-1].arrival_s if requests else 0.0
+        drain_limit = max(duration, tick) * DRAIN_LIMIT_FACTOR
+        pointer = 0
+        batch_id = 0
+        now = 0.0
+        step = 0
+        while pointer < len(requests) or admission.queue:
+            now = step * tick
+            # 1. Admit (or shed) every arrival this tick covers, at its
+            #    own arrival timestamp so deadline math stays exact.
+            while (
+                pointer < len(requests)
+                and requests[pointer].arrival_s <= now
+            ):
+                request = requests[pointer]
+                pointer += 1
+                tm.count("serve.requests")
+                verdict, victim = admission.offer(request, request.arrival_s)
+                if victim is not None:
+                    responses.append(
+                        SolveResponse(
+                            request_id=victim.request.request_id,
+                            source=victim.request.source,
+                            outcome=Outcome.SHED,
+                            priority=victim.request.priority,
+                            arrival_s=victim.request.arrival_s,
+                            finish_s=request.arrival_s,
+                            detail="preempted: displaced by higher priority",
+                        )
+                    )
+                if verdict is not AdmissionVerdict.ADMITTED:
+                    responses.append(
+                        SolveResponse(
+                            request_id=request.request_id,
+                            source=request.source,
+                            outcome=Outcome.SHED,
+                            priority=request.priority,
+                            arrival_s=request.arrival_s,
+                            finish_s=request.arrival_s,
+                            detail=verdict.value,
+                        )
+                    )
+            # 2. Expire queued requests whose deadline lapsed.
+            for lapsed in admission.expire(now):
+                responses.append(
+                    SolveResponse(
+                        request_id=lapsed.request.request_id,
+                        source=lapsed.request.source,
+                        outcome=Outcome.EXPIRED,
+                        priority=lapsed.request.priority,
+                        arrival_s=lapsed.request.arrival_s,
+                        finish_s=lapsed.request.deadline_s or now,
+                        queue_s=(lapsed.request.deadline_s or now)
+                        - lapsed.request.arrival_s,
+                        detail="deadline expired in queue",
+                    )
+                )
+            # 3. Dispatch ripe micro-batches onto free slots.
+            batch_responses, admission.queue, batch_id = scheduler.dispatch(
+                admission.queue, now, batch_id
+            )
+            responses.extend(batch_responses)
+            queue_depth_samples.append(admission.depth())
+            step += 1
+            if now > drain_limit and admission.queue:
+                for queued in admission.queue:
+                    responses.append(
+                        SolveResponse(
+                            request_id=queued.request.request_id,
+                            source=queued.request.source,
+                            outcome=Outcome.SHED,
+                            priority=queued.request.priority,
+                            arrival_s=queued.request.arrival_s,
+                            finish_s=now,
+                            detail="drain limit reached",
+                        )
+                    )
+                    tm.count("serve.shed.drain_limit")
+                admission.queue = []
+                break
+        for response in responses:
+            if response.outcome is Outcome.COMPLETED:
+                tm.observe("serve.latency_ms", response.latency_s * 1e3)
+    responses.sort(key=lambda r: (r.finish_s, r.request_id))
+    horizon = max(
+        [duration]
+        + [slot.busy_until_s for slot in scheduler.slots]
+        + [r.finish_s for r in responses]
+    ) if (requests or responses) else 0.0
+    return ServingReport(
+        config=service_config,
+        requests=list(requests),
+        responses=responses,
+        queue_depth_samples=queue_depth_samples,
+        scheduler=scheduler,
+        admission=admission,
+        cache=cache,
+        horizon_s=horizon,
+        counters=dict(collector.counters),
+        telemetry=collector,
+        meta=dict(meta or {}),
+    )

@@ -13,6 +13,11 @@ layer:
   workers and threads each aggregate into their own collector),
 - collectors merge associatively (:meth:`Telemetry.merge`), which is how
   the campaign engine folds per-worker telemetry into one report,
+- **distributions** (:func:`observe`) collect individual observations —
+  e.g. per-request serving latencies — and summarize them as percentile
+  statistics; the ``distributions`` key only appears in ``as_dict``
+  output when at least one observation was recorded, so the schema stays
+  backward compatible,
 - :meth:`Telemetry.as_dict` emits the stable JSON schema documented in
   ``docs/operations.md`` (``TELEMETRY_SCHEMA_VERSION`` guards it).
 
@@ -72,8 +77,27 @@ class SpanStats:
         }
 
 
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile of ``values`` (``q`` in [0, 100]).
+
+    Matches ``numpy.percentile``'s default method but works on plain
+    lists, keeping telemetry serialization free of array round-trips.
+    Returns 0.0 for an empty list.
+    """
+    if not values:
+        return 0.0
+    data = sorted(values)
+    if len(data) == 1:
+        return float(data[0])
+    rank = (len(data) - 1) * (q / 100.0)
+    low = int(rank)
+    high = min(low + 1, len(data) - 1)
+    frac = rank - low
+    return float(data[low] * (1.0 - frac) + data[high] * frac)
+
+
 class Telemetry:
-    """One collector of spans and counters.
+    """One collector of spans, counters and distributions.
 
     Instances are cheap; the campaign engine creates one per worker task
     and merges them.  Activation installs the instance on the current
@@ -83,6 +107,7 @@ class Telemetry:
     def __init__(self) -> None:
         self.spans: dict[str, SpanStats] = {}
         self.counters: dict[str, int] = {}
+        self.distributions: dict[str, list[float]] = {}
 
     # -- recording -----------------------------------------------------
 
@@ -99,6 +124,10 @@ class Telemetry:
 
     def count(self, name: str, increment: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + int(increment)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation of distribution ``name``."""
+        self.distributions.setdefault(name, []).append(float(value))
 
     # -- activation ----------------------------------------------------
 
@@ -118,6 +147,8 @@ class Telemetry:
         if isinstance(other, Telemetry):
             span_items = [(k, v) for k, v in other.spans.items()]
             counter_items = other.counters.items()
+            for name, values in other.distributions.items():
+                self.distributions.setdefault(name, []).extend(values)
         else:
             span_items = [
                 (name, SpanStats(
@@ -128,14 +159,30 @@ class Telemetry:
                 for name, stats in other.get("spans", {}).items()
             ]
             counter_items = other.get("counters", {}).items()
+            for name, stats in other.get("distributions", {}).items():
+                values = [float(v) for v in stats.get("values", [])]
+                self.distributions.setdefault(name, []).extend(values)
         for name, stats in span_items:
             mine = self.spans.setdefault(name, SpanStats())
             self.spans[name] = mine.merged_with(stats)
         for name, value in counter_items:
             self.count(name, value)
 
-    def as_dict(self) -> dict[str, Any]:
+    def _distribution_summary(self, values: list[float]) -> dict[str, Any]:
         return {
+            "count": len(values),
+            "mean": round(sum(values) / len(values), 9) if values else 0.0,
+            "p50": round(percentile(values, 50.0), 9),
+            "p95": round(percentile(values, 95.0), 9),
+            "p99": round(percentile(values, 99.0), 9),
+            "max": round(max(values), 9) if values else 0.0,
+            # Raw observations ride along so dict-form merges stay
+            # associative (summary percentiles alone are not mergeable).
+            "values": [round(v, 9) for v in values],
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        document: dict[str, Any] = {
             "schema_version": TELEMETRY_SCHEMA_VERSION,
             "spans": {
                 name: stats.as_dict()
@@ -143,6 +190,12 @@ class Telemetry:
             },
             "counters": dict(sorted(self.counters.items())),
         }
+        if self.distributions:
+            document["distributions"] = {
+                name: self._distribution_summary(values)
+                for name, values in sorted(self.distributions.items())
+            }
+        return document
 
     def write_json(self, path: str | Path) -> Path:
         path = Path(path)
@@ -174,3 +227,10 @@ def count(name: str, increment: int = 1) -> None:
     collector = _ACTIVE.get()
     if collector is not None:
         collector.count(name, increment)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one observation on the active collector (no-op if none)."""
+    collector = _ACTIVE.get()
+    if collector is not None:
+        collector.observe(name, value)

@@ -3,6 +3,7 @@
 import json
 
 from repro.experiments.regression import (
+    BENCH_GUARDED_PREFIXES,
     check_regression,
     load_bands,
     measure_headlines,
@@ -15,9 +16,12 @@ SUBSET = ("2C", "Wi", "Fe", "Bc", "If", "Po")
 class TestBandsFile:
     def test_reference_file_exists_and_is_complete(self):
         bands = load_bands()
-        # hotpath_* entries pin substrate-speed ratios measured by
-        # benchmarks/bench_hot_path.py, not modeled headline metrics.
-        headline_bands = {k for k in bands if not k.startswith("hotpath_")}
+        # hotpath_*/serving_* entries are pinned by their own benchmark
+        # guards (bench_hot_path.py, bench_serving.py), not by the
+        # modeled headline metrics measured here.
+        headline_bands = {
+            k for k in bands if not k.startswith(BENCH_GUARDED_PREFIXES)
+        }
         assert headline_bands == set(measure_headlines(SUBSET))
         assert bands["table2_matches"] == 25.0
 
@@ -26,12 +30,19 @@ class TestBandsFile:
         assert "hotpath_bicgstab_speedup" in bands
         assert "hotpath_bicg_speedup" in bands
 
-    def test_check_regression_skips_hotpath_keys(self, tmp_path):
+    def test_serving_bands_are_present(self):
+        bands = load_bands()
+        assert "serving_warm_p50_ms" in bands
+        assert "serving_cache_speedup" in bands
+
+    def test_check_regression_skips_bench_guarded_keys(self, tmp_path):
         bands = load_bands()
         save_bands(bands, tmp_path / "bands.json")
         checks = check_regression(SUBSET, path=tmp_path / "bands.json")
         checked = {c.name for c in checks}
-        assert not any(name.startswith("hotpath_") for name in checked)
+        assert not any(
+            name.startswith(BENCH_GUARDED_PREFIXES) for name in checked
+        )
         assert "table2_matches" in checked
 
     def test_save_roundtrip(self, tmp_path):

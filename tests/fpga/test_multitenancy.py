@@ -71,3 +71,46 @@ class TestCoTenancy:
     def test_default_tile_is_sane(self):
         assert DENSE_GEMM_TILE.macs == 8
         assert DENSE_GEMM_TILE.area_mm2 > 0
+
+
+class TestFleetSpec:
+    def test_defaults_and_total_slots(self):
+        from repro.fpga.multitenancy import FleetSpec
+
+        fleet = FleetSpec()
+        assert fleet.devices == 1
+        assert fleet.slots_per_device == 4
+        assert fleet.total_slots == 4
+        assert FleetSpec(devices=3, slots_per_device=2).total_slots == 6
+
+    def test_validation(self):
+        from repro.fpga.multitenancy import FleetSpec
+
+        with pytest.raises(ConfigurationError):
+            FleetSpec(devices=0)
+        with pytest.raises(ConfigurationError):
+            FleetSpec(slots_per_device=0)
+
+    def test_sized_for_divides_mac_budget(self):
+        from repro.fpga.multitenancy import ALVEO_U55C, FleetSpec
+
+        fleet = FleetSpec.sized_for(max_unroll=512, devices=2)
+        expected = min(16, ALVEO_U55C.max_macs // (2 * 512))
+        assert fleet.slots_per_device == expected
+        assert fleet.devices == 2
+
+    def test_sized_for_clamps_to_bounds(self):
+        from repro.fpga.multitenancy import FleetSpec
+
+        tiny = FleetSpec.sized_for(max_unroll=1)
+        assert tiny.slots_per_device == 16  # capped
+        huge = FleetSpec.sized_for(max_unroll=10**9)
+        assert huge.slots_per_device == 1  # floored
+        with pytest.raises(ConfigurationError):
+            FleetSpec.sized_for(max_unroll=0)
+
+    def test_exported_from_package(self):
+        from repro.fpga import FleetSpec as exported
+        from repro.fpga.multitenancy import FleetSpec
+
+        assert exported is FleetSpec

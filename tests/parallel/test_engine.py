@@ -235,3 +235,85 @@ class TestRunSharded:
         for a, b in zip(first.results, second.results):
             assert a.entry.iterations == b.entry.iterations
             assert a.entry.solver_sequence == b.entry.solver_sequence
+
+
+class TestAllErrorReassembly:
+    def test_every_item_failing_still_reassembles_in_order(self):
+        items = make_items(
+            [broken_problem("b0"), broken_problem("b1"), broken_problem("b2")]
+        )
+        outcome = run_sharded(items, AcamarConfig(), workers=2)
+        assert [r.index for r in outcome.results] == [0, 1, 2]
+        assert all(r.entry is None for r in outcome.results)
+        assert all(r.error is not None for r in outcome.results)
+        assert [r.label for r in outcome.results] == ["b0", "b1", "b2"]
+        assert outcome.abandoned_items == 0
+
+
+def echo_items(chunk, config):
+    """Module-level work_fn stand-in: pool workers must be able to pickle
+    it, exactly like the real ``solve_items``/``profile_items``."""
+    from repro.parallel.engine import ItemResult
+
+    return [
+        ItemResult(
+            index=it.index,
+            entry=f"echo:{it.source}",
+            error=None,
+            label=str(it.source),
+            telemetry={},
+        )
+        for it in chunk
+    ]
+
+
+class TestCustomWorkFn:
+    def test_work_fn_replaces_solve_items(self):
+        items = make_items(["Wa", "Li", "Fe"])
+        outcome = run_sharded(
+            items, AcamarConfig(), workers=2, work_fn=echo_items
+        )
+        assert [r.entry for r in outcome.results] == [
+            "echo:Wa", "echo:Li", "echo:Fe",
+        ]
+
+    def test_work_fn_used_on_in_process_fallback(self):
+        def factory(n):
+            raise OSError("no processes available")
+
+        outcome = run_sharded(
+            make_items(["Wa", "Li"]),
+            AcamarConfig(),
+            workers=4,
+            executor_factory=factory,
+            work_fn=echo_items,
+        )
+        assert outcome.in_process_items == 2
+        assert all(r.entry.startswith("echo:") for r in outcome.results)
+
+
+class TestDefaultWorkerCount:
+    def test_defaults_to_cpu_count(self, monkeypatch):
+        import os
+
+        from repro.parallel.engine import WORKER_COUNT_ENV, default_worker_count
+
+        monkeypatch.delenv(WORKER_COUNT_ENV, raising=False)
+        assert default_worker_count() == max(1, os.cpu_count() or 1)
+
+    def test_env_override_honored(self, monkeypatch):
+        from repro.parallel.engine import WORKER_COUNT_ENV, default_worker_count
+
+        monkeypatch.setenv(WORKER_COUNT_ENV, " 3 ")
+        assert default_worker_count() == 3
+
+    def test_invalid_override_rejected(self, monkeypatch):
+        import pytest
+
+        from repro.errors import ConfigurationError
+        from repro.parallel.engine import WORKER_COUNT_ENV, default_worker_count
+
+        for bad in ("0", "-2", "many", ""):
+            monkeypatch.setenv(WORKER_COUNT_ENV, bad)
+            with pytest.raises(ConfigurationError, match=WORKER_COUNT_ENV):
+                default_worker_count()

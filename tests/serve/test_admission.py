@@ -1,0 +1,95 @@
+"""Tests for the bounded admission queue with preemptive admission."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.admission import AdmissionController, AdmissionVerdict
+from repro.serve.api import Priority, SolveRequest
+
+
+def request(rid, priority=Priority.BATCH, arrival=None, deadline=None):
+    return SolveRequest(
+        request_id=rid,
+        source="Wa",
+        arrival_s=float(rid) * 1e-3 if arrival is None else arrival,
+        priority=priority,
+        deadline_s=deadline,
+    )
+
+
+class TestAdmission:
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(capacity=0)
+
+    def test_admits_under_capacity(self):
+        controller = AdmissionController(capacity=2)
+        verdict, victim = controller.offer(request(0), now=0.0)
+        assert verdict is AdmissionVerdict.ADMITTED
+        assert victim is None
+        assert controller.depth() == 1
+
+    def test_sheds_when_full_and_not_outranking(self):
+        controller = AdmissionController(capacity=1)
+        controller.offer(request(0, Priority.BATCH), now=0.0)
+        verdict, victim = controller.offer(
+            request(1, Priority.BATCH), now=0.0
+        )
+        assert verdict is AdmissionVerdict.SHED_QUEUE_FULL
+        assert victim is None
+        assert controller.shed_full == 1
+        assert controller.depth() == 1
+
+    def test_preempts_lowest_priority_youngest(self):
+        controller = AdmissionController(capacity=3)
+        controller.offer(request(0, Priority.BATCH), now=0.0)
+        controller.offer(request(1, Priority.BEST_EFFORT), now=0.0)
+        controller.offer(request(2, Priority.BEST_EFFORT), now=0.0)
+        verdict, victim = controller.offer(
+            request(3, Priority.INTERACTIVE), now=0.0
+        )
+        assert verdict is AdmissionVerdict.ADMITTED
+        # Victim is the lowest class, and within it the youngest arrival.
+        assert victim.request.request_id == 2
+        assert controller.preemptions == 1
+        assert controller.depth() == 3
+
+    def test_queue_sorted_by_priority_then_fifo(self):
+        controller = AdmissionController(capacity=8)
+        controller.offer(request(0, Priority.BEST_EFFORT), now=0.0)
+        controller.offer(request(1, Priority.INTERACTIVE), now=0.0)
+        controller.offer(request(2, Priority.BATCH), now=0.0)
+        controller.offer(request(3, Priority.INTERACTIVE), now=0.0)
+        ids = [q.request.request_id for q in controller.queue]
+        assert ids == [1, 3, 2, 0]
+
+    def test_sheds_lapsed_deadline_on_arrival(self):
+        controller = AdmissionController(capacity=8)
+        verdict, _ = controller.offer(
+            request(0, Priority.INTERACTIVE, arrival=1.0, deadline=0.5),
+            now=1.0,
+        )
+        assert verdict is AdmissionVerdict.SHED_DEADLINE
+        assert controller.shed_deadline == 1
+
+    def test_sheds_unmeetable_deadline(self):
+        controller = AdmissionController(
+            capacity=8, min_service_estimate_s=0.1
+        )
+        verdict, _ = controller.offer(
+            request(0, Priority.INTERACTIVE, arrival=0.0, deadline=0.05),
+            now=0.0,
+        )
+        assert verdict is AdmissionVerdict.SHED_DEADLINE
+
+    def test_expire_removes_lapsed_only(self):
+        controller = AdmissionController(capacity=8)
+        controller.offer(
+            request(0, Priority.INTERACTIVE, arrival=0.0, deadline=0.01),
+            now=0.0,
+        )
+        controller.offer(request(1, Priority.BATCH, arrival=0.0), now=0.0)
+        lapsed = controller.expire(now=0.02)
+        assert [q.request.request_id for q in lapsed] == [0]
+        assert [q.request.request_id for q in controller.queue] == [1]
+        assert controller.expire(now=0.02) == []

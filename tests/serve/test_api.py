@@ -1,0 +1,75 @@
+"""Tests for the serving request/response contract."""
+
+import pytest
+
+from repro.serve.api import (
+    Outcome,
+    Priority,
+    SolveRequest,
+    SolveResponse,
+    parse_priority,
+)
+
+
+class TestPriority:
+    def test_ordering_interactive_most_urgent(self):
+        assert Priority.INTERACTIVE < Priority.BATCH < Priority.BEST_EFFORT
+
+    def test_parse_from_string_and_int(self):
+        assert parse_priority("interactive") is Priority.INTERACTIVE
+        assert parse_priority(" BATCH ") is Priority.BATCH
+        assert parse_priority(2) is Priority.BEST_EFFORT
+        assert parse_priority(Priority.BATCH) is Priority.BATCH
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown priority"):
+            parse_priority("urgent")
+
+
+class TestSolveRequest:
+    def test_round_trips_through_dict(self):
+        request = SolveRequest(
+            request_id=7,
+            source="Wa",
+            arrival_s=0.125,
+            priority=Priority.INTERACTIVE,
+            deadline_s=0.225,
+            tenant="team-a",
+        )
+        again = SolveRequest.from_dict(request.as_dict())
+        assert again == request
+
+    def test_no_deadline_round_trips_as_none(self):
+        request = SolveRequest(request_id=0, source="Li", arrival_s=0.0)
+        payload = request.as_dict()
+        assert payload["deadline_s"] is None
+        assert SolveRequest.from_dict(payload).deadline_s is None
+
+
+class TestSolveResponse:
+    def test_latency_is_finish_minus_arrival(self):
+        response = SolveResponse(
+            request_id=1,
+            source="Wa",
+            outcome=Outcome.COMPLETED,
+            priority=Priority.BATCH,
+            arrival_s=1.0,
+            finish_s=1.25,
+        )
+        assert response.latency_s == pytest.approx(0.25)
+
+    def test_as_dict_is_json_stable(self):
+        response = SolveResponse(
+            request_id=1,
+            source="Wa",
+            outcome=Outcome.SHED,
+            priority=Priority.BEST_EFFORT,
+            arrival_s=0.5,
+            finish_s=0.5,
+            detail="queue_full",
+        )
+        payload = response.as_dict()
+        assert payload["outcome"] == "shed"
+        assert payload["priority"] == "best_effort"
+        assert payload["latency_s"] == 0.0
+        assert payload["detail"] == "queue_full"

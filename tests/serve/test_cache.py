@@ -1,0 +1,113 @@
+"""Tests for structure fingerprints and the bounded plan cache."""
+
+import numpy as np
+import pytest
+
+from repro import Acamar
+from repro.datasets import poisson_2d
+from repro.errors import ConfigurationError
+from repro.serve.cache import (
+    CacheEntry,
+    PlanCache,
+    plan_signature,
+    structure_fingerprint,
+)
+from repro.sparse.csr import CSRMatrix
+
+
+def entry(fp, signature="sig"):
+    return CacheEntry(
+        fingerprint=fp,
+        plan_signature=signature,
+        solver_sequence=("cg",),
+        converged=True,
+        iterations=10,
+        attempt_compute_s=(1e-4, 2e-4),
+        analysis_s=1e-5,
+    )
+
+
+class TestStructureFingerprint:
+    def test_pattern_determines_fingerprint(self):
+        matrix = poisson_2d(10).matrix
+        shifted = CSRMatrix(
+            matrix.shape,
+            matrix.indptr.copy(),
+            matrix.indices.copy(),
+            matrix.data * 3.0,  # same pattern, different values
+        )
+        assert structure_fingerprint(matrix) == structure_fingerprint(shifted)
+
+    def test_different_patterns_differ(self):
+        assert structure_fingerprint(
+            poisson_2d(10).matrix
+        ) != structure_fingerprint(poisson_2d(11).matrix)
+
+    def test_stable_across_index_dtypes(self):
+        matrix = poisson_2d(8).matrix
+        widened = CSRMatrix(
+            matrix.shape,
+            matrix.indptr.astype(np.int32),
+            matrix.indices.astype(np.int32),
+            matrix.data,
+        )
+        assert structure_fingerprint(matrix) == structure_fingerprint(widened)
+
+
+class TestPlanSignature:
+    def test_equal_plans_share_signature(self):
+        matrix = poisson_2d(10).matrix
+        a = Acamar().plan(matrix)
+        b = Acamar().plan(matrix)
+        assert plan_signature(a) == plan_signature(b)
+
+    def test_different_structures_differ(self):
+        a = Acamar().plan(poisson_2d(10).matrix)
+        b = Acamar().plan(poisson_2d(24).matrix)
+        assert plan_signature(a) != plan_signature(b)
+
+
+class TestPlanCache:
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            PlanCache(capacity=0)
+
+    def test_get_records_hits_and_misses(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get("absent") is None
+        cache.put(entry("a"))
+        assert cache.get("a").fingerprint == "a"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_peek_does_not_touch_stats_or_order(self):
+        cache = PlanCache(capacity=2)
+        cache.put(entry("a"))
+        cache.put(entry("b"))
+        assert cache.peek("a") is not None
+        assert cache.stats.hits == 0
+        cache.put(entry("c"))  # peek must not have refreshed "a"
+        assert cache.peek("a") is None
+        assert cache.peek("b") is not None
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        cache.put(entry("a"))
+        cache.put(entry("b"))
+        cache.get("a")  # refresh: "b" is now least recently used
+        cache.put(entry("c"))
+        assert cache.peek("b") is None
+        assert cache.peek("a") is not None
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_put_existing_updates_in_place(self):
+        cache = PlanCache(capacity=2)
+        cache.put(entry("a", signature="old"))
+        cache.put(entry("a", signature="new"))
+        assert len(cache) == 1
+        assert cache.peek("a").plan_signature == "new"
+
+    def test_final_compute_is_last_attempt(self):
+        assert entry("a").final_compute_s == pytest.approx(2e-4)

@@ -1,0 +1,188 @@
+"""Tests for micro-batch formation, placement and cost charging."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.multitenancy import FleetSpec
+from repro.serve.admission import QueuedRequest
+from repro.serve.api import Outcome, Priority, SolveRequest
+from repro.serve.cache import PlanCache
+from repro.serve.profile import DISPATCH_OVERHEAD_SECONDS, SolveProfile
+from repro.serve.scheduler import MicroBatchScheduler
+
+SWAP_S = 5e-3
+
+
+def profile(label, fingerprint, signature, final=1e-4):
+    return SolveProfile(
+        label=label,
+        fingerprint=fingerprint,
+        plan_signature=signature,
+        n=100,
+        nnz=500,
+        converged=True,
+        solver_sequence=("cg",),
+        iterations=10,
+        attempt_compute_s=(2e-4, final),
+        solver_swap_s=SWAP_S,
+        analysis_s=1e-3,
+    )
+
+
+PROFILES = {
+    "A": profile("A", "fp-a", "sig-shared"),
+    "B": profile("B", "fp-b", "sig-shared"),
+    "C": profile("C", "fp-c", "sig-other"),
+    "bad": "ValueError: no good",
+}
+
+
+def queued(rid, source, priority=Priority.BATCH, arrival=0.0, admitted=0.0):
+    return QueuedRequest(
+        request=SolveRequest(
+            request_id=rid,
+            source=source,
+            arrival_s=arrival,
+            priority=priority,
+        ),
+        admitted_s=admitted,
+        cost=1.0,
+    )
+
+
+def make_scheduler(cache=None, slots=2, max_batch=4, window=1e-3):
+    return MicroBatchScheduler(
+        fleet=FleetSpec(devices=1, slots_per_device=slots),
+        profiles=dict(PROFILES),
+        cache=cache,
+        max_batch=max_batch,
+        batch_window_s=window,
+        solver_swap_s=SWAP_S,
+    )
+
+
+class TestValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler(max_batch=0)
+        with pytest.raises(ConfigurationError):
+            make_scheduler(window=-1.0)
+
+
+class TestGrouping:
+    def test_same_fingerprint_one_batch(self):
+        scheduler = make_scheduler()
+        queue = [queued(0, "A"), queued(1, "A"), queued(2, "C")]
+        responses, remaining, _ = scheduler.dispatch(queue, now=0.01, next_batch_id=0)
+        assert remaining == []
+        batches = {r.request_id: r.batch_id for r in responses}
+        assert batches[0] == batches[1]
+        assert batches[2] != batches[0]
+
+    def test_failed_profile_isolated_and_reported(self):
+        scheduler = make_scheduler()
+        queue = [queued(0, "A"), queued(1, "bad")]
+        responses, remaining, _ = scheduler.dispatch(queue, now=0.01, next_batch_id=0)
+        assert remaining == []
+        by_id = {r.request_id: r for r in responses}
+        assert by_id[0].outcome is Outcome.COMPLETED
+        assert by_id[1].outcome is Outcome.FAILED
+        assert "ValueError" in by_id[1].detail
+
+    def test_max_batch_splits_group(self):
+        scheduler = make_scheduler(max_batch=2)
+        queue = [queued(i, "A") for i in range(3)]
+        responses, remaining, _ = scheduler.dispatch(queue, now=0.01, next_batch_id=0)
+        sizes = sorted(b.size for b in scheduler.batches)
+        assert sizes == [1, 2]
+        assert remaining == []
+
+    def test_batch_window_holds_back_small_batch_groups(self):
+        scheduler = make_scheduler(window=5e-3)
+        queue = [queued(0, "A", admitted=0.0)]
+        _, remaining, _ = scheduler.dispatch(queue, now=1e-3, next_batch_id=0)
+        assert len(remaining) == 1  # not ripe yet
+        responses, remaining, _ = scheduler.dispatch(
+            remaining, now=6e-3, next_batch_id=0
+        )
+        assert remaining == []
+        assert responses[0].outcome is Outcome.COMPLETED
+
+    def test_interactive_head_dispatches_immediately(self):
+        scheduler = make_scheduler(window=5e-3)
+        queue = [queued(0, "A", priority=Priority.INTERACTIVE, admitted=0.0)]
+        responses, remaining, _ = scheduler.dispatch(
+            queue, now=1e-4, next_batch_id=0
+        )
+        assert remaining == []
+        assert responses
+
+
+class TestCostCharging:
+    def test_cold_batch_head_pays_full_later_members_amortize(self):
+        cache = PlanCache(capacity=8)
+        scheduler = make_scheduler(cache=cache)
+        prof = PROFILES["A"]
+        queue = [queued(0, "A"), queued(1, "A")]
+        responses, _, _ = scheduler.dispatch(queue, now=0.01, next_batch_id=0)
+        by_id = {r.request_id: r for r in responses}
+        assert by_id[0].service_s == pytest.approx(
+            DISPATCH_OVERHEAD_SECONDS + prof.cold_service_s
+        )
+        assert by_id[1].service_s == pytest.approx(
+            DISPATCH_OVERHEAD_SECONDS + prof.warm_service_s
+        )
+        # Amortized members of a cold batch are still cache *misses*.
+        assert not by_id[0].cache_hit
+        assert not by_id[1].cache_hit
+
+    def test_warm_batch_members_are_cache_hits(self):
+        cache = PlanCache(capacity=8)
+        scheduler = make_scheduler(cache=cache)
+        scheduler.dispatch([queued(0, "A")], now=0.01, next_batch_id=0)
+        responses, _, _ = scheduler.dispatch(
+            [queued(1, "A", arrival=0.1, admitted=0.1)],
+            now=0.11,
+            next_batch_id=1,
+        )
+        assert responses[0].cache_hit
+        assert responses[0].service_s == pytest.approx(
+            DISPATCH_OVERHEAD_SECONDS + PROFILES["A"].warm_service_s
+        )
+
+    def test_no_cache_reloads_configuration_every_batch(self):
+        scheduler = make_scheduler(cache=None, slots=1)
+        first, _, _ = scheduler.dispatch(
+            [queued(0, "A")], now=0.01, next_batch_id=0
+        )
+        second, _, _ = scheduler.dispatch(
+            [queued(1, "A", arrival=0.1, admitted=0.1)],
+            now=0.2,
+            next_batch_id=1,
+        )
+        assert scheduler.slots[0].config_loads == 2
+        assert all(not r.cache_hit for r in first + second)
+
+    def test_affinity_skips_configuration_load_on_resident_slot(self):
+        cache = PlanCache(capacity=8)
+        scheduler = make_scheduler(cache=cache, slots=2)
+        scheduler.dispatch([queued(0, "A")], now=0.01, next_batch_id=0)
+        # Same plan signature, different fingerprint: slot 0 is resident.
+        scheduler.dispatch(
+            [queued(1, "B", arrival=0.1, admitted=0.1)],
+            now=0.2,
+            next_batch_id=1,
+        )
+        loads = sorted(s.config_loads for s in scheduler.slots)
+        assert loads == [0, 1]  # second batch reused the configured slot
+
+    def test_tenancy_bounds_concurrency(self):
+        scheduler = make_scheduler(slots=1)
+        queue = [queued(0, "A"), queued(1, "C")]
+        responses, remaining, _ = scheduler.dispatch(
+            queue, now=0.01, next_batch_id=0
+        )
+        # One slot: the incompatible second group must wait.
+        assert len(responses) == 1
+        assert len(remaining) == 1
+        assert not scheduler.has_free_slot(0.01)

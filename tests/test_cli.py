@@ -127,3 +127,84 @@ class TestCampaign:
         assert document["schema_version"] == 1
         assert document["campaign"]["problems"] == 1
         assert "stages" in document
+
+
+class TestSolveExitContract:
+    """Pins the documented exit codes: 0 converged, 1 not, 2 unresolvable."""
+
+    def test_acamar_path_nonconvergence_is_one(self, capsys):
+        assert main([
+            "solve", "--dataset", "2C", "--max-iterations", "3",
+        ]) == 1
+        assert "max_iterations" in capsys.readouterr().out
+
+    def test_unknown_dataset_is_two(self, capsys):
+        assert main(["solve", "--dataset", "bogus-key"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus-key" in err
+        assert "solve:" in err
+
+    def test_convergence_is_zero(self):
+        assert main(["solve", "--dataset", "Wa"]) == 0
+
+
+class TestServe:
+    def test_loadtest_summary_and_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "report.json"
+        assert main([
+            "loadtest", "--seed", "0", "--duration", "0.5",
+            "--rate", "40", "--out", str(out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "requests generated" in printed
+        assert "cache hit rate" in printed
+        document = json.loads(out.read_text())
+        assert document["schema_version"] == 1
+        assert document["requests"]["unaccounted"] == 0
+
+    def test_loadtest_reports_are_deterministic(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        for path in (first, second):
+            assert main([
+                "loadtest", "--seed", "0", "--duration", "0.5",
+                "--rate", "40", "--out", str(path),
+            ]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_serve_replays_saved_request_log(self, tmp_path):
+        req = tmp_path / "req.jsonl"
+        live = tmp_path / "live.jsonl"
+        replay = tmp_path / "replay.jsonl"
+        assert main([
+            "serve", "--seed", "2", "--duration", "0.5", "--rate", "40",
+            "--save-requests", str(req), "--responses", str(live),
+        ]) == 0
+        assert main([
+            "serve", "--requests", str(req), "--responses", str(replay),
+        ]) == 0
+        assert live.read_bytes() == replay.read_bytes()
+
+    def test_no_cache_flag_disables_cache(self, tmp_path, capsys):
+        assert main([
+            "loadtest", "--seed", "0", "--duration", "0.5",
+            "--rate", "40", "--no-cache",
+        ]) == 0
+        assert "cache hit rate        : 0.0%" in capsys.readouterr().out
+
+    def test_telemetry_export_includes_latency_distribution(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        path = tmp_path / "telemetry.json"
+        assert main([
+            "loadtest", "--seed", "0", "--duration", "0.5",
+            "--rate", "40", "--telemetry", str(path),
+        ]) == 0
+        document = json.loads(path.read_text())
+        assert document["schema_version"] == 1
+        assert "serve.latency_ms" in document["distributions"]
+        assert document["counters"]["serve.requests"] > 0
