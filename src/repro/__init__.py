@@ -39,6 +39,8 @@ from repro.errors import (
     SolverBreakdownError,
     SolverError,
     SparseFormatError,
+    UnknownNameError,
+    ValidationError,
 )
 from repro.solvers import SolveResult, SolveStatus
 from repro.sparse import CSRMatrix
@@ -61,6 +63,8 @@ __all__ = [
     "SolverBreakdownError",
     "SolverError",
     "SparseFormatError",
+    "UnknownNameError",
+    "ValidationError",
     "__version__",
     "run_campaign",
 ]

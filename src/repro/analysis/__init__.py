@@ -1,0 +1,66 @@
+"""Analysis tooling: convergence diagnostics and the invariant linter.
+
+Two halves share this package:
+
+- :mod:`repro.analysis.convergence` — the "why did my solver diverge"
+  utilities (residual-trajectory summaries, rate extrapolation, ASCII
+  trajectory plots, failure diagnosis), re-exported here so the
+  long-standing ``from repro.analysis import summarize_residuals``
+  imports keep working;
+- :mod:`repro.analysis.engine` + :mod:`repro.analysis.checkers` — the
+  AST-based lint engine that machine-checks the repo's determinism,
+  layering, numeric-safety, exception, telemetry-naming and
+  virtual-clock contracts (rule ids REP001–REP006), fronted by the
+  ``repro lint`` CLI with baseline suppression in
+  :mod:`repro.analysis.baseline`.
+"""
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.checkers import (
+    ALL_CHECKERS,
+    RULE_IDS,
+    checkers_for_rules,
+)
+from repro.analysis.convergence import (
+    ResidualSummary,
+    diagnose_failure,
+    iterations_to_tolerance,
+    render_residual_history,
+    summarize_residuals,
+)
+from repro.analysis.engine import (
+    FORMATS,
+    Checker,
+    Finding,
+    LintReport,
+    SourceFile,
+    format_findings,
+    run_lint,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "DEFAULT_BASELINE",
+    "FORMATS",
+    "Checker",
+    "Finding",
+    "LintReport",
+    "RULE_IDS",
+    "ResidualSummary",
+    "SourceFile",
+    "apply_baseline",
+    "checkers_for_rules",
+    "diagnose_failure",
+    "format_findings",
+    "iterations_to_tolerance",
+    "load_baseline",
+    "render_residual_history",
+    "run_lint",
+    "summarize_residuals",
+    "write_baseline",
+]

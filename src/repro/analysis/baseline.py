@@ -1,0 +1,112 @@
+"""Baseline suppression for grandfathered lint findings.
+
+A baseline is a committed JSON file of finding fingerprints (rule +
+path + message, deliberately line-free) with occurrence counts.  A
+finding that matches a baseline entry is *suppressed* rather than
+reported, which lets a new rule land with the tree still red and be
+burned down incrementally — while any **new** violation of the same
+rule fails immediately.
+
+The repo policy (docs/static-analysis.md) is to keep the committed
+baseline empty: genuine violations get fixed, and only findings with a
+written justification may be grandfathered.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Mapping
+
+from repro.analysis.engine import Finding, LintReport
+from repro.errors import ConfigurationError
+
+BASELINE_SCHEMA_VERSION = 1
+
+DEFAULT_BASELINE = Path(__file__).with_name("baseline.json")
+"""The committed repo baseline, shipped inside the package."""
+
+
+def load_baseline(path: Path) -> Counter[str]:
+    """Read a baseline file into a fingerprint → allowance counter."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ConfigurationError(f"baseline file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"baseline file {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, Mapping) or "findings" not in payload:
+        raise ConfigurationError(
+            f"baseline file {path} lacks the 'findings' key"
+        )
+    allowance: Counter[str] = Counter()
+    for entry in payload["findings"]:
+        fingerprint = (
+            f"{entry['rule']}|{entry['path']}|{entry['message']}"
+        )
+        allowance[fingerprint] += int(entry.get("count", 1))
+    return allowance
+
+
+def write_baseline(report: LintReport, path: Path) -> Path:
+    """Serialize the report's findings as a baseline file.
+
+    Entries are aggregated by fingerprint with a count, sorted for
+    stable diffs.
+    """
+    counts: Counter[str] = Counter(
+        f.fingerprint() for f in report.findings
+    )
+    findings = []
+    for fingerprint in sorted(counts):
+        rule, file_path, message = fingerprint.split("|", 2)
+        entry: dict[str, object] = {
+            "rule": rule,
+            "path": file_path,
+            "message": message,
+        }
+        if counts[fingerprint] > 1:
+            entry["count"] = counts[fingerprint]
+        findings.append(entry)
+    document = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "findings": findings,
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def apply_baseline(
+    report: LintReport, allowance: Counter[str]
+) -> LintReport:
+    """Split a report into active findings and baseline-suppressed ones.
+
+    Each baseline entry suppresses up to ``count`` matching findings;
+    extra occurrences beyond the allowance surface as active findings.
+    Baseline entries that matched nothing are reported as *stale* so
+    the baseline shrinks as violations get fixed.
+    """
+    remaining = Counter(allowance)
+    active: list[Finding] = []
+    suppressed = 0
+    for finding in report.findings:
+        fingerprint = finding.fingerprint()
+        if remaining[fingerprint] > 0:
+            remaining[fingerprint] -= 1
+            suppressed += 1
+        else:
+            active.append(finding)
+    stale = sorted(
+        fingerprint
+        for fingerprint, count in remaining.items()
+        if count > 0
+    )
+    return LintReport(
+        findings=active,
+        suppressed=suppressed,
+        stale_baseline=stale,
+        files_checked=report.files_checked,
+    )

@@ -1,0 +1,55 @@
+"""The repo-specific invariant checkers (rule ids REP001–REP006)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.exceptions import ExceptionPolicyChecker
+from repro.analysis.checkers.layering import LayeringChecker
+from repro.analysis.checkers.numeric import NumericSafetyChecker
+from repro.analysis.checkers.telemetry_names import TelemetryNameChecker
+from repro.analysis.checkers.virtual_clock import VirtualClockChecker
+from repro.analysis.engine import Checker
+from repro.errors import UnknownNameError
+
+ALL_CHECKERS: tuple[Checker, ...] = (
+    DeterminismChecker(),
+    LayeringChecker(),
+    NumericSafetyChecker(),
+    ExceptionPolicyChecker(),
+    TelemetryNameChecker(),
+    VirtualClockChecker(),
+)
+
+RULE_IDS: tuple[str, ...] = tuple(c.rule_id for c in ALL_CHECKERS)
+
+
+def checkers_for_rules(rules: Sequence[str] | None) -> tuple[Checker, ...]:
+    """Subset of :data:`ALL_CHECKERS` for the given rule ids.
+
+    ``None`` (or an empty selection) means every checker; an unknown
+    rule id raises :class:`~repro.errors.UnknownNameError`.
+    """
+    if not rules:
+        return ALL_CHECKERS
+    by_id = {c.rule_id: c for c in ALL_CHECKERS}
+    unknown = sorted(set(rules) - set(by_id))
+    if unknown:
+        raise UnknownNameError(
+            f"unknown lint rule(s) {unknown}; known: {sorted(by_id)}"
+        )
+    return tuple(by_id[rule] for rule in dict.fromkeys(rules))
+
+
+__all__ = [
+    "ALL_CHECKERS",
+    "RULE_IDS",
+    "DeterminismChecker",
+    "ExceptionPolicyChecker",
+    "LayeringChecker",
+    "NumericSafetyChecker",
+    "TelemetryNameChecker",
+    "VirtualClockChecker",
+    "checkers_for_rules",
+]

@@ -1,0 +1,114 @@
+"""Shared AST utilities for the invariant checkers.
+
+Every checker needs the same two primitives:
+
+- :class:`ImportMap` — what each local name is bound to
+  (``tm`` → ``repro.telemetry``, ``np`` → ``numpy``), collected from
+  both module-level and function-level imports, so call sites can be
+  resolved without type inference,
+- :func:`qualified_name` — turn an attribute chain like
+  ``np.random.default_rng`` into its fully-qualified dotted form using
+  the import map.
+
+The resolution is deliberately syntactic: it never imports the linted
+code and therefore works on broken or partial trees too.
+"""
+
+from __future__ import annotations
+
+import ast
+
+#: Top-level modules of the repro package; used to tell
+#: ``from repro import telemetry`` (submodule) apart from
+#: ``from repro import Acamar`` (attribute of the root facade).
+REPRO_TOP_MODULES = frozenset({
+    "analysis", "baselines", "campaign", "cli", "config", "core",
+    "datasets", "errors", "experiments", "fpga", "gpu", "metrics",
+    "parallel", "serve", "solvers", "sparse", "telemetry",
+})
+
+
+class ImportMap:
+    """Local name → fully-qualified module/attribute bindings."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.bindings: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b`` binds ``a`` unless aliased.
+                    target = alias.name if alias.asname else (
+                        alias.name.split(".")[0]
+                    )
+                    self.bindings[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:
+                    continue  # relative imports are layering findings
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.bindings[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, name: str) -> str | None:
+        """Qualified binding of a bare local name, if imported."""
+        return self.bindings.get(name)
+
+
+def attribute_chain(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` → ``["a", "b", "c"]``; ``None`` for non-name chains."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    parts.reverse()
+    return parts
+
+
+def qualified_name(node: ast.expr, imports: ImportMap) -> str | None:
+    """Fully-qualified dotted name of an expression, when resolvable.
+
+    ``tm.span`` with ``from repro import telemetry as tm`` resolves to
+    ``repro.telemetry.span``; a chain whose base is not an imported name
+    resolves with the local base untouched (``self.clock.now`` →
+    ``self.clock.now``), which keeps prefix tests meaningful.
+    """
+    parts = attribute_chain(node)
+    if parts is None:
+        return None
+    base = imports.resolve(parts[0])
+    if base is not None:
+        parts[0] = base
+    return ".".join(parts)
+
+
+def string_literals(node: ast.expr) -> list[str] | None:
+    """The string literal(s) an expression can evaluate to.
+
+    Handles the plain literal and the conditional-of-literals idiom
+    (``"a" if warm else "b"``).  Returns ``None`` when the expression
+    is anything else — i.e. not statically checkable.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [node.value]
+    if isinstance(node, ast.IfExp):
+        body = string_literals(node.body)
+        orelse = string_literals(node.orelse)
+        if body is not None and orelse is not None:
+            return body + orelse
+    return None
+
+
+def in_module(module: str | None, *packages: str) -> bool:
+    """Is ``module`` inside any of the given dotted package prefixes?"""
+    if module is None:
+        return False
+    return any(
+        module == package or module.startswith(package + ".")
+        for package in packages
+    )

@@ -1,0 +1,158 @@
+"""REP001 — determinism in the numeric and serving core.
+
+The repo's reproducibility story rests on three pinned behaviours:
+bit-identical SpMV against the seed kernel (PR 2), deterministic
+per-position campaign seeds (PR 1), and byte-identical serving reports
+on the virtual clock (PR 3).  Inside the packages that carry those
+guarantees (``repro.sparse``, ``repro.fpga``, ``repro.solvers``,
+``repro.serve``) this rule forbids every ambient source of
+nondeterminism:
+
+- wall-clock reads (``time.time``/``time.monotonic``/``datetime.now``
+  and friends),
+- OS entropy (``os.urandom``, ``uuid.uuid1``/``uuid4``, ``secrets``),
+- the seedless stdlib ``random`` module (only explicitly-seeded
+  ``random.Random(seed)`` instances are allowed),
+- NumPy global-state randomness (``np.random.<fn>``) and
+  ``np.random.default_rng()`` with no seed argument,
+- iterating a ``set`` literal or ``set(...)`` call: set order is
+  hash-randomized across processes, so such loops feed ordered output
+  nondeterministically (iterate a sorted or tuple form instead).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers.common import (
+    ImportMap,
+    in_module,
+    qualified_name,
+)
+from repro.analysis.engine import Finding, SourceFile
+
+RULE_ID = "REP001"
+
+SCOPED_PACKAGES = (
+    "repro.sparse", "repro.fpga", "repro.solvers", "repro.serve",
+)
+
+#: Fully-qualified callables that read ambient nondeterministic state.
+FORBIDDEN_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "datetime.datetime.now", "datetime.datetime.today",
+    "datetime.datetime.utcnow", "datetime.date.today",
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+})
+
+#: ``random.<name>`` attributes that are *allowed* (explicitly seeded
+#: generator construction); everything else on the module draws from
+#: the hidden global generator.
+RANDOM_ALLOWED = frozenset({"Random"})
+
+#: ``numpy.random`` helpers that construct explicit generators/seeds —
+#: fine when given a seed argument, checked separately for default_rng.
+NP_RANDOM_CONSTRUCTORS = frozenset({
+    "default_rng", "Generator", "SeedSequence", "PCG64", "Philox",
+})
+
+
+def _has_seed_argument(call: ast.Call) -> bool:
+    if call.args and not (
+        isinstance(call.args[0], ast.Constant) and call.args[0].value is None
+    ):
+        return True
+    return any(
+        kw.arg == "seed"
+        and not (
+            isinstance(kw.value, ast.Constant) and kw.value.value is None
+        )
+        for kw in call.keywords
+    )
+
+
+class DeterminismChecker:
+    """Forbid ambient nondeterminism in the guaranteed-deterministic core."""
+
+    rule_id = RULE_ID
+    title = "determinism in sparse/fpga/solvers/serve"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if not in_module(source.module, *SCOPED_PACKAGES):
+            return
+        imports = ImportMap(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(source, node, imports)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_set_iteration(source, node.iter)
+            elif isinstance(node, ast.comprehension):
+                yield from self._check_set_iteration(source, node.iter)
+
+    def _check_call(
+        self, source: SourceFile, node: ast.Call, imports: ImportMap
+    ) -> Iterator[Finding]:
+        name = qualified_name(node.func, imports)
+        if name is None:
+            return
+        if name in FORBIDDEN_CALLS:
+            yield source.finding(
+                self.rule_id, node,
+                f"call to nondeterministic {name}() — the numeric core "
+                "must not read wall clocks or OS entropy",
+            )
+            return
+        if name.startswith("secrets."):
+            yield source.finding(
+                self.rule_id, node,
+                f"call to {name}() — OS entropy is forbidden in the "
+                "deterministic core",
+            )
+            return
+        parts = name.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] not in RANDOM_ALLOWED:
+                yield source.finding(
+                    self.rule_id, node,
+                    f"{name}() draws from the seedless global generator; "
+                    "construct random.Random(seed) explicitly",
+                )
+            return
+        if len(parts) >= 3 and parts[0] == "numpy" and parts[1] == "random":
+            fn = parts[2]
+            if fn == "default_rng":
+                if not _has_seed_argument(node):
+                    yield source.finding(
+                        self.rule_id, node,
+                        "np.random.default_rng() without a seed argument "
+                        "is entropy-seeded; pass an explicit seed",
+                    )
+            elif fn not in NP_RANDOM_CONSTRUCTORS:
+                yield source.finding(
+                    self.rule_id, node,
+                    f"np.random.{fn}() uses NumPy's global random state; "
+                    "thread an explicitly-seeded Generator instead",
+                )
+
+    def _check_set_iteration(
+        self, source: SourceFile, iterable: ast.expr
+    ) -> Iterator[Finding]:
+        if isinstance(iterable, ast.Set):
+            yield source.finding(
+                self.rule_id, iterable,
+                "iteration over a set literal: set order is "
+                "hash-randomized; iterate a tuple or sorted(...) instead",
+            )
+        elif (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in ("set", "frozenset")
+        ):
+            yield source.finding(
+                self.rule_id, iterable,
+                f"iteration over a bare {iterable.func.id}(...): order is "
+                "hash-randomized; wrap it in sorted(...) before iterating",
+            )

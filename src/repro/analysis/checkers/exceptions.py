@@ -1,0 +1,139 @@
+"""REP004 — exception policy.
+
+Three contracts keep failures diagnosable across a fleet of workers:
+
+- **No bare ``except:``** — it swallows ``KeyboardInterrupt`` and
+  ``SystemExit`` and makes shard teardown unkillable.
+- **No silent swallows** — an ``except Exception`` (or
+  ``BaseException``) handler whose body is only ``pass``/``...``
+  destroys the per-problem fault-isolation story: failures must be
+  recorded (the campaign engine turns them into failure entries).
+- **Domain errors derive from ``repro.errors``** — code in ``repro``
+  raises the :class:`~repro.errors.ReproError` family so callers can
+  catch the library's failures with one clause.  Raising generic
+  builtins (``ValueError``, ``KeyError``, ``RuntimeError``, …) is
+  forbidden; the dual-inheritance classes in ``repro.errors``
+  (``ValidationError``, ``UnknownNameError``) keep builtin-catching
+  callers working.  ``TypeError``/``NotImplementedError``/
+  ``AssertionError``/``SystemExit`` stay allowed: they signal API
+  misuse and entry-point exits, not domain failures.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers.common import ImportMap, in_module
+from repro.analysis.engine import Finding, SourceFile
+
+RULE_ID = "REP004"
+
+#: Builtin exceptions that must not be raised as domain errors.
+FORBIDDEN_RAISES = frozenset({
+    "Exception", "BaseException", "ValueError", "KeyError", "IndexError",
+    "LookupError", "RuntimeError", "ArithmeticError", "ZeroDivisionError",
+    "OSError", "IOError", "EnvironmentError", "StopIteration",
+})
+
+#: Builtins that remain legitimate raises inside the library.
+ALLOWED_BUILTIN_RAISES = frozenset({
+    "TypeError", "NotImplementedError", "AssertionError", "SystemExit",
+    "KeyboardInterrupt", "UnicodeDecodeError",
+})
+
+BROAD_TYPES = ("Exception", "BaseException")
+
+
+def _exception_names(node: ast.expr | None) -> list[str]:
+    """Names a handler catches (``except (A, B):`` → ``["A", "B"]``)."""
+    if node is None:
+        return []
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Tuple):
+        return [
+            element.id
+            for element in node.elts
+            if isinstance(element, ast.Name)
+        ]
+    return []
+
+
+def _is_silent_body(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+class ExceptionPolicyChecker:
+    """Enforce catch and raise discipline across the library."""
+
+    rule_id = RULE_ID
+    title = "exception policy (no bare/silent except, domain errors)"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if not in_module(source.module, "repro"):
+            return
+        imports = ImportMap(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(source, node)
+            elif isinstance(node, ast.Raise):
+                yield from self._check_raise(source, node, imports)
+
+    def _check_handler(
+        self, source: SourceFile, node: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if node.type is None:
+            yield source.finding(
+                self.rule_id, node,
+                "bare 'except:' also swallows KeyboardInterrupt/"
+                "SystemExit; catch Exception (and record the failure) "
+                "at most",
+            )
+            return
+        caught = _exception_names(node.type)
+        if any(name in BROAD_TYPES for name in caught) and _is_silent_body(
+            node.body
+        ):
+            yield source.finding(
+                self.rule_id, node,
+                f"except {'/'.join(caught)} with a pass-only body "
+                "silently swallows failures; record or re-raise them",
+            )
+
+    def _check_raise(
+        self, source: SourceFile, node: ast.Raise, imports: ImportMap
+    ) -> Iterator[Finding]:
+        exc = node.exc
+        if exc is None:
+            return  # bare re-raise inside a handler
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if not isinstance(exc, ast.Name):
+            return  # attribute raises (mod.Error) are trusted
+        name = exc.id
+        if name in FORBIDDEN_RAISES:
+            yield source.finding(
+                self.rule_id, node,
+                f"raise {name}: domain errors must derive from "
+                "repro.errors (use ValidationError/UnknownNameError or "
+                "a ReproError subclass)",
+            )
+            return
+        if name in ALLOWED_BUILTIN_RAISES:
+            return
+        origin = imports.resolve(name)
+        if origin is not None and not origin.startswith("repro."):
+            yield source.finding(
+                self.rule_id, node,
+                f"raise {name} (imported from {origin.rsplit('.', 1)[0]}):"
+                " domain errors must derive from repro.errors",
+            )

@@ -1,0 +1,124 @@
+"""REP003 — numeric-safety contracts.
+
+Two rules, both rooted in how the solvers guarantee reproducible
+convergence behaviour:
+
+- **No equality against inexact float values.**  ``==``/``!=`` where
+  either operand is a *nonzero* float literal or an explicit
+  ``float(...)``/``np.float32(...)``/``np.float64(...)`` cast compares
+  values that carry rounding error; use a tolerance.  Comparison with
+  exactly ``0.0`` stays allowed — it is the sanctioned breakdown idiom
+  (a vanished recurrence denominator is detected by *exact* zero, per
+  the solver breakdown policy in ``repro.errors``).
+- **No bare ``float(name)`` casts inside solver inner loops.**  In
+  ``repro.solvers``, a ``float()`` of a plain variable inside a
+  ``for``/``while`` body relies on the operand being a one-element
+  ndarray and hides a device-to-host scalarization on the hot path.
+  Casting an explicit reduction (``float(r @ ar)``,
+  ``float(np.linalg.norm(r))``) is fine — the reduction names the
+  scalar being extracted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers.common import (
+    ImportMap,
+    in_module,
+    qualified_name,
+)
+from repro.analysis.engine import Finding, SourceFile
+
+RULE_ID = "REP003"
+
+FLOAT_CASTS = frozenset({
+    "float", "numpy.float32", "numpy.float64", "numpy.float16",
+})
+
+
+def _is_nonzero_float_literal(node: ast.expr) -> bool:
+    # Peel unary +/- so ``x == -1.5`` is caught too.
+    while isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value != 0.0
+    )
+
+
+def _is_float_cast(node: ast.expr, imports: ImportMap) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = qualified_name(node.func, imports)
+    return name in FLOAT_CASTS
+
+
+class NumericSafetyChecker:
+    """Flag float equality and hot-loop scalarization hazards."""
+
+    rule_id = RULE_ID
+    title = "numeric safety (float equality, hot-loop casts)"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if not in_module(source.module, "repro"):
+            return
+        imports = ImportMap(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Compare):
+                yield from self._check_compare(source, node, imports)
+        if in_module(source.module, "repro.solvers"):
+            yield from self._check_loop_casts(source)
+
+    def _check_compare(
+        self, source: SourceFile, node: ast.Compare, imports: ImportMap
+    ) -> Iterator[Finding]:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                if _is_nonzero_float_literal(side):
+                    yield source.finding(
+                        self.rule_id, node,
+                        "equality comparison against a nonzero float "
+                        "literal; compare with a tolerance (exact-zero "
+                        "breakdown checks are the only sanctioned float "
+                        "equality)",
+                    )
+                    break
+                if _is_float_cast(side, imports):
+                    yield source.finding(
+                        self.rule_id, node,
+                        "equality comparison on a float(...) cast result; "
+                        "compare with a tolerance",
+                    )
+                    break
+
+    def _check_loop_casts(self, source: SourceFile) -> Iterator[Finding]:
+        reported: set[int] = set()
+        for loop in ast.walk(source.tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if id(node) in reported:
+                    continue  # nested loops walk the same calls twice
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "float"
+                    and len(node.args) == 1
+                    and isinstance(node.args[0], ast.Name)
+                ):
+                    reported.add(id(node))
+                    yield source.finding(
+                        self.rule_id, node,
+                        f"bare float({node.args[0].id}) inside a solver "
+                        "inner loop relies on a one-element ndarray; cast "
+                        "an explicit reduction or use .item() outside the "
+                        "loop",
+                    )

@@ -1,0 +1,79 @@
+"""REP006 — virtual-clock purity in the serving layer.
+
+``repro serve``/``loadtest`` promise a **byte-identical report** for a
+fixed request log: all timestamps are virtual seconds advanced by the
+discrete-event loop, never wall-clock reads.  The contract (PR 3,
+pinned by the serving-smoke CI job) dies the moment any
+``repro.serve`` module consults a real clock, so this rule bans the
+whole ``time``/``datetime`` surface there — stricter than REP001,
+which only bans the nondeterministic subset (``time.perf_counter`` is
+deterministic-enough for spans but still wall-clock, and still
+forbidden here).
+
+Wall-clock profiling spans remain available through
+:mod:`repro.telemetry`, which is the one sanctioned boundary: its
+output is documented as non-deterministic and lives outside the
+serving report.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers.common import (
+    ImportMap,
+    in_module,
+    qualified_name,
+)
+from repro.analysis.engine import Finding, SourceFile
+
+RULE_ID = "REP006"
+
+SCOPED_PACKAGE = "repro.serve"
+
+CLOCK_MODULES = ("time", "datetime")
+
+
+class VirtualClockChecker:
+    """No wall-clock access anywhere in ``repro.serve``."""
+
+    rule_id = RULE_ID
+    title = "virtual-clock purity in repro.serve"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if not in_module(source.module, SCOPED_PACKAGE):
+            return
+        imports = ImportMap(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in CLOCK_MODULES:
+                        yield source.finding(
+                            self.rule_id, node,
+                            f"import {alias.name}: repro.serve runs on "
+                            "the virtual clock; route timing through the "
+                            "simulation's virtual time (telemetry spans "
+                            "are the only wall-clock boundary)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if node.level == 0 and root in CLOCK_MODULES:
+                    yield source.finding(
+                        self.rule_id, node,
+                        f"from {node.module} import ...: repro.serve "
+                        "runs on the virtual clock; wall-clock reads "
+                        "would break the byte-identical report contract",
+                    )
+            elif isinstance(node, ast.Call):
+                name = qualified_name(node.func, imports)
+                if name is None:
+                    continue
+                root = name.split(".")[0]
+                if root in CLOCK_MODULES:
+                    yield source.finding(
+                        self.rule_id, node,
+                        f"call to {name}(): repro.serve must take time "
+                        "from the virtual clock only",
+                    )

@@ -41,7 +41,7 @@ from repro.core import Acamar
 from repro.datasets import load_problem, manufacture_problem
 from repro.datasets.problem import Problem
 from repro.datasets.suite import dataset_keys
-from repro.errors import DatasetError
+from repro.errors import DatasetError, ValidationError
 from repro.fpga import PerformanceModel, mean_underutilization
 from repro.metrics import achieved_throughput_fraction
 from repro.telemetry import TELEMETRY_SCHEMA_VERSION, Telemetry
@@ -163,7 +163,7 @@ class CampaignReport:
         import json
 
         if self.telemetry is None:
-            raise ValueError("this report carries no telemetry aggregate")
+            raise ValidationError("this report carries no telemetry aggregate")
         path = Path(path)
         path.write_text(json.dumps(self.telemetry, indent=2) + "\n")
         return path

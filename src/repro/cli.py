@@ -18,6 +18,10 @@ Commands
     Deterministic synthetic load test: generate traffic for a seed and
     serve it, emitting latency percentiles, queue/shed statistics and
     cache hit rate (byte-identical report for a fixed seed).
+``lint``
+    Run the invariant linter (``repro.analysis``): determinism,
+    layering, numeric-safety, exception-policy, telemetry-naming and
+    virtual-clock rules (REP001–REP006) with baseline suppression.
 ``experiment``
     Regenerate one paper table/figure (``table2``, ``fig6``, …) over all
     datasets or a subset.
@@ -168,6 +172,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_serving_flags(loadtest)
 
+    lint = sub.add_parser(
+        "lint", help="machine-check the repo's invariants (REP001–REP006)"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--format", default="text", choices=("text", "json", "github"),
+        help="finding renderer (github emits PR annotations)",
+    )
+    lint.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline file of grandfathered findings "
+        "(default: the committed repro/analysis/baseline.json)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--rules", metavar="IDS",
+        help="comma-separated rule subset, e.g. REP001,REP004",
+    )
+
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
     )
@@ -308,7 +337,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"wrote CSV to {report.to_csv(args.csv)}")
     if args.telemetry:
         print(f"wrote telemetry to {report.write_telemetry(args.telemetry)}")
-    return 0 if report.convergence_rate == 1.0 else 1
+    converged = sum(1 for e in report.entries if e.converged)
+    return 0 if report.entries and converged == len(report.entries) else 1
 
 
 def _cmd_serving(args: argparse.Namespace, command: str) -> int:
@@ -381,6 +411,50 @@ def _cmd_serving(args: argparse.Namespace, command: str) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the invariant linter.
+
+    Exit-code contract (pinned in ``tests/analysis/test_lint_cli.py``,
+    matching the ``repro solve`` style): 0 when the tree is clean (or a
+    baseline was written), 1 when findings remain, 2 for a usage error
+    (bad path, bad baseline, unknown rule).
+    """
+    from pathlib import Path
+
+    import repro
+    from repro.analysis import (
+        DEFAULT_BASELINE,
+        apply_baseline,
+        checkers_for_rules,
+        format_findings,
+        load_baseline,
+        run_lint,
+        write_baseline,
+    )
+    from repro.errors import ConfigurationError, UnknownNameError
+
+    paths = [Path(p) for p in args.paths]
+    if not paths:
+        paths = [Path(repro.__file__).parent]
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE
+    try:
+        report = run_lint(paths, checkers_for_rules(rules))
+        if args.write_baseline:
+            print(f"wrote baseline to {write_baseline(report, baseline_path)}")
+            return 0
+        if baseline_path.exists() or args.baseline:
+            report = apply_baseline(report, load_baseline(baseline_path))
+    except (ConfigurationError, UnknownNameError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"lint: {message}", file=sys.stderr)
+        return 2
+    print(format_findings(report, args.format))
+    return 0 if report.clean else 1
+
+
 def _parse_keys(raw: str | None) -> tuple[str, ...] | None:
     if raw is None:
         return None
@@ -416,6 +490,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_campaign(args)
     if args.command in ("serve", "loadtest"):
         return _cmd_serving(args, args.command)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "experiments":

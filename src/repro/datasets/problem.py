@@ -7,6 +7,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.sparse.csr import CSRMatrix
 
 
@@ -46,7 +47,7 @@ class Problem:
     def relative_error(self, x: np.ndarray) -> float:
         """Forward error ``‖x - x_true‖ / ‖x_true‖`` (requires x_true)."""
         if self.x_true is None:
-            raise ValueError(f"problem {self.name!r} has no known x_true")
+            raise ValidationError(f"problem {self.name!r} has no known x_true")
         denominator = float(np.linalg.norm(self.x_true))
         if denominator == 0.0:
             return float(np.linalg.norm(x))

@@ -45,3 +45,22 @@ class ConfigurationError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset stand-in was requested that the registry does not know."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A value failed domain validation (bad priority, missing field…).
+
+    Derives from both :class:`ReproError` (the exception-policy contract:
+    every domain error is catchable as the repro family — enforced by
+    lint rule REP004) and :class:`ValueError`, so callers written
+    against the builtin keep working.
+    """
+
+
+class UnknownNameError(ReproError, KeyError):
+    """A name lookup missed a registry (solver, kernel, preconditioner…).
+
+    Dual-derived from :class:`ReproError` and :class:`KeyError` for the
+    same compatibility reason as :class:`ValidationError`.  ``str()``
+    follows :class:`KeyError` semantics (the message is repr-quoted).
+    """

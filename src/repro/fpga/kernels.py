@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import UnknownNameError
 from repro.fpga.device import FPGADevice
 
 
@@ -110,7 +111,7 @@ _DENSE_TAIL_CYCLES: dict[str, int] = {
 def dense_kernel(kind: str, length: int, device: FPGADevice) -> SweepReport:
     """One execution of a static dense kernel over a length-``length`` vector."""
     if kind not in _DENSE_FLOPS_PER_ELEMENT:
-        raise KeyError(f"unknown dense kernel {kind!r}")
+        raise UnknownNameError(f"unknown dense kernel {kind!r}")
     unroll = device.dense_unroll
     slots = max(1, -(-length // unroll))
     cycles = float(slots + device.pipeline_fill_cycles + _DENSE_TAIL_CYCLES[kind])

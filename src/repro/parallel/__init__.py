@@ -8,6 +8,7 @@ comes from overlapping *independent* solves across compute units.
 
 from repro.parallel.cost import estimate_cost, source_label
 from repro.parallel.engine import (
+    ItemResult,
     ParallelOutcome,
     WorkItem,
     default_worker_count,
@@ -16,6 +17,7 @@ from repro.parallel.engine import (
 )
 
 __all__ = [
+    "ItemResult",
     "ParallelOutcome",
     "WorkItem",
     "default_worker_count",

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 
 from repro import telemetry as tm
 from repro.errors import ConfigurationError
-from repro.parallel.cost import estimate_cost
+from repro.parallel import estimate_cost
 from repro.serve.api import SolveRequest
 
 

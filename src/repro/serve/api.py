@@ -20,6 +20,8 @@ import enum
 from dataclasses import dataclass
 from typing import Any
 
+from repro.errors import ValidationError
+
 
 class Priority(enum.IntEnum):
     """Request priority class; lower value = more urgent.
@@ -46,7 +48,7 @@ def parse_priority(value: "str | int | Priority") -> Priority:
     try:
         return Priority[str(value).strip().upper()]
     except KeyError:
-        raise ValueError(
+        raise ValidationError(
             f"unknown priority {value!r}; expected one of "
             f"{sorted(PRIORITY_NAMES.values())}"
         ) from None

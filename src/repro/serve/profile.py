@@ -24,8 +24,7 @@ from typing import Any, Sequence
 
 from repro import telemetry as tm
 from repro.config import AcamarConfig
-from repro.parallel.cost import source_label
-from repro.parallel.engine import ItemResult, WorkItem
+from repro.parallel import ItemResult, WorkItem, source_label
 from repro.serve.cache import CacheEntry, plan_signature, structure_fingerprint
 from repro.telemetry import Telemetry
 

@@ -29,8 +29,7 @@ from repro import telemetry as tm
 from repro.config import AcamarConfig
 from repro.errors import ConfigurationError
 from repro.fpga.multitenancy import FleetSpec
-from repro.parallel.cost import estimate_cost
-from repro.parallel.engine import WorkItem, run_sharded
+from repro.parallel import WorkItem, estimate_cost, run_sharded
 from repro.serve.admission import AdmissionController, AdmissionVerdict
 from repro.serve.api import (
     PRIORITY_NAMES,

@@ -9,6 +9,7 @@ divergence monitor, and per-kernel operation counting that feeds the FPGA
 and GPU cost models.
 """
 
+from repro.errors import UnknownNameError
 from repro.solvers.base import (
     IterativeSolver,
     OpCounter,
@@ -58,7 +59,9 @@ def make_solver(name: str, **kwargs) -> IterativeSolver:
         cls = SOLVER_REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(SOLVER_REGISTRY))
-        raise KeyError(f"unknown solver {name!r}; known solvers: {known}") from None
+        raise UnknownNameError(
+            f"unknown solver {name!r}; known solvers: {known}"
+        ) from None
     return cls(**kwargs)
 
 

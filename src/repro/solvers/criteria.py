@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.errors import UnknownNameError
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.properties import (
     is_strictly_diagonally_dominant,
@@ -94,4 +95,4 @@ def criterion_for(solver: str) -> ConvergenceCriterion:
         if criterion.solver == solver:
             return criterion
     known = ", ".join(c.solver for c in _TABLE_I)
-    raise KeyError(f"no Table I entry for {solver!r}; known: {known}")
+    raise UnknownNameError(f"no Table I entry for {solver!r}; known: {known}")

@@ -22,7 +22,11 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.errors import ConfigurationError, SolverBreakdownError
+from repro.errors import (
+    ConfigurationError,
+    SolverBreakdownError,
+    UnknownNameError,
+)
 from repro.sparse.csr import CSRMatrix
 
 
@@ -256,7 +260,7 @@ def make_preconditioner(
         cls = PRECONDITIONER_REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(PRECONDITIONER_REGISTRY))
-        raise KeyError(
+        raise UnknownNameError(
             f"unknown preconditioner {name!r}; known: {known}"
         ) from None
     return cls(matrix, **kwargs)

@@ -45,7 +45,7 @@ def cg_iterations(kappa: float, tolerance: float = 1e-5) -> float:
         raise ConfigurationError(f"condition number must be >= 1, got {kappa}")
     if not 0.0 < tolerance < 1.0:
         raise ConfigurationError(f"tolerance must be in (0,1), got {tolerance}")
-    if kappa == 1.0:
+    if kappa <= 1.0:  # the guard above leaves exactly kappa == 1.0 here
         return 1.0
     rate = (math.sqrt(kappa) - 1.0) / (math.sqrt(kappa) + 1.0)
     return math.log(tolerance / 2.0) / math.log(rate)
@@ -62,7 +62,7 @@ def steepest_descent_iterations(kappa: float, tolerance: float = 1e-5) -> float:
     per step — linear in ``kappa``, the gap CG's sqrt closes."""
     if kappa < 1.0:
         raise ConfigurationError(f"condition number must be >= 1, got {kappa}")
-    if kappa == 1.0:
+    if kappa <= 1.0:  # the guard above leaves exactly kappa == 1.0 here
         return 1.0
     rate = (kappa - 1.0) / (kappa + 1.0)
     return math.log(tolerance) / math.log(rate)

@@ -39,6 +39,88 @@ from typing import Any, Iterator, Mapping
 
 TELEMETRY_SCHEMA_VERSION = 1
 
+# -- the telemetry name registry ----------------------------------------
+#
+# Every span/counter/distribution name recorded anywhere in repro MUST
+# be listed here; the REP005 lint rule (repro.analysis) enforces that
+# call sites pass registered string literals.  The registry is the
+# single source of truth the operations docs and dashboards key on —
+# adding a name here is a schema decision, not a formality.
+
+KNOWN_SPANS = frozenset({
+    # campaign runner
+    "campaign.resolve",
+    "campaign.solve",
+    "campaign.cost_model",
+    # experiment runner
+    "runner.load_problem",
+    "runner.acamar_solve",
+    "runner.portfolio_solve",
+    # decision loops (repro.core)
+    "matrix_structure.select",
+    "reconfigurable_solver.attempt",
+    "fine_grained.plan",
+    # kernels and cost model
+    "kernel.spmv",
+    "kernel.rmatvec",
+    "cost_model.acamar_latency",
+    # serving profiler (wall-clock side only; the serving report itself
+    # is virtual-clock and never records spans)
+    "serve.profile.resolve",
+    "serve.profile.solve",
+    "serve.profile.cost_model",
+})
+"""Sanctioned span names (wall-time intervals)."""
+
+KNOWN_COUNTERS = frozenset({
+    # decision-loop events
+    "solver_swaps",
+    "spmv_reconfig_events",
+    "msid_events_removed",
+    # campaign engine
+    "campaign.failures",
+    "campaign.workers_lost",
+    # serving pipeline
+    "serve.requests",
+    "serve.admitted",
+    "serve.preemptions",
+    "serve.expired",
+    "serve.batches",
+    "serve.failed",
+    "serve.config_loads",
+    "serve.cache_hits",
+    "serve.cache_misses",
+    "serve.shed.deadline",
+    "serve.shed.queue_full",
+    "serve.shed.drain_limit",
+    "serve.profile_failures",
+})
+"""Sanctioned monotonic counter names."""
+
+KNOWN_DISTRIBUTIONS = frozenset({
+    "serve.latency_ms",
+})
+"""Sanctioned distribution names (per-event observations)."""
+
+KNOWN_COUNTER_PREFIXES = frozenset({
+    "solver_attempts.",
+})
+"""Sanctioned *dynamic counter families*: a counter name may be built at
+runtime only when it starts with one of these prefixes (e.g. the
+per-solver ``solver_attempts.<name>`` family the campaign report
+aggregates).  Everything else must be a registered literal."""
+
+
+def telemetry_registry() -> dict[str, frozenset[str]]:
+    """The full name registry, keyed by instrument kind."""
+    return {
+        "spans": KNOWN_SPANS,
+        "counters": KNOWN_COUNTERS,
+        "counter_prefixes": KNOWN_COUNTER_PREFIXES,
+        "distributions": KNOWN_DISTRIBUTIONS,
+    }
+
+
 _ACTIVE: ContextVar["Telemetry | None"] = ContextVar(
     "repro_telemetry", default=None
 )

@@ -1,0 +1,48 @@
+"""Shared fixtures for the invariant-linter tests.
+
+``lint_snippet`` materializes a code snippet at a chosen *virtual*
+module path (``repro/serve/mod.py``) inside a tmp dir, so the
+package-scoped checkers see the module name they key on, and runs one
+checker (or several) over it.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+
+
+@pytest.fixture
+def lint_snippet(tmp_path):
+    def _lint(relpath: str, code: str, *checkers):
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(code)
+        # Package dirs need __init__.py for nothing — the engine walks
+        # files directly — but create the root marker for realism.
+        report = run_lint([target], list(checkers), root=tmp_path)
+        return report.findings
+
+    return _lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write several files, then lint the whole tmp tree."""
+
+    def _lint(files: dict[str, str], *checkers):
+        for relpath, code in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(code)
+        report = run_lint([tmp_path], list(checkers), root=tmp_path)
+        return report
+
+    return _lint
+
+
+@pytest.fixture
+def repo_src() -> Path:
+    """The real src/repro tree (repo layout assumed by CI and tests)."""
+    return Path(__file__).resolve().parents[2] / "src" / "repro"

@@ -1,0 +1,188 @@
+"""Engine mechanics: file discovery, module naming, rendering, and the
+baseline round-trip."""
+
+import ast
+import json
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    LintReport,
+    apply_baseline,
+    format_findings,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from repro.analysis.checkers import DeterminismChecker
+from repro.analysis.engine import (
+    SourceFile,
+    iter_python_files,
+    load_source,
+    module_name_for,
+)
+from repro.errors import ConfigurationError
+
+
+def make_finding(rule="REP001", path="src/repro/x.py", line=3, msg="m"):
+    return Finding(rule=rule, path=path, line=line, message=msg)
+
+
+class TestModuleNaming:
+    def test_src_layout(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "serve" / "service.py"
+        assert module_name_for(path) == "repro.serve.service"
+
+    def test_init_maps_to_package(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "serve" / "__init__.py"
+        assert module_name_for(path) == "repro.serve"
+        root = tmp_path / "src" / "repro" / "__init__.py"
+        assert module_name_for(root) == "repro"
+
+    def test_outside_repro_is_none(self, tmp_path):
+        assert module_name_for(tmp_path / "tests" / "test_x.py") is None
+
+
+class TestDiscovery:
+    def test_walk_dedup_and_pycache_exclusion(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "b.py").write_text("y = 2\n")
+        cache = sub / "__pycache__"
+        cache.mkdir()
+        (cache / "b.cpython-311.py").write_text("nope\n")
+        files = list(iter_python_files([tmp_path, tmp_path / "a.py"]))
+        names = [f.name for f in files]
+        assert names == ["a.py", "b.py"]
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            list(iter_python_files([tmp_path / "nope"]))
+
+    def test_syntax_error_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        with pytest.raises(ConfigurationError, match="cannot lint"):
+            load_source(bad)
+
+    def test_findings_sorted_by_path_line_rule(self, tmp_path):
+        (tmp_path / "repro").mkdir()
+        (tmp_path / "repro" / "sparse").mkdir()
+        f = tmp_path / "repro" / "sparse" / "m.py"
+        f.write_text(
+            "import time\nimport os\n"
+            "b = os.urandom(4)\na = time.time()\n"
+        )
+        report = run_lint([f], [DeterminismChecker()], root=tmp_path)
+        assert [x.line for x in report.findings] == [3, 4]
+        assert report.files_checked == 1
+
+
+class TestRendering:
+    def make_report(self):
+        return LintReport(
+            findings=[make_finding(msg="bad % and\nnewline")],
+            files_checked=7,
+        )
+
+    def test_text(self):
+        text = format_findings(self.make_report(), "text")
+        assert "src/repro/x.py:3: REP001" in text
+        assert "1 finding(s) in 7 file(s)" in text
+
+    def test_json_schema(self):
+        doc = json.loads(format_findings(self.make_report(), "json"))
+        assert doc["schema_version"] == 1
+        assert doc["files_checked"] == 7
+        assert doc["findings"][0]["rule"] == "REP001"
+
+    def test_github_annotations_escape_workflow_data(self):
+        out = format_findings(self.make_report(), "github")
+        line = out.splitlines()[0]
+        assert line.startswith(
+            "::error file=src/repro/x.py,line=3,title=REP001::"
+        )
+        assert "%25" in line and "%0A" in line and "\n" not in line
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown lint format"):
+            format_findings(self.make_report(), "sarif")
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_everything(self, tmp_path):
+        report = LintReport(
+            findings=[
+                make_finding(line=3),
+                make_finding(line=9),  # same fingerprint, second instance
+                make_finding(rule="REP004", msg="other"),
+            ],
+            files_checked=2,
+        )
+        path = write_baseline(report, tmp_path / "baseline.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == 1
+        # Two fingerprints, one carrying count=2.
+        counts = {e.get("count", 1) for e in payload["findings"]}
+        assert counts == {1, 2}
+
+        cleaned = apply_baseline(report, load_baseline(path))
+        assert cleaned.clean
+        assert cleaned.suppressed == 3
+        assert cleaned.stale_baseline == []
+
+    def test_allowance_is_counted_not_blanket(self, tmp_path):
+        one = LintReport(findings=[make_finding(line=3)], files_checked=1)
+        path = write_baseline(one, tmp_path / "baseline.json")
+        # A second occurrence of the same fingerprint is NOT grandfathered.
+        two = LintReport(
+            findings=[make_finding(line=3), make_finding(line=9)],
+            files_checked=1,
+        )
+        cleaned = apply_baseline(two, load_baseline(path))
+        assert cleaned.suppressed == 1
+        assert len(cleaned.findings) == 1
+
+    def test_stale_entries_surface(self, tmp_path):
+        report = LintReport(findings=[make_finding()], files_checked=1)
+        path = write_baseline(report, tmp_path / "baseline.json")
+        cleaned = apply_baseline(
+            LintReport(findings=[], files_checked=1), load_baseline(path)
+        )
+        assert cleaned.clean
+        assert len(cleaned.stale_baseline) == 1
+        assert "REP001" in cleaned.stale_baseline[0]
+        assert "stale baseline entry" in format_findings(cleaned, "text")
+
+    def test_missing_baseline_is_usage_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_malformed_baseline_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_baseline(bad)
+        bad.write_text('{"version": 1}')
+        with pytest.raises(ConfigurationError, match="findings"):
+            load_baseline(bad)
+
+    def test_fingerprint_is_line_free(self):
+        a = make_finding(line=3)
+        b = make_finding(line=400)
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestSourceFileHelpers:
+    def test_finding_accepts_node_or_line(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text("x = 1\n")
+        source = load_source(f, root=tmp_path)
+        assert isinstance(source, SourceFile)
+        node = source.tree.body[0]
+        assert isinstance(node, ast.Assign)
+        assert source.finding("REP001", node, "m").line == 1
+        assert source.finding("REP001", 42, "m").line == 42
+        assert source.display_path == "m.py"

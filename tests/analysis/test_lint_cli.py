@@ -1,0 +1,121 @@
+"""``repro lint`` CLI contract: exit codes, formats, baseline flags.
+
+Exit-code contract (matching the pinned ``repro solve`` style):
+0 = clean tree, 1 = findings remain, 2 = usage error.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+CLEAN_SNIPPET = "VALUE = 1\n"
+
+# Fires REP001 (wall clock in a determinism-scoped package).
+DIRTY_SNIPPET = "import time\n\nSTAMP = time.time()\n"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A tiny lintable tree with one clean and one dirty repro module."""
+    pkg = tmp_path / "repro" / "sparse"
+    pkg.mkdir(parents=True)
+    (pkg / "clean.py").write_text(CLEAN_SNIPPET)
+    (pkg / "dirty.py").write_text(DIRTY_SNIPPET)
+    return tmp_path
+
+
+def run(args):
+    return main(["lint", *args])
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN_SNIPPET)
+        assert run([str(tmp_path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tree, capsys):
+        assert run([str(tree)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out and "dirty.py" in out
+
+    def test_unknown_rule_exits_two(self, tree, capsys):
+        assert run([str(tree), "--rules", "REP999"]) == 2
+        assert "REP999" in capsys.readouterr().err
+
+    def test_missing_baseline_exits_two(self, tree, tmp_path, capsys):
+        missing = tmp_path / "no-such-baseline.json"
+        assert run([str(tree), "--baseline", str(missing)]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert run([str(tmp_path / "ghost")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_rule_selection_can_pass_dirty_tree(self, tree):
+        # Only the layering rule runs; the wall-clock call is invisible.
+        assert run([str(tree), "--rules", "REP002"]) == 0
+
+
+class TestBaselineFlow:
+    def test_write_baseline_then_clean_run(self, tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert run([str(tree), "--write-baseline", "--baseline",
+                    str(baseline)]) == 0
+        assert "wrote baseline" in capsys.readouterr().out
+
+        payload = json.loads(baseline.read_text())
+        assert payload["findings"], "baseline should record the violation"
+
+        # Grandfathered finding is suppressed; the run is clean.
+        assert run([str(tree), "--baseline", str(baseline)]) == 0
+        assert "baseline-suppressed" in capsys.readouterr().out
+
+    def test_new_violation_still_fails_with_baseline(
+        self, tree, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        assert run([str(tree), "--write-baseline", "--baseline",
+                    str(baseline)]) == 0
+        capsys.readouterr()
+        (tree / "repro" / "sparse" / "fresh.py").write_text(
+            "import os\n\nTOKEN = os.urandom(8)\n"
+        )
+        assert run([str(tree), "--baseline", str(baseline)]) == 1
+        assert "fresh.py" in capsys.readouterr().out
+
+
+class TestFormats:
+    def test_json_format_parses(self, tree, capsys):
+        assert run([str(tree), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == 1
+        assert doc["findings"][0]["rule"] == "REP001"
+
+    def test_github_format_emits_annotations(self, tree, capsys):
+        assert run([str(tree), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out and "title=REP001" in out
+
+    def test_bad_format_rejected_by_argparse(self, tree, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run([str(tree), "--format", "sarif"])
+        assert excinfo.value.code == 2
+
+
+class TestRealTree:
+    def test_repo_is_clean_under_committed_baseline(self, capsys):
+        """The headline guarantee: ``repro lint`` passes on the repo."""
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        assert run([str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_committed_baseline_is_empty(self):
+        from repro.analysis import DEFAULT_BASELINE
+
+        payload = json.loads(DEFAULT_BASELINE.read_text())
+        assert payload["findings"] == []
