@@ -81,6 +81,14 @@ ALLOWED_DEPENDENCIES: Mapping[str, frozenset[str]] = {
         "errors", "config", "telemetry", "sparse", "datasets", "core",
         "fpga", "campaign", "parallel",
     }),
+    # faults sits beside cli at the top of the stack: it injects into
+    # the three recovery surfaces (parallel pool, serve, core attempt
+    # loop), so it may depend on all of them but nothing depends on it
+    # except the cli entry point.
+    "faults": frozenset({
+        "errors", "config", "telemetry", "sparse", "solvers", "datasets",
+        "core", "fpga", "campaign", "parallel", "serve",
+    }),
     "experiments": frozenset({
         "errors", "config", "telemetry", "sparse", "solvers", "datasets",
         "core", "fpga", "gpu", "metrics", "baselines",
@@ -89,7 +97,8 @@ ALLOWED_DEPENDENCIES: Mapping[str, frozenset[str]] = {
     "cli": frozenset({
         "errors", "config", "telemetry", "sparse", "solvers", "datasets",
         "core", "fpga", "gpu", "metrics", "baselines", "analysis",
-        "campaign", "parallel", "serve", "experiments", ROOT_FACADE,
+        "campaign", "parallel", "serve", "faults", "experiments",
+        ROOT_FACADE,
     }),
     "__main__": frozenset({"cli"}),
     ROOT_FACADE: frozenset({

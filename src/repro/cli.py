@@ -22,6 +22,10 @@ Commands
     Run the invariant linter (``repro.analysis``): determinism,
     layering, numeric-safety, exception-policy, telemetry-naming and
     virtual-clock rules (REP001–REP006) with baseline suppression.
+``chaos``
+    Run the deterministic fault-injection harness (``repro.faults``)
+    against the pool / serve / solver recovery surfaces and audit the
+    recovery invariants; violations render lint-style.
 ``experiment``
     Regenerate one paper table/figure (``table2``, ``fig6``, …) over all
     datasets or a subset.
@@ -195,6 +199,29 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--rules", metavar="IDS",
         help="comma-separated rule subset, e.g. REP001,REP004",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="inject deterministic faults and audit recovery invariants",
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="seed of the fault schedule (same seed → byte-identical "
+        "report)",
+    )
+    chaos.add_argument(
+        "--profile", default="all",
+        choices=("pool", "serve", "solver", "all"),
+        help="which recovery surface to attack (default: all three)",
+    )
+    chaos.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="report renderer",
+    )
+    chaos.add_argument(
+        "--out", metavar="FILE",
+        help="also write the JSON report to FILE",
     )
 
     experiment = sub.add_parser(
@@ -455,6 +482,36 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the fault-injection harness.
+
+    Same exit-code contract as ``repro lint`` (pinned in
+    ``tests/faults/test_chaos_cli.py``): 0 when every recovery
+    invariant held, 1 when violations were found, 2 for a usage error.
+    """
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError, UnknownNameError
+    from repro.faults import CHAOS_PROFILES, run_chaos
+
+    profiles = (
+        CHAOS_PROFILES if args.profile == "all" else (args.profile,)
+    )
+    try:
+        report = run_chaos(args.chaos_seed, profiles)
+    except (ConfigurationError, UnknownNameError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"chaos: {message}", file=sys.stderr)
+        return 2
+    if args.out:
+        Path(args.out).write_text(report.to_json())
+    if args.format == "json":
+        print(report.to_json(), end="")
+    else:
+        print(report.render_text())
+    return 0 if report.clean else 1
+
+
 def _parse_keys(raw: str | None) -> tuple[str, ...] | None:
     if raw is None:
         return None
@@ -492,6 +549,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serving(args, args.command)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "experiments":

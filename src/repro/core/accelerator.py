@@ -20,6 +20,7 @@ model consumes to produce latency / utilization numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -96,6 +97,19 @@ class AcamarResult:
         return merged
 
 
+FaultHook = Callable[[str, int, SolveResult], "SolveResult | None"]
+"""Fault-injection seam of the attempt loop.
+
+Called after every Reconfigurable Solver run with ``(solver_name,
+attempt_index, result)``; returning a :class:`SolveResult` replaces the
+attempt's outcome (e.g. a forced-divergence copy that drives the Solver
+Modifier through its fallback transitions), returning ``None`` leaves it
+untouched.  The hook sees real results and may only *substitute* them,
+so the decision trace stays structurally well formed; the chaos harness
+(:mod:`repro.faults`) is the intended caller.
+"""
+
+
 class Acamar:
     """Dynamically reconfigurable accelerator front-end.
 
@@ -103,6 +117,9 @@ class Acamar:
     ----------
     config:
         Accelerator parameters; defaults to the paper's Section V values.
+    fault_hook:
+        Optional :data:`FaultHook` for deterministic fault injection
+        into the attempt loop; ``None`` (production) never perturbs.
 
     Examples
     --------
@@ -118,10 +135,12 @@ class Acamar:
         self,
         config: AcamarConfig | None = None,
         structure_policy: str = "symmetry_first",
+        fault_hook: FaultHook | None = None,
     ) -> None:
         self.config = config if config is not None else AcamarConfig()
         self.matrix_structure = MatrixStructureUnit(policy=structure_policy)
         self.fine_grained = FineGrainedReconfigurationUnit(self.config)
+        self.fault_hook = fault_hook
 
     def _make_solver(self, name: str, n_rows: int):
         extra = dict(self.config.solver_options.get(name, {}))
@@ -172,6 +191,10 @@ class Acamar:
             with tm.span("reconfigurable_solver.attempt"):
                 solver = self._make_solver(solver_name, matrix.shape[0])
                 result = solver.solve(compute_matrix, b, x0)
+            if self.fault_hook is not None:
+                injected = self.fault_hook(solver_name, len(attempts), result)
+                if injected is not None:
+                    result = injected
             tm.count(f"solver_attempts.{solver_name}")
             attempts.append(
                 SolverAttempt(

@@ -31,6 +31,18 @@ class SolverModifierUnit:
         """Raise the register bit for ``solver``."""
         self._tried.add(solver)
 
+    @property
+    def remaining(self) -> tuple[str, ...]:
+        """Untried solvers, in preference order (low register bits)."""
+        return tuple(
+            s for s in self.fallback_order if s not in self._tried
+        )
+
+    @property
+    def exhausted(self) -> bool:
+        """Every register bit is high — no fallback configuration left."""
+        return not self.remaining
+
     def next_solver(self) -> str | None:
         """The next untried solver in preference order, or ``None``.
 

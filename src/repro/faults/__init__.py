@@ -1,0 +1,58 @@
+"""Deterministic fault injection for the repo's three recovery surfaces.
+
+The subsystem splits cleanly into plan / inject / audit:
+
+- :mod:`~repro.faults.plan` — seeded (PCG64) fault schedules; a chaos
+  seed fully determines every injected event,
+- :mod:`~repro.faults.injectors` — adapters that thread a schedule into
+  the existing seams: ``run_sharded``'s ``executor_factory``, the
+  :class:`~repro.core.Acamar` ``fault_hook``, and the serving layer's
+  traffic/configuration inputs,
+- :mod:`~repro.faults.runner` — the ``repro chaos`` engine: run a
+  profile per surface, reconcile injected vs. observed events, and
+  report violated recovery invariants lint-style.
+"""
+
+from repro.faults.injectors import (
+    ChaosExecutorFactory,
+    ForcedDivergenceHook,
+    chaos_service_config,
+    storm_requests,
+)
+from repro.faults.plan import (
+    CHAOS_PROFILES,
+    EXHAUSTION_BUDGET,
+    FaultPlan,
+    PoolFaultSchedule,
+    ServeFaultSchedule,
+    SolverFaultSchedule,
+)
+from repro.faults.runner import (
+    ChaosFinding,
+    ChaosReport,
+    ProfileOutcome,
+    run_chaos,
+    run_pool_profile,
+    run_serve_profile,
+    run_solver_profile,
+)
+
+__all__ = [
+    "CHAOS_PROFILES",
+    "EXHAUSTION_BUDGET",
+    "ChaosExecutorFactory",
+    "ChaosFinding",
+    "ChaosReport",
+    "FaultPlan",
+    "ForcedDivergenceHook",
+    "PoolFaultSchedule",
+    "ProfileOutcome",
+    "ServeFaultSchedule",
+    "SolverFaultSchedule",
+    "chaos_service_config",
+    "run_chaos",
+    "run_pool_profile",
+    "run_serve_profile",
+    "run_solver_profile",
+    "storm_requests",
+]

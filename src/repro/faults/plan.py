@@ -1,0 +1,261 @@
+"""Deterministic fault schedules: the chaos to inject, decided up front.
+
+Chaos testing is only trustworthy when a failing run can be replayed:
+the whole point of ``repro chaos --chaos-seed N`` is that the same seed
+injects the *byte-identical* fault sequence every time, so a violated
+invariant reproduces on demand instead of flaking.  Every schedule here
+is therefore a pure function of ``(seed, profile parameters)`` drawn
+from a PCG64 generator — the same generator family the load generator
+and campaign seeding already use — with one independent ``SeedSequence``
+stream per fault domain, so enlarging one schedule never perturbs
+another.
+
+Three schedules cover the three recovery surfaces the repo ships:
+
+- :class:`PoolFaultSchedule` — per-item worker-death budgets and
+  slow-worker stalls for :func:`repro.parallel.engine.run_sharded`
+  (injected through its ``executor_factory`` seam),
+- :class:`ServeFaultSchedule` — request bursts, a deadline storm
+  window, queue/cache pressure and modeled device outages for
+  :mod:`repro.serve` (all expressed on the virtual clock),
+- :class:`SolverFaultSchedule` — forced-divergence budgets and
+  reconfiguration-stall events for the :class:`~repro.core.Acamar`
+  attempt loop, driving the Solver Modifier through its transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.serve.scheduler import DeviceFaultEvent
+
+CHAOS_PROFILES = ("pool", "serve", "solver")
+"""The chaos runner's profile names, one per recovery surface."""
+
+EXHAUSTION_BUDGET = 99
+"""A forced-divergence budget no real fallback chain reaches: the case
+diverges on *every* configuration, exercising Solver Modifier
+exhaustion regardless of which solver the structure unit selected."""
+
+# Independent SeedSequence streams per fault domain.
+_POOL_STREAM = 1
+_SERVE_STREAM = 2
+_SOLVER_STREAM = 3
+
+
+def _rng(seed: int, stream: int) -> np.random.Generator:
+    """A PCG64 generator on the (seed, stream) SeedSequence."""
+    return np.random.Generator(
+        np.random.PCG64(np.random.SeedSequence((seed, stream)))
+    )
+
+
+@dataclass(frozen=True)
+class PoolFaultSchedule:
+    """Worker-pool chaos: how often each item kills its worker.
+
+    ``item_kills[i]`` is how many times item ``i`` takes its worker
+    process down before behaving (0 = innocent; ``MAX_ITEM_ATTEMPTS``
+    or more = the item must surface as a ``WorkerLost`` result).
+    ``item_stalls[i]`` marks a slow-worker stall on the item's chunk —
+    counted for reconciliation; a stalled worker still completes, so it
+    must never change results.
+    """
+
+    item_kills: tuple[int, ...]
+    item_stalls: tuple[bool, ...]
+
+    @property
+    def total_kills(self) -> int:
+        return sum(self.item_kills)
+
+    def lethal_indices(self, max_item_attempts: int) -> tuple[int, ...]:
+        """Items whose death budget exhausts the engine's retry budget."""
+        return tuple(
+            i
+            for i, kills in enumerate(self.item_kills)
+            if kills >= max_item_attempts
+        )
+
+    def transient_indices(self, max_item_attempts: int) -> tuple[int, ...]:
+        """Items that die at least once but recover within the budget."""
+        return tuple(
+            i
+            for i, kills in enumerate(self.item_kills)
+            if 0 < kills < max_item_attempts
+        )
+
+
+@dataclass(frozen=True)
+class ServeFaultSchedule:
+    """Serving chaos: overload shape plus modeled device faults.
+
+    The storm window ``[storm_start_s, storm_start_s + storm_duration_s)``
+    rewrites every covered request's deadline to a tight relative bound,
+    mass-exercising the admission/expiry paths; ``queue_capacity`` and
+    ``cache_capacity`` are deliberately small so queue-full sheds,
+    preemptions and plan-cache evictions all genuinely occur.
+    """
+
+    rate_rps: float
+    storm_start_s: float
+    storm_duration_s: float
+    storm_deadline_ms: float
+    queue_capacity: int
+    cache_capacity: int
+    device_faults: tuple[DeviceFaultEvent, ...]
+
+    @property
+    def storm_end_s(self) -> float:
+        return self.storm_start_s + self.storm_duration_s
+
+
+@dataclass(frozen=True)
+class SolverFaultSchedule:
+    """Attempt-loop chaos, one entry per solver case.
+
+    ``divergence_budgets[k]`` forces the first that-many attempts of
+    case ``k`` to diverge (:data:`EXHAUSTION_BUDGET` forces *every*
+    attempt, exercising exhaustion); ``stall_attempts[k]`` lists the
+    attempt indices that additionally model an ICAP reconfiguration
+    stall while the Solver Modifier swaps regions.
+    """
+
+    divergence_budgets: tuple[int, ...]
+    stall_attempts: tuple[tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One seed's complete, reproducible chaos schedule."""
+
+    seed: int
+
+    def pool_schedule(
+        self,
+        n_items: int,
+        death_rate: float = 0.4,
+        lethal_share: float = 0.5,
+        stall_rate: float = 0.25,
+        max_item_attempts: int = 2,
+    ) -> PoolFaultSchedule:
+        """Draw worker-death budgets and stall marks for ``n_items``.
+
+        Two transitions are guaranteed on every seed so the chaos run
+        always drives both recovery paths: at least one item recovers
+        via singleton resubmission (transient death) and at least one
+        exhausts the retry budget (``WorkerLost``).
+        """
+        if n_items < 2:
+            raise ConfigurationError(
+                f"pool chaos needs >= 2 items, got {n_items}"
+            )
+        rng = _rng(self.seed, _POOL_STREAM)
+        kills = []
+        for _ in range(n_items):
+            if rng.random() < death_rate:
+                kills.append(
+                    max_item_attempts if rng.random() < lethal_share else 1
+                )
+            else:
+                kills.append(0)
+        stalls = tuple(
+            bool(rng.random() < stall_rate) for _ in range(n_items)
+        )
+        lethal = [k >= max_item_attempts for k in kills]
+        if not any(lethal):
+            kills[int(rng.integers(n_items))] = max_item_attempts
+        if not any(0 < k < max_item_attempts for k in kills):
+            # First non-lethal slot becomes the guaranteed transient.
+            for index, k in enumerate(kills):
+                if k < max_item_attempts:
+                    kills[index] = 1
+                    break
+            else:  # every item lethal: downgrade the last one
+                kills[-1] = 1
+        return PoolFaultSchedule(
+            item_kills=tuple(kills), item_stalls=stalls
+        )
+
+    def serve_schedule(
+        self,
+        duration_s: float,
+        slots: int,
+        queue_capacity: int = 8,
+        cache_capacity: int = 4,
+    ) -> ServeFaultSchedule:
+        """Draw the serving overload shape and device-outage events."""
+        if duration_s <= 0:
+            raise ConfigurationError(
+                f"serve chaos duration must be > 0 s, got {duration_s}"
+            )
+        if slots < 1:
+            raise ConfigurationError(
+                f"serve chaos needs >= 1 fleet slot, got {slots}"
+            )
+        rng = _rng(self.seed, _SERVE_STREAM)
+        rate = float(np.round(rng.uniform(140.0, 220.0), 6))
+        storm_start = float(np.round(rng.uniform(0.1, 0.5) * duration_s, 9))
+        storm_duration = float(
+            np.round(rng.uniform(0.2, 0.4) * duration_s, 9)
+        )
+        storm_deadline_ms = float(np.round(rng.uniform(2.0, 6.0), 6))
+        n_faults = int(rng.integers(2, 5))
+        faults = tuple(
+            DeviceFaultEvent(
+                at_s=float(np.round(rng.uniform(0.0, duration_s), 9)),
+                slot=int(rng.integers(slots)),
+                outage_s=float(np.round(rng.uniform(0.02, 0.15), 9)),
+            )
+            for _ in range(n_faults)
+        )
+        return ServeFaultSchedule(
+            rate_rps=rate,
+            storm_start_s=storm_start,
+            storm_duration_s=storm_duration,
+            storm_deadline_ms=storm_deadline_ms,
+            queue_capacity=queue_capacity,
+            cache_capacity=cache_capacity,
+            device_faults=faults,
+        )
+
+    def solver_schedule(
+        self, n_cases: int, max_recovery_budget: int = 2
+    ) -> SolverFaultSchedule:
+        """Draw forced-divergence budgets for ``n_cases`` solver cases.
+
+        Case 0 always carries :data:`EXHAUSTION_BUDGET` (every
+        configuration diverges → the Modifier must exhaust cleanly);
+        the remaining cases draw a recovery budget in
+        ``[1, max_recovery_budget]`` so the fallback chain is entered
+        but a later configuration is allowed to converge.
+        """
+        if n_cases < 1:
+            raise ConfigurationError(
+                f"solver chaos needs >= 1 case, got {n_cases}"
+            )
+        rng = _rng(self.seed, _SOLVER_STREAM)
+        budgets = [EXHAUSTION_BUDGET]
+        budgets.extend(
+            int(rng.integers(1, max_recovery_budget + 1))
+            for _ in range(n_cases - 1)
+        )
+        stalls = []
+        for budget in budgets:
+            horizon = min(budget, max_recovery_budget + 1)
+            marks = sorted(
+                {
+                    int(a)
+                    for a in rng.integers(
+                        0, horizon, size=int(rng.integers(0, horizon + 1))
+                    )
+                }
+            )
+            stalls.append(tuple(marks))
+        return SolverFaultSchedule(
+            divergence_budgets=tuple(budgets),
+            stall_attempts=tuple(stalls),
+        )

@@ -15,8 +15,10 @@ Shards a population of problem sources across a
 - **fault isolation** — a solve that raises inside a worker yields a
   structured error record for that item only; a *lost worker process*
   (``BrokenProcessPool``) triggers a bounded number of pool restarts with
-  singleton resubmission, after which in-flight suspects are recorded as
-  failures and the innocent remainder is finished in-process,
+  singleton resubmission, after which every still-in-flight suspect is
+  recorded as a structured ``WorkerLost`` failure (results completed by
+  surviving chunks are kept); only when the pool could never be started
+  at all is the remainder finished in-process,
 - **per-worker telemetry** — every item is solved under its own
   :class:`~repro.telemetry.Telemetry` collector whose dict form rides
   back with the result for the campaign to merge.
@@ -188,6 +190,14 @@ def solve_items(
 
 
 def _lost_worker_result(item: WorkItem, attempts: int) -> ItemResult:
+    # A lost worker is a campaign failure exactly like an in-process
+    # solve fault, so its result telemetry carries the same
+    # ``campaign.failures`` increment the fault-isolation path in
+    # :func:`solve_items` records — aggregate failure counts agree no
+    # matter which path recorded an item.
+    telemetry = Telemetry()
+    telemetry.count("campaign.failures")
+    telemetry.count("campaign.workers_lost")
     return ItemResult(
         index=item.index,
         entry=None,
@@ -196,7 +206,7 @@ def _lost_worker_result(item: WorkItem, attempts: int) -> ItemResult:
             f"flight ({attempts} attempts)"
         ),
         label=source_label(item.source),
-        telemetry=Telemetry().as_dict(),
+        telemetry=telemetry.as_dict(),
     )
 
 
@@ -233,6 +243,7 @@ def run_sharded(
     attempts: dict[int, int] = {item.index: 0 for item in items}
     collected: dict[int, ItemResult] = {}
     epoch = 0
+    pool_ever_broke = False
 
     while pending and outcome.pool_restarts <= max_pool_restarts:
         if epoch == 0:
@@ -274,6 +285,7 @@ def run_sharded(
         finally:
             executor.shutdown(wait=not broke, cancel_futures=True)
         if broke:
+            pool_ever_broke = True
             outcome.pool_restarts += 1
             for index in pending:
                 attempts[index] += 1
@@ -284,15 +296,28 @@ def run_sharded(
             ]
             for index in exhausted:
                 item = pending.pop(index)
-                collected[index] = _lost_worker_result(item, attempts[index])
+                result = _lost_worker_result(item, attempts[index])
+                collected[index] = result
                 outcome.abandoned_items += 1
-                telemetry.count("campaign.workers_lost")
+                telemetry.merge(result.telemetry)
         else:
             break
 
-    if pending:
-        # Restart budget exhausted (or pool never started): finish the
-        # remaining, presumed-innocent items in this process.
+    if pending and pool_ever_broke:
+        # Restart budget exhausted while these items were in flight:
+        # every one of them is a crash suspect (it shared its last pool
+        # with a breakage), so retrying it in this process would risk
+        # the parent.  Record each as a structured WorkerLost result;
+        # results already completed by surviving chunks stay collected.
+        for index in sorted(pending):
+            item = pending.pop(index)
+            result = _lost_worker_result(item, attempts[index])
+            collected[index] = result
+            outcome.abandoned_items += 1
+            telemetry.merge(result.telemetry)
+    elif pending:
+        # The pool never started at all (OSError before any submission):
+        # the items are innocent, so finish them in this process.
         leftovers = sorted(pending.values(), key=lambda it: it.index)
         outcome.in_process_items += len(leftovers)
         for result in work_fn(leftovers, config):

@@ -19,7 +19,12 @@ byte-identical report (see ``docs/serving.md``).  Entry points:
 :func:`run_service` / :func:`run_loadtest` from code.
 """
 
-from repro.serve.admission import AdmissionController, AdmissionVerdict
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionVerdict,
+    deadline_lapsed,
+    deadline_unmeetable,
+)
 from repro.serve.api import (
     Outcome,
     Priority,
@@ -41,7 +46,7 @@ from repro.serve.loadgen import (
     write_request_log,
 )
 from repro.serve.profile import SolveProfile, build_profile, profile_items
-from repro.serve.scheduler import MicroBatchScheduler
+from repro.serve.scheduler import DeviceFaultEvent, MicroBatchScheduler
 from repro.serve.service import (
     ServiceConfig,
     ServingReport,
@@ -55,6 +60,7 @@ __all__ = [
     "AdmissionController",
     "AdmissionVerdict",
     "CacheEntry",
+    "DeviceFaultEvent",
     "LoadSpec",
     "MicroBatchScheduler",
     "Outcome",
@@ -67,6 +73,8 @@ __all__ = [
     "SolveResponse",
     "build_profile",
     "build_profiles",
+    "deadline_lapsed",
+    "deadline_unmeetable",
     "generate_requests",
     "parse_priority",
     "plan_signature",

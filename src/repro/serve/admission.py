@@ -38,6 +38,38 @@ class AdmissionVerdict(enum.Enum):
     SHED_DEADLINE = "deadline_unmeetable"
 
 
+def deadline_lapsed(deadline_s: float | None, now: float) -> bool:
+    """Has this deadline already passed at ``now``?
+
+    The boundary is **closed**: a deadline exactly equal to ``now`` has
+    lapsed (there is no time left to do any work).  ``None`` means no
+    deadline and never lapses.  This is the single source of truth for
+    both admission-time rejection and the queued-request expiry sweep,
+    so a request can never be admitted by one site and immediately
+    expired by the other under a different reading of the same instant.
+    """
+    return deadline_s is not None and deadline_s <= now
+
+
+def deadline_unmeetable(
+    deadline_s: float | None, now: float, min_service_estimate_s: float
+) -> bool:
+    """Can this deadline not possibly be met, even on an idle fleet?
+
+    True when the deadline has :func:`deadline_lapsed`, or when the
+    remaining budget is strictly below the optimistic service floor.
+    The floor boundary is **inclusive on the admissible side**: a
+    deadline exactly equal to ``now + min_service_estimate_s`` is
+    admissible — the optimistic estimate can just barely be met, and
+    shedding it would refuse work the fleet might still finish.
+    """
+    if deadline_s is None:
+        return False
+    return deadline_lapsed(deadline_s, now) or (
+        deadline_s - now < min_service_estimate_s
+    )
+
+
 @dataclass
 class QueuedRequest:
     """A request waiting for dispatch, with its admission-time cost hint."""
@@ -96,9 +128,8 @@ class AdmissionController:
         admission preempted one (the caller owes the victim a shed
         response).  On ``ADMITTED`` the request is in the queue.
         """
-        if request.deadline_s is not None and (
-            request.deadline_s <= now
-            or request.deadline_s - now < self.min_service_estimate_s
+        if deadline_unmeetable(
+            request.deadline_s, now, self.min_service_estimate_s
         ):
             self.shed_deadline += 1
             tm.count("serve.shed.deadline")
@@ -135,9 +166,7 @@ class AdmissionController:
     def expire(self, now: float) -> list[QueuedRequest]:
         """Remove and return queued requests whose deadline has passed."""
         lapsed = [
-            q
-            for q in self.queue
-            if q.request.deadline_s is not None and q.request.deadline_s <= now
+            q for q in self.queue if deadline_lapsed(q.request.deadline_s, now)
         ]
         if lapsed:
             keep = {id(q) for q in lapsed}

@@ -36,6 +36,25 @@ from repro.serve.cache import PlanCache
 from repro.serve.profile import DISPATCH_OVERHEAD_SECONDS, SolveProfile
 
 
+@dataclass(frozen=True)
+class DeviceFaultEvent:
+    """One modeled transient device fault on the virtual clock.
+
+    At virtual time ``at_s`` the slot goes dark for ``outage_s`` seconds
+    (SEU scrub, ICAP region recovery, a wedged kernel being reset): it
+    accepts no new batches until the outage ends, and its resident
+    configuration is wiped, so the next batch placed there pays a full
+    configuration load.  Work already charged to the slot is not
+    revoked — the model treats in-flight batches as completing before
+    the region is recovered, which keeps the accounting invariant
+    ("every request gets exactly one response") intact by construction.
+    """
+
+    at_s: float
+    slot: int
+    outage_s: float
+
+
 @dataclass
 class FleetSlot:
     """One solver instance's dispatch state on the virtual clock."""
@@ -46,6 +65,7 @@ class FleetSlot:
     busy_seconds: float = 0.0
     config_loads: int = 0
     batches: int = 0
+    outages: int = 0
 
     def free_at(self, now: float) -> bool:
         return self.busy_until_s <= now
@@ -81,8 +101,10 @@ class MicroBatchScheduler:
     max_batch: int = 8
     batch_window_s: float = 2e-3
     solver_swap_s: float = 0.0
+    device_faults: tuple[DeviceFaultEvent, ...] = ()
     slots: list[FleetSlot] = field(default_factory=list)
     batches: list[BatchRecord] = field(default_factory=list)
+    _faults_applied: int = 0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -93,6 +115,14 @@ class MicroBatchScheduler:
             raise ConfigurationError(
                 f"batch window must be >= 0, got {self.batch_window_s}"
             )
+        self.device_faults = tuple(
+            sorted(self.device_faults, key=lambda e: (e.at_s, e.slot))
+        )
+        for event in self.device_faults:
+            if event.outage_s < 0:
+                raise ConfigurationError(
+                    f"device-fault outage must be >= 0 s, got {event.outage_s}"
+                )
         if not self.slots:
             self.slots = [
                 FleetSlot(index=i) for i in range(self.fleet.total_slots)
@@ -144,6 +174,28 @@ class MicroBatchScheduler:
             return True
         eldest = min(q.admitted_s for q in members)
         return now - eldest >= self.batch_window_s
+
+    # -- modeled device faults ----------------------------------------
+
+    def apply_device_faults(self, now: float) -> None:
+        """Apply every scheduled fault whose time has come (idempotent).
+
+        Called at the top of each dispatch tick; events are consumed in
+        ``(at_s, slot)`` order, so a fixed fault schedule perturbs the
+        simulation identically on every run.
+        """
+        while self._faults_applied < len(self.device_faults):
+            event = self.device_faults[self._faults_applied]
+            if event.at_s > now:
+                break
+            slot = self.slots[event.slot % len(self.slots)]
+            slot.busy_until_s = max(
+                slot.busy_until_s, event.at_s + event.outage_s
+            )
+            slot.resident_signature = None
+            slot.outages += 1
+            tm.count("serve.device_faults")
+            self._faults_applied += 1
 
     # -- placement ----------------------------------------------------
 
@@ -288,6 +340,7 @@ class MicroBatchScheduler:
         Returns (responses, remaining queue, next batch id).  The queue
         comes in admission (priority) order and leaves the same way.
         """
+        self.apply_device_faults(now)
         remaining = list(queue)
         responses: list[SolveResponse] = []
         while remaining and self.has_free_slot(now):

@@ -40,7 +40,7 @@ from repro.serve.api import (
 )
 from repro.serve.cache import PlanCache
 from repro.serve.profile import SolveProfile, profile_items
-from repro.serve.scheduler import MicroBatchScheduler
+from repro.serve.scheduler import DeviceFaultEvent, MicroBatchScheduler
 from repro.telemetry import Telemetry, percentile
 
 if TYPE_CHECKING:  # pragma: no cover — type name only, avoids eager import
@@ -66,6 +66,7 @@ class ServiceConfig:
     fleet: FleetSpec = field(default_factory=FleetSpec)
     workers: int = 1
     profile_seed: int = 1
+    device_faults: tuple[DeviceFaultEvent, ...] = ()
 
     def __post_init__(self) -> None:
         if self.tick_ms <= 0:
@@ -90,6 +91,7 @@ class ServiceConfig:
                 "slots_per_device": self.fleet.slots_per_device,
                 "total_slots": self.fleet.total_slots,
             },
+            "device_faults": len(self.device_faults),
         }
 
 
@@ -219,6 +221,9 @@ class ServingReport:
                 ],
                 "device_seconds": round(
                     sum(s.busy_seconds for s in self.scheduler.slots), 9
+                ),
+                "device_faults": sum(
+                    s.outages for s in self.scheduler.slots
                 ),
             },
             "counters": dict(sorted(self.counters.items())),
@@ -374,6 +379,7 @@ def run_service(
             cache=cache,
             max_batch=service_config.max_batch,
             batch_window_s=service_config.batch_window_ms * 1e-3,
+            device_faults=service_config.device_faults,
         )
         admission = AdmissionController(
             capacity=service_config.queue_capacity

@@ -94,6 +94,15 @@ KNOWN_COUNTERS = frozenset({
     "serve.shed.queue_full",
     "serve.shed.drain_limit",
     "serve.profile_failures",
+    "serve.device_faults",
+    # fault-injection harness (repro.faults): every injected event is
+    # counted, so a chaos report can reconcile injected vs. observed
+    "faults.injected.worker_death",
+    "faults.injected.worker_stall",
+    "faults.injected.divergence",
+    "faults.injected.reconfig_stall",
+    "faults.injected.deadline_storm",
+    "faults.injected.device_outage",
 })
 """Sanctioned monotonic counter names."""
 

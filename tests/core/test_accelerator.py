@@ -110,3 +110,87 @@ class TestAccounting:
         cold = acamar.solve(problem.matrix, problem.b)
         warm = acamar.solve(problem.matrix, problem.b, x0=cold.x)
         assert warm.final.iterations <= cold.final.iterations
+
+
+class TestFaultHookExhaustion:
+    """Forced divergence through the fault_hook seam (repro.faults uses
+    the same seam): the Solver Modifier must walk the whole chain, stop
+    cleanly, and the per-solver attempt counters must equal the chain."""
+
+    def test_forced_divergence_exhausts_full_chain(self):
+        from collections import Counter
+
+        import dataclasses
+
+        from repro.solvers.base import SolveStatus
+        from repro.telemetry import Telemetry
+
+        forced = []
+
+        def always_diverge(solver_name, attempt_index, result):
+            forced.append((attempt_index, solver_name))
+            return dataclasses.replace(result, status=SolveStatus.DIVERGED)
+
+        problem = poisson_2d(12)
+        config = AcamarConfig()
+        collector = Telemetry()
+        with collector.activate():
+            result = Acamar(config, fault_hook=always_diverge).solve(
+                problem.matrix, problem.b
+            )
+        # The full chain: structure selection first, then every untried
+        # fallback solver exactly once, in preference order.
+        expected = [result.selection.solver] + [
+            s
+            for s in config.solver_fallback_order
+            if s != result.selection.solver
+        ]
+        assert list(result.solver_sequence) == expected
+        assert not result.converged
+        assert result.solver_reconfigurations == len(expected) - 1
+        # The hook saw every attempt, in order.
+        assert forced == list(enumerate(expected))
+        # solver_attempts.<name> counters agree with the attempt chain.
+        attempt_counts = {
+            name.removeprefix("solver_attempts."): value
+            for name, value in collector.counters.items()
+            if name.startswith("solver_attempts.")
+        }
+        assert attempt_counts == dict(Counter(result.solver_sequence))
+        assert collector.counters["solver_swaps"] == len(expected) - 1
+
+    def test_partial_budget_recovers_on_next_solver(self):
+        import dataclasses
+
+        from repro.solvers.base import SolveStatus
+
+        def diverge_first_only(solver_name, attempt_index, result):
+            if attempt_index == 0:
+                return dataclasses.replace(
+                    result, status=SolveStatus.DIVERGED
+                )
+            return None
+
+        problem = poisson_2d(12)
+        result = Acamar(fault_hook=diverge_first_only).solve(
+            problem.matrix, problem.b
+        )
+        assert result.converged
+        assert len(result.attempts) == 2
+        assert result.attempts[0].result.status is SolveStatus.DIVERGED
+        assert result.attempts[1].selected_by == "solver_modifier"
+
+    def test_none_hook_result_leaves_attempt_untouched(self):
+        calls = []
+
+        def observe_only(solver_name, attempt_index, result):
+            calls.append(solver_name)
+            return None
+
+        problem = poisson_2d(12)
+        result = Acamar(fault_hook=observe_only).solve(
+            problem.matrix, problem.b
+        )
+        assert result.converged
+        assert result.solver_sequence == ("cg",)
+        assert calls == ["cg"]

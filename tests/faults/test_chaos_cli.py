@@ -1,0 +1,67 @@
+"""Tests for the ``repro chaos`` CLI (exit contract + determinism)."""
+
+import json
+
+from repro.cli import main
+
+
+class TestChaosCli:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["chaos", "--chaos-seed", "0", "--profile", "solver"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+
+    def test_json_format_parses(self, capsys):
+        assert main([
+            "chaos", "--chaos-seed", "1", "--profile", "solver",
+            "--format", "json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["chaos_seed"] == 1
+        assert document["clean"] is True
+
+    def test_out_file_byte_identical_across_runs(self, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        argv = ["chaos", "--chaos-seed", "0", "--profile", "solver"]
+        assert main(argv + ["--out", str(first)]) == 0
+        assert main(argv + ["--out", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_violations_exit_one(self, capsys, monkeypatch):
+        import repro.faults
+
+        from repro.faults.runner import (
+            ChaosFinding,
+            ChaosReport,
+            ProfileOutcome,
+        )
+
+        finding = ChaosFinding(
+            "pool", "CHS-POOL-ORDER", "campaign order not preserved"
+        )
+        broken = ChaosReport(
+            chaos_seed=0,
+            profiles=(
+                ProfileOutcome("pool", {}, {}, (finding,)),
+            ),
+        )
+        monkeypatch.setattr(
+            repro.faults, "run_chaos", lambda seed, profiles: broken
+        )
+        assert main(["chaos", "--chaos-seed", "0"]) == 1
+        out = capsys.readouterr().out
+        assert "pool: CHS-POOL-ORDER campaign order not preserved" in out
+
+    def test_usage_error_exits_two(self, capsys, monkeypatch):
+        import repro.faults
+
+        from repro.errors import UnknownNameError
+
+        def explode(seed, profiles):
+            raise UnknownNameError("unknown chaos profile 'x'")
+
+        monkeypatch.setattr(repro.faults, "run_chaos", explode)
+        assert main(["chaos", "--chaos-seed", "0"]) == 2
+        assert "chaos:" in capsys.readouterr().err

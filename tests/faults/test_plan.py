@@ -1,0 +1,82 @@
+"""Tests for the seeded fault schedules."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import EXHAUSTION_BUDGET, FaultPlan
+
+
+class TestPoolSchedule:
+    def test_deterministic_for_a_seed(self):
+        first = FaultPlan(7).pool_schedule(10)
+        second = FaultPlan(7).pool_schedule(10)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        schedules = {FaultPlan(seed).pool_schedule(10) for seed in range(6)}
+        assert len(schedules) > 1
+
+    def test_both_recovery_transitions_guaranteed(self):
+        # Every seed must exercise both the transient-retry path and
+        # the WorkerLost exhaustion path.
+        for seed in range(20):
+            schedule = FaultPlan(seed).pool_schedule(
+                8, max_item_attempts=2
+            )
+            assert schedule.lethal_indices(2), f"seed {seed}: no lethal"
+            assert schedule.transient_indices(2), f"seed {seed}: no transient"
+
+    def test_kill_budgets_bounded_by_attempts(self):
+        schedule = FaultPlan(3).pool_schedule(12, max_item_attempts=2)
+        assert all(0 <= k <= 2 for k in schedule.item_kills)
+        assert len(schedule.item_kills) == 12
+        assert len(schedule.item_stalls) == 12
+
+    def test_too_few_items_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(0).pool_schedule(1)
+
+
+class TestServeSchedule:
+    def test_deterministic_for_a_seed(self):
+        first = FaultPlan(5).serve_schedule(duration_s=1.0, slots=3)
+        second = FaultPlan(5).serve_schedule(duration_s=1.0, slots=3)
+        assert first == second
+
+    def test_storm_window_inside_run(self):
+        schedule = FaultPlan(2).serve_schedule(duration_s=1.0, slots=3)
+        assert 0.0 < schedule.storm_start_s < 1.0
+        assert schedule.storm_duration_s > 0.0
+        assert schedule.storm_deadline_ms < 10.0
+
+    def test_device_faults_target_real_slots(self):
+        schedule = FaultPlan(4).serve_schedule(duration_s=1.0, slots=3)
+        assert len(schedule.device_faults) >= 2
+        for event in schedule.device_faults:
+            assert 0 <= event.slot < 3
+            assert event.outage_s > 0.0
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(0).serve_schedule(duration_s=0.0, slots=3)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(0).serve_schedule(duration_s=1.0, slots=0)
+
+
+class TestSolverSchedule:
+    def test_case_zero_is_always_exhaustion(self):
+        for seed in range(10):
+            schedule = FaultPlan(seed).solver_schedule(3)
+            assert schedule.divergence_budgets[0] == EXHAUSTION_BUDGET
+
+    def test_recovery_budgets_bounded(self):
+        schedule = FaultPlan(1).solver_schedule(4, max_recovery_budget=2)
+        assert all(1 <= b <= 2 for b in schedule.divergence_budgets[1:])
+        assert len(schedule.stall_attempts) == 4
+
+    def test_deterministic_for_a_seed(self):
+        assert FaultPlan(9).solver_schedule(3) == FaultPlan(9).solver_schedule(3)
+
+    def test_zero_cases_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(0).solver_schedule(0)

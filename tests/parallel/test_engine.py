@@ -317,3 +317,100 @@ class TestDefaultWorkerCount:
             monkeypatch.setenv(WORKER_COUNT_ENV, bad)
             with pytest.raises(ConfigurationError, match=WORKER_COUNT_ENV):
                 default_worker_count()
+
+
+class TestWorkerLostAccounting:
+    """WorkerLost records must count failures exactly like solve faults."""
+
+    def test_lost_worker_counters_match_fault_path(self):
+        items = make_items(["Wa", "Li", "Fe"])
+        budget = {"remaining": 100}  # Li always kills its worker
+
+        def factory(n):
+            return _FlakyExecutor({"Li"}, budget)
+
+        outcome = run_sharded(
+            items, AcamarConfig(), workers=2, executor_factory=factory
+        )
+        lost = [r for r in outcome.results if r.error is not None]
+        assert len(lost) == 1
+        # The per-item record carries the same failure increment the
+        # in-worker fault-isolation path would have recorded.
+        counters = lost[0].telemetry["counters"]
+        assert counters["campaign.failures"] == 1
+        assert counters["campaign.workers_lost"] == 1
+        # And the aggregate agrees with the result records.
+        merged = outcome.telemetry.counters
+        assert merged["campaign.failures"] == len(lost)
+        assert merged["campaign.workers_lost"] == len(lost)
+
+    def test_mixed_fault_paths_agree_in_aggregate(self):
+        items = make_items([broken_problem(), "Wa", "Li"])
+        budget = {"remaining": 100}  # Li kills workers; index 0 raises
+
+        def factory(n):
+            return _FlakyExecutor({"Li"}, budget)
+
+        outcome = run_sharded(
+            items, AcamarConfig(), workers=2, executor_factory=factory
+        )
+        errored = [r for r in outcome.results if r.error is not None]
+        assert outcome.telemetry.counters["campaign.failures"] == len(errored)
+
+
+class TestRestartExhaustionMidCampaign:
+    """Exhausting max_pool_restarts must still return a full outcome."""
+
+    def test_exhausted_restarts_surface_worker_lost_in_order(self):
+        items = make_items(["Wa", "Li", "Fe", "If"])
+        budget = {"remaining": 100}
+
+        def factory(n):
+            return _FlakyExecutor({"Li"}, budget)
+
+        outcome = run_sharded(
+            items,
+            AcamarConfig(),
+            workers=2,
+            chunk_size=2,
+            max_pool_restarts=0,
+            executor_factory=factory,
+        )
+        # Complete and ordered: every item has exactly one result.
+        assert [r.index for r in outcome.results] == [0, 1, 2, 3]
+        suspects = [
+            r.index for r in outcome.results
+            if r.error is not None and "WorkerLost" in r.error
+        ]
+        # Li's chunk-mates are crash suspects; they must be reported as
+        # WorkerLost, never retried inside the parent process.
+        assert 1 in suspects
+        assert outcome.in_process_items == 0
+        assert outcome.abandoned_items == len(suspects)
+        # Chunks that survived the broken pool keep their real entries.
+        completed = [r for r in outcome.results if r.entry is not None]
+        assert len(completed) == len(items) - len(suspects)
+        for result in completed:
+            assert result.error is None
+
+    def test_every_chunk_crashing_never_falls_back_in_process(self):
+        items = make_items(["Wa", "Li", "Fe"])
+        budget = {"remaining": 100}
+
+        def factory(n):
+            return _FlakyExecutor({"Wa", "Li", "Fe"}, budget)
+
+        outcome = run_sharded(
+            items,
+            AcamarConfig(),
+            workers=2,
+            max_pool_restarts=1,
+            executor_factory=factory,
+        )
+        assert [r.index for r in outcome.results] == [0, 1, 2]
+        assert all(
+            r.error is not None and "WorkerLost" in r.error
+            for r in outcome.results
+        )
+        assert outcome.in_process_items == 0
+        assert outcome.abandoned_items == 3

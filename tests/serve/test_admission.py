@@ -93,3 +93,61 @@ class TestAdmission:
         assert [q.request.request_id for q in lapsed] == [0]
         assert [q.request.request_id for q in controller.queue] == [1]
         assert controller.expire(now=0.02) == []
+
+
+class TestDeadlineBoundary:
+    """Regression pins for the single-sourced boundary predicates.
+
+    Both admission and the expiry sweep resolve "has this deadline
+    passed" through the same predicate, with a closed boundary: a
+    deadline exactly equal to now has lapsed.  The feasibility floor is
+    the opposite edge: a deadline exactly now + min_service_estimate_s
+    is still admissible.
+    """
+
+    def test_deadline_equal_to_now_is_shed_at_admission(self):
+        controller = AdmissionController(capacity=4)
+        verdict, victim = controller.offer(
+            request(0, deadline=5.0), now=5.0
+        )
+        assert verdict is AdmissionVerdict.SHED_DEADLINE
+        assert victim is None
+        assert controller.shed_deadline == 1
+
+    def test_deadline_equal_to_now_expires_in_queue(self):
+        controller = AdmissionController(capacity=4)
+        verdict, _ = controller.offer(request(0, deadline=5.0), now=0.0)
+        assert verdict is AdmissionVerdict.ADMITTED
+        assert controller.expire(now=4.999999) == []
+        lapsed = controller.expire(now=5.0)
+        assert [q.request.request_id for q in lapsed] == [0]
+        assert controller.depth() == 0
+
+    def test_deadline_exactly_at_service_floor_is_admissible(self):
+        controller = AdmissionController(
+            capacity=4, min_service_estimate_s=0.010
+        )
+        verdict, _ = controller.offer(
+            request(0, deadline=1.010), now=1.0
+        )
+        assert verdict is AdmissionVerdict.ADMITTED
+
+    def test_deadline_inside_service_floor_is_shed(self):
+        controller = AdmissionController(
+            capacity=4, min_service_estimate_s=0.010
+        )
+        verdict, _ = controller.offer(
+            request(0, deadline=1.0099999), now=1.0
+        )
+        assert verdict is AdmissionVerdict.SHED_DEADLINE
+
+    def test_predicates_are_single_sourced(self):
+        from repro.serve.admission import deadline_lapsed, deadline_unmeetable
+
+        assert deadline_lapsed(5.0, 5.0)
+        assert not deadline_lapsed(5.0, 4.999999999)
+        assert not deadline_lapsed(None, 1e9)
+        assert not deadline_unmeetable(None, 0.0, 10.0)
+        assert not deadline_unmeetable(1.010, 1.0, 0.010)
+        assert deadline_unmeetable(1.009, 1.0, 0.010)
+        assert deadline_unmeetable(0.5, 1.0, 0.0)

@@ -186,3 +186,64 @@ class TestCostCharging:
         assert len(responses) == 1
         assert len(remaining) == 1
         assert not scheduler.has_free_slot(0.01)
+
+
+class TestDeviceFaults:
+    """Modeled device outages through the scheduler's fault seam."""
+
+    def make_faulty(self, faults, slots=1, cache=None):
+        from repro.serve.scheduler import DeviceFaultEvent
+
+        events = tuple(DeviceFaultEvent(*f) for f in faults)
+        return MicroBatchScheduler(
+            fleet=FleetSpec(devices=1, slots_per_device=slots),
+            profiles=dict(PROFILES),
+            cache=cache,
+            max_batch=4,
+            batch_window_s=1e-3,
+            solver_swap_s=SWAP_S,
+            device_faults=events,
+        )
+
+    def test_outage_delays_placement_until_slot_recovers(self):
+        # (at_s, slot, outage_s): slot 0 is down for [0, 0.1).
+        scheduler = self.make_faulty([(0.0, 0, 0.1)])
+        queue = [queued(0, "A")]
+        responses, queue, _ = scheduler.dispatch(queue, now=0.05, next_batch_id=0)
+        assert responses == []
+        assert len(queue) == 1
+        assert scheduler.slots[0].outages == 1
+        responses, queue, _ = scheduler.dispatch(queue, now=0.2, next_batch_id=0)
+        assert len(responses) == 1
+        assert responses[0].outcome is Outcome.COMPLETED
+        assert queue == []
+
+    def test_outage_evicts_resident_configuration(self):
+        scheduler = self.make_faulty(
+            [(0.5, 0, 0.01)], cache=PlanCache(capacity=8)
+        )
+        queue = [queued(0, "A")]
+        _, queue, _ = scheduler.dispatch(queue, now=0.01, next_batch_id=0)
+        assert scheduler.slots[0].resident_signature is not None
+        scheduler.apply_device_faults(now=0.5)
+        assert scheduler.slots[0].resident_signature is None
+
+    def test_faults_apply_once_and_in_order(self):
+        from repro.telemetry import Telemetry
+
+        scheduler = self.make_faulty([(0.2, 0, 0.01), (0.1, 0, 0.01)])
+        # __post_init__ sorts by time regardless of construction order.
+        assert [e.at_s for e in scheduler.device_faults] == [0.1, 0.2]
+        collector = Telemetry()
+        with collector.activate():
+            scheduler.apply_device_faults(now=0.15)  # only the first is due
+            assert scheduler.slots[0].outages == 1
+            scheduler.apply_device_faults(now=0.15)  # idempotent
+            assert scheduler.slots[0].outages == 1
+            scheduler.apply_device_faults(now=1.0)
+            assert scheduler.slots[0].outages == 2
+        assert collector.counters["serve.device_faults"] == 2
+
+    def test_negative_outage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_faulty([(0.0, 0, -1.0)])
