@@ -13,6 +13,8 @@ On top of the per-unit table, :data:`DENIED_MODULE_PREFIXES` carries
 module-granular bans that the unit table cannot express:
 
 - nothing but ``cli`` and ``__main__`` imports ``repro.cli``,
+- ``repro.serve.cluster`` is only importable from ``serve`` itself,
+  the ``faults`` chaos harness and the ``cli`` entry point,
 - ``repro.serve`` never reaches into ``repro.parallel`` submodules
   (``parallel.engine`` internals); it must use the ``repro.parallel``
   facade, which re-exports the supported surface,
@@ -120,6 +122,11 @@ DENIED_MODULE_PREFIXES: tuple[tuple[str | None, str, str], ...] = (
 #: Module prefixes only importable from these units.
 RESTRICTED_TARGETS: Mapping[str, frozenset[str]] = {
     "repro.cli": frozenset({"cli", "__main__"}),
+    # The cluster package is the serving tier's distributed layer: the
+    # rest of repro.serve may build on it, the chaos harness injects
+    # into it, and the cli drives it — but the numeric and campaign
+    # layers below serving must never reach up into cluster internals.
+    "repro.serve.cluster": frozenset({"serve", "faults", "cli"}),
 }
 
 

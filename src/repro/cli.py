@@ -176,6 +176,58 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_serving_flags(loadtest)
 
+    cluster = loadtest.add_argument_group(
+        "cluster mode",
+        "multi-fleet simulator (repro.serve.cluster); ignores the "
+        "single-fleet --queue-capacity/--max-batch/--batch-window-ms/"
+        "--devices/--slots-per-device/--no-cache flags",
+    )
+    cluster.add_argument(
+        "--cluster", action="store_true",
+        help="serve through the fingerprint-routed fleet cluster",
+    )
+    cluster.add_argument(
+        "--fleets", type=int, default=2, metavar="N",
+        help="initial fleet count",
+    )
+    cluster.add_argument("--min-fleets", type=int, default=1, metavar="N")
+    cluster.add_argument("--max-fleets", type=int, default=8, metavar="N")
+    cluster.add_argument(
+        "--slots-per-fleet", type=int, default=4, metavar="N",
+        help="co-resident solver instances per fleet",
+    )
+    cluster.add_argument(
+        "--cluster-queue-capacity", type=int, default=4096, metavar="N",
+        help="per-fleet admission queue bound",
+    )
+    cluster.add_argument(
+        "--cluster-max-batch", type=int, default=64, metavar="N",
+    )
+    cluster.add_argument(
+        "--batch-fill-ms", type=float, default=40.0, metavar="MS",
+        help="micro-batch fill window on the cluster tier",
+    )
+    cluster.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="epoch length = autoscaler evaluation interval",
+    )
+    cluster.add_argument(
+        "--remote-fetch-ms", type=float, default=0.25, metavar="MS",
+        help="modeled cost of a remote plan-cache hit",
+    )
+    cluster.add_argument(
+        "--vnodes", type=int, default=64, metavar="N",
+        help="virtual nodes per fleet on the consistent-hash ring",
+    )
+    cluster.add_argument(
+        "--no-affinity", action="store_true",
+        help="round-robin routing instead of fingerprint affinity",
+    )
+    cluster.add_argument(
+        "--no-autoscale", action="store_true",
+        help="hold the fleet count static at --fleets",
+    )
+
     lint = sub.add_parser(
         "lint", help="machine-check the repo's invariants (REP001–REP006)"
     )
@@ -212,8 +264,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--profile", default="all",
-        choices=("pool", "serve", "solver", "all"),
-        help="which recovery surface to attack (default: all three)",
+        choices=("pool", "serve", "solver", "cluster", "all"),
+        help="which recovery surface to attack (default: all of them)",
     )
     chaos.add_argument(
         "--format", default="text", choices=("text", "json"),
@@ -368,8 +420,69 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if report.entries and converged == len(report.entries) else 1
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """``repro loadtest --cluster``: the multi-fleet simulator."""
+    from repro.errors import ConfigurationError
+    from repro.serve import (
+        ClusterConfig,
+        ClusterLoadSpec,
+        run_cluster_loadtest,
+    )
+
+    try:
+        spec = ClusterLoadSpec(
+            seed=args.seed,
+            duration_s=args.duration,
+            rate_rps=args.rate,
+            mix=args.mix,
+            deadline_ms=args.deadline_ms,
+        )
+        config = ClusterConfig(
+            initial_fleets=args.fleets,
+            min_fleets=args.min_fleets,
+            max_fleets=args.max_fleets,
+            slots_per_fleet=args.slots_per_fleet,
+            max_batch=args.cluster_max_batch,
+            batch_fill_ms=args.batch_fill_ms,
+            queue_capacity=args.cluster_queue_capacity,
+            cache_capacity=args.cache_capacity,
+            remote_fetch_ms=args.remote_fetch_ms,
+            interval_s=args.interval,
+            vnodes=args.vnodes,
+            affinity_routing=not args.no_affinity,
+            autoscale=not args.no_autoscale,
+            workers=args.workers,
+        )
+    except ConfigurationError as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"loadtest: {message}", file=sys.stderr)
+        return 2
+    report = run_cluster_loadtest(spec, config)
+    print(
+        f"loadtest --cluster: served {report.generated} requests over "
+        f"{len(report.fleets)} fleet(s)"
+    )
+    for line in report.summary_lines():
+        print(line)
+    if report.unaccounted:
+        print(
+            f"loadtest: {report.unaccounted} request(s) landed in no "
+            "accounting bucket — invariant violated",
+            file=sys.stderr,
+        )
+        return 1
+    if args.out:
+        print(f"wrote report to {report.write_json(args.out)}")
+    if args.telemetry:
+        print(f"wrote telemetry to "
+              f"{report.telemetry.write_json(args.telemetry)}")
+    return 0
+
+
 def _cmd_serving(args: argparse.Namespace, command: str) -> int:
     """Shared implementation of ``serve`` and ``loadtest``."""
+    if command == "loadtest" and getattr(args, "cluster", False):
+        return _cmd_cluster(args)
     from repro.fpga import FleetSpec
     from repro.serve import (
         LoadSpec,

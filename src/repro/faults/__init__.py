@@ -1,4 +1,4 @@
-"""Deterministic fault injection for the repo's three recovery surfaces.
+"""Deterministic fault injection for the repo's recovery surfaces.
 
 The subsystem splits cleanly into plan / inject / audit:
 
@@ -16,12 +16,14 @@ The subsystem splits cleanly into plan / inject / audit:
 from repro.faults.injectors import (
     ChaosExecutorFactory,
     ForcedDivergenceHook,
+    chaos_cluster_config,
     chaos_service_config,
     storm_requests,
 )
 from repro.faults.plan import (
     CHAOS_PROFILES,
     EXHAUSTION_BUDGET,
+    ClusterFaultSchedule,
     FaultPlan,
     PoolFaultSchedule,
     ServeFaultSchedule,
@@ -32,6 +34,7 @@ from repro.faults.runner import (
     ChaosReport,
     ProfileOutcome,
     run_chaos,
+    run_cluster_profile,
     run_pool_profile,
     run_serve_profile,
     run_solver_profile,
@@ -43,14 +46,17 @@ __all__ = [
     "ChaosExecutorFactory",
     "ChaosFinding",
     "ChaosReport",
+    "ClusterFaultSchedule",
     "FaultPlan",
     "ForcedDivergenceHook",
     "PoolFaultSchedule",
     "ProfileOutcome",
     "ServeFaultSchedule",
     "SolverFaultSchedule",
+    "chaos_cluster_config",
     "chaos_service_config",
     "run_chaos",
+    "run_cluster_profile",
     "run_pool_profile",
     "run_serve_profile",
     "run_solver_profile",

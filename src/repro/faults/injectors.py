@@ -30,11 +30,16 @@ from typing import Sequence
 
 from repro import telemetry as tm
 from repro.serve.api import SolveRequest
+from repro.serve.cluster.service import ClusterConfig
 from repro.serve.loadgen import LoadSpec, generate_requests
 from repro.serve.service import ServiceConfig
 from repro.fpga.multitenancy import FleetSpec
 from repro.solvers.base import SolveResult, SolveStatus
-from repro.faults.plan import PoolFaultSchedule, ServeFaultSchedule
+from repro.faults.plan import (
+    ClusterFaultSchedule,
+    PoolFaultSchedule,
+    ServeFaultSchedule,
+)
 
 
 # -- worker-pool surface ------------------------------------------------
@@ -208,4 +213,33 @@ def chaos_service_config(
         cache_capacity=schedule.cache_capacity,
         fleet=FleetSpec(devices=1, slots_per_device=slots),
         device_faults=schedule.device_faults,
+    )
+
+
+# -- cluster surface ----------------------------------------------------
+
+
+def chaos_cluster_config(
+    schedule: ClusterFaultSchedule, slots_per_fleet: int = 2
+) -> ClusterConfig:
+    """Cluster configuration that makes the scheduled churn real.
+
+    Capacities are deliberately tight: the per-fleet queue is small
+    enough that re-routed traffic during an outage sheds visibly, and
+    the 4-entry local cache tier forces evictions and remote hits so
+    the whole cost ladder is exercised.  The plan's fleet outages and
+    forced scale events ride the simulator's own chaos seams; the
+    simulator counts each *applied* event under ``faults.injected.*``,
+    so the runner reconciles scheduled vs. applied vs. observed.
+    """
+    return ClusterConfig(
+        initial_fleets=2,
+        min_fleets=1,
+        max_fleets=6,
+        slots_per_fleet=slots_per_fleet,
+        max_batch=8,
+        queue_capacity=512,
+        cache_capacity=4,
+        fleet_faults=schedule.fleet_faults,
+        forced_scale=schedule.forced_scale,
     )

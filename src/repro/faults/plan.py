@@ -10,7 +10,7 @@ and campaign seeding already use — with one independent ``SeedSequence``
 stream per fault domain, so enlarging one schedule never perturbs
 another.
 
-Three schedules cover the three recovery surfaces the repo ships:
+Four schedules cover the recovery surfaces the repo ships:
 
 - :class:`PoolFaultSchedule` — per-item worker-death budgets and
   slow-worker stalls for :func:`repro.parallel.engine.run_sharded`
@@ -20,7 +20,10 @@ Three schedules cover the three recovery surfaces the repo ships:
   :mod:`repro.serve` (all expressed on the virtual clock),
 - :class:`SolverFaultSchedule` — forced-divergence budgets and
   reconfiguration-stall events for the :class:`~repro.core.Acamar`
-  attempt loop, driving the Solver Modifier through its transitions.
+  attempt loop, driving the Solver Modifier through its transitions,
+- :class:`ClusterFaultSchedule` — whole-fleet outages (one timed to
+  land just after a forced drain, the outage-mid-drain case) and
+  flapping join/drain pairs for the :mod:`repro.serve.cluster` tier.
 """
 
 from __future__ import annotations
@@ -30,9 +33,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.serve.cluster.service import FleetFaultEvent, ForcedScaleEvent
 from repro.serve.scheduler import DeviceFaultEvent
 
-CHAOS_PROFILES = ("pool", "serve", "solver")
+CHAOS_PROFILES = ("pool", "serve", "solver", "cluster")
 """The chaos runner's profile names, one per recovery surface."""
 
 EXHAUSTION_BUDGET = 99
@@ -44,6 +48,7 @@ exhaustion regardless of which solver the structure unit selected."""
 _POOL_STREAM = 1
 _SERVE_STREAM = 2
 _SOLVER_STREAM = 3
+_CLUSTER_STREAM = 4
 
 
 def _rng(seed: int, stream: int) -> np.random.Generator:
@@ -111,6 +116,27 @@ class ServeFaultSchedule:
     @property
     def storm_end_s(self) -> float:
         return self.storm_start_s + self.storm_duration_s
+
+
+@dataclass(frozen=True)
+class ClusterFaultSchedule:
+    """Cluster-tier chaos: fleet outages plus membership flapping.
+
+    ``fleet_faults`` are whole-fleet outages applied through the
+    cluster simulator's fault seam; the first one is pinned to fire a
+    beat after ``mid_drain_at_s`` (a forced drain in ``forced_scale``),
+    so an outage lands while the membership is mid-drain — the case the
+    router's rebuild path is most likely to get wrong.  The remaining
+    ``forced_scale`` events are flapping join/drain pairs in quick
+    succession, exercising bounded remap under churn.  ``rate_rps``
+    shapes the driving trace (peak rate of a bursty mix) so queue
+    pressure during an outage is real, not incidental.
+    """
+
+    rate_rps: float
+    mid_drain_at_s: float
+    fleet_faults: tuple[FleetFaultEvent, ...]
+    forced_scale: tuple[ForcedScaleEvent, ...]
 
 
 @dataclass(frozen=True)
@@ -220,6 +246,69 @@ class FaultPlan:
             queue_capacity=queue_capacity,
             cache_capacity=cache_capacity,
             device_faults=faults,
+        )
+
+    def cluster_schedule(
+        self,
+        duration_s: float,
+        max_ordinal: int = 8,
+    ) -> ClusterFaultSchedule:
+        """Draw the cluster-tier outage and membership-churn schedule.
+
+        Two transitions are guaranteed on every seed: at least one
+        flapping join/drain pair (a forced add followed by a forced
+        drain a fraction of the run later) and one outage scheduled
+        right after a forced drain, so a fleet fault always lands while
+        the membership is still settling.  Fleet targets are drawn as
+        *ordinals* over the alive set at fire time — the schedule can
+        be decided up front without knowing which fleet ids will exist.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError(
+                f"cluster chaos duration must be > 0 s, got {duration_s}"
+            )
+        rng = _rng(self.seed, _CLUSTER_STREAM)
+        rate = float(np.round(rng.uniform(1400.0, 2000.0), 6))
+        forced: list[ForcedScaleEvent] = []
+        n_flaps = int(rng.integers(1, 3))
+        for _ in range(n_flaps):
+            join_at = float(np.round(rng.uniform(0.1, 0.35) * duration_s, 9))
+            gap = float(np.round(rng.uniform(0.05, 0.15) * duration_s, 9))
+            forced.append(ForcedScaleEvent(at_s=join_at, action="add"))
+            forced.append(
+                ForcedScaleEvent(
+                    at_s=float(np.round(join_at + gap, 9)), action="drain"
+                )
+            )
+        mid_drain_at = float(np.round(rng.uniform(0.5, 0.65) * duration_s, 9))
+        forced.append(ForcedScaleEvent(at_s=mid_drain_at, action="drain"))
+        faults = [
+            # The mid-drain outage: one beat after the forced drain.
+            FleetFaultEvent(
+                at_s=float(np.round(mid_drain_at + 0.02 * duration_s, 9)),
+                fleet_ordinal=int(rng.integers(max_ordinal)),
+                outage_s=float(
+                    np.round(rng.uniform(0.05, 0.12) * duration_s, 9)
+                ),
+            )
+        ]
+        for _ in range(int(rng.integers(1, 3))):
+            faults.append(
+                FleetFaultEvent(
+                    at_s=float(
+                        np.round(rng.uniform(0.05, 0.85) * duration_s, 9)
+                    ),
+                    fleet_ordinal=int(rng.integers(max_ordinal)),
+                    outage_s=float(
+                        np.round(rng.uniform(0.03, 0.1) * duration_s, 9)
+                    ),
+                )
+            )
+        return ClusterFaultSchedule(
+            rate_rps=rate,
+            mid_drain_at_s=mid_drain_at,
+            fleet_faults=tuple(faults),
+            forced_scale=tuple(forced),
         )
 
     def solver_schedule(

@@ -15,7 +15,12 @@ same contracts the operations docs promise:
 - ``solver`` — forced divergence walks the Solver Modifier's fallback
   chain without repeats, terminates (exhaustion included), reports the
   full attempt chain, and the ``solver_attempts.<name>`` counters match
-  that chain exactly.
+  that chain exactly,
+- ``cluster`` — every scheduled fleet outage lands and recovers,
+  membership churn (flapping joins, an outage mid-drain) never loses a
+  request (zero unaccounted), retired fleets drained cleanly, the
+  tiered cache ladder stays consistent, and autoscaler actions respect
+  the cooldown spacing the policy promises.
 
 Violations are :class:`ChaosFinding` records rendered like
 ``repro lint`` findings; the CLI maps them onto the same 0/1/2 exit
@@ -39,11 +44,15 @@ from repro.errors import UnknownNameError
 from repro.parallel import WorkItem, estimate_cost, run_sharded
 from repro.parallel.engine import MAX_ITEM_ATTEMPTS
 from repro.serve.api import Outcome
+from repro.serve.cluster.autoscale import ScaleAction
+from repro.serve.cluster.service import run_cluster_loadtest
+from repro.serve.cluster.trace import ClusterLoadSpec
 from repro.serve.service import run_service
 from repro.telemetry import Telemetry
 from repro.faults.injectors import (
     ChaosExecutorFactory,
     ForcedDivergenceHook,
+    chaos_cluster_config,
     chaos_service_config,
     storm_requests,
 )
@@ -60,6 +69,8 @@ SERVE_DURATION_S = 0.8
 SERVE_SLOTS = 3
 SERVE_SOURCE_COUNT = 10
 SOLVER_RECOVERY_GRIDS = (10, 16)
+CLUSTER_DURATION_S = 8.0
+CLUSTER_SOURCE_COUNT = 10
 
 
 @dataclass(frozen=True)
@@ -491,10 +502,179 @@ def run_solver_profile(plan: FaultPlan) -> ProfileOutcome:
     return ProfileOutcome("solver", injected, observed, tuple(findings))
 
 
+# -- cluster profile ----------------------------------------------------
+
+
+def run_cluster_profile(plan: FaultPlan) -> ProfileOutcome:
+    """Fleet-outage / membership-churn chaos against the cluster tier.
+
+    The plan schedules whole-fleet outages (one landing just after a
+    forced drain) and flapping join/drain pairs; the simulator applies
+    them on the virtual clock and counts each applied event under
+    ``faults.injected.*``.  The audits reconcile scheduled vs. applied
+    vs. observed, and check the membership lifecycle contracts the
+    serving docs promise.
+    """
+    schedule = plan.cluster_schedule(duration_s=CLUSTER_DURATION_S)
+    sources = dataset_keys()[:CLUSTER_SOURCE_COUNT]
+    spec = ClusterLoadSpec(
+        seed=plan.seed,
+        duration_s=CLUSTER_DURATION_S,
+        rate_rps=schedule.rate_rps,
+        mix="bursty",
+        sources=tuple(sources),
+    )
+    config = chaos_cluster_config(schedule)
+    report = run_cluster_loadtest(spec, config)
+
+    findings: list[ChaosFinding] = []
+
+    def violated(check: str, message: str) -> None:
+        findings.append(ChaosFinding("cluster", check, message))
+
+    injected = {
+        name: value
+        for name, value in report.counters.items()
+        if name.startswith("faults.injected.")
+    }
+    if report.unaccounted != 0:
+        violated(
+            "CHS-CLUSTER-ACCOUNT",
+            f"{report.unaccounted} request(s) neither completed nor "
+            "shed/expired/failed (accounting hole under churn)",
+        )
+    applied_outages = injected.get("faults.injected.fleet_outage", 0)
+    if applied_outages != len(schedule.fleet_faults):
+        violated(
+            "CHS-CLUSTER-INJECT",
+            f"scheduled {len(schedule.fleet_faults)} fleet outage(s) but "
+            f"{applied_outages} were applied",
+        )
+    applied_scale = injected.get("faults.injected.forced_scale", 0)
+    if not 1 <= applied_scale <= len(schedule.forced_scale):
+        violated(
+            "CHS-CLUSTER-INJECT",
+            f"{applied_scale} forced scale event(s) applied; expected "
+            f"between 1 and the {len(schedule.forced_scale)} scheduled "
+            "(membership never flapped)",
+        )
+    observed_outages = sum(f.outages for f in report.fleets)
+    if observed_outages != applied_outages:
+        violated(
+            "CHS-CLUSTER-RECOVER",
+            f"fleets record {observed_outages} outage(s) but "
+            f"{applied_outages} were applied",
+        )
+    stuck = [
+        f.fleet_id
+        for f in report.fleets
+        if f.alive and f.faulted_until is not None
+    ]
+    if stuck:
+        violated(
+            "CHS-CLUSTER-RECOVER",
+            f"fleet(s) {stuck} still marked faulted after the run — a "
+            "recovery event was lost",
+        )
+    doc = report.as_dict()
+    if doc["fleets"]["peak"] > config.max_fleets:
+        violated(
+            "CHS-CLUSTER-MEMBER",
+            f"peak fleet count {doc['fleets']['peak']} exceeds "
+            f"max_fleets={config.max_fleets}",
+        )
+    final_alive = sum(1 for f in report.fleets if f.alive)
+    if final_alive < config.min_fleets:
+        violated(
+            "CHS-CLUSTER-MEMBER",
+            f"{final_alive} fleet(s) alive at the end, below "
+            f"min_fleets={config.min_fleets}",
+        )
+    for fleet in report.fleets:
+        if fleet.retired_s is None:
+            continue
+        if fleet.drained_s is None or fleet.retired_s < fleet.drained_s:
+            violated(
+                "CHS-CLUSTER-DRAIN",
+                f"fleet {fleet.fleet_id} retired at {fleet.retired_s} "
+                f"without a preceding drain (drained_s="
+                f"{fleet.drained_s})",
+            )
+        if fleet.backlog != 0 or fleet.queues:
+            violated(
+                "CHS-CLUSTER-DRAIN",
+                f"fleet {fleet.fleet_id} retired with {fleet.backlog} "
+                "queued request(s) — drain must finish the backlog "
+                "first",
+            )
+    cache = report.cache
+    if not (
+        cache.stats.misses
+        == cache.publishes
+        == len(cache.directory)
+    ):
+        violated(
+            "CHS-CLUSTER-CACHE",
+            f"cache ladder inconsistent: {cache.stats.misses} miss(es), "
+            f"{cache.publishes} publish(es), {len(cache.directory)} "
+            "directory entries — each structure must miss exactly once "
+            "cluster-wide",
+        )
+    actions = [
+        index
+        for index, decision in enumerate(report.autoscaler.decisions)
+        if decision.action is not ScaleAction.HOLD
+    ]
+    min_gap = config.policy.cooldown_intervals + 1
+    too_close = [
+        (a, b)
+        for a, b in zip(actions, actions[1:])
+        if b - a < min_gap
+    ]
+    if too_close:
+        violated(
+            "CHS-CLUSTER-SCALE",
+            f"autoscaler actions at evaluation indices {too_close} are "
+            f"closer than the cooldown ({min_gap} intervals) allows",
+        )
+    pressure = (
+        doc["requests"]["shed_overflow"] + doc["requests"]["expired"]
+    )
+    if pressure == 0:
+        violated(
+            "CHS-CLUSTER-PRESSURE",
+            "outages and churn produced no shed or expired request — "
+            "the chaos schedule exerted no pressure",
+        )
+
+    observed = {
+        "rate_rps": schedule.rate_rps,
+        "scheduled_outages": len(schedule.fleet_faults),
+        "scheduled_forced_scale": len(schedule.forced_scale),
+        "mid_drain_at_s": schedule.mid_drain_at_s,
+        "requests": doc["requests"],
+        "routing": doc["routing"],
+        "cache_lookups": doc["cache"]["lookups"],
+        "autoscaler": {
+            key: value
+            for key, value in doc["autoscaler"].items()
+            if key != "decisions"
+        },
+        "fleets": {
+            "peak": doc["fleets"]["peak"],
+            "final": doc["fleets"]["final"],
+            "outages": observed_outages,
+        },
+        "batches": doc["batches"]["count"],
+    }
+    return ProfileOutcome("cluster", injected, observed, tuple(findings))
+
+
 PROFILE_RUNNERS: dict[str, Callable[[FaultPlan], ProfileOutcome]] = {
     "pool": run_pool_profile,
     "serve": run_serve_profile,
     "solver": run_solver_profile,
+    "cluster": run_cluster_profile,
 }
 
 

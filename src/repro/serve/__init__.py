@@ -17,6 +17,11 @@ Everything runs on a virtual clock, so a fixed request log produces a
 byte-identical report (see ``docs/serving.md``).  Entry points:
 ``repro serve`` / ``repro loadtest`` on the CLI, or
 :func:`run_service` / :func:`run_loadtest` from code.
+
+The :mod:`repro.serve.cluster` subpackage scales this model to a
+dynamically sized *cluster* of fleets — consistent-hash fingerprint
+routing, a tiered plan cache and a deterministic autoscaler — behind
+``repro loadtest --cluster`` / :func:`run_cluster_loadtest`.
 """
 
 from repro.serve.admission import (
@@ -37,6 +42,19 @@ from repro.serve.cache import (
     PlanCache,
     plan_signature,
     structure_fingerprint,
+)
+from repro.serve.cluster import (
+    AutoscalerPolicy,
+    ClusterConfig,
+    ClusterLoadSpec,
+    ClusterReport,
+    FleetFaultEvent,
+    ForcedScaleEvent,
+    HashRing,
+    TieredPlanCache,
+    generate_trace,
+    run_cluster,
+    run_cluster_loadtest,
 )
 from repro.serve.loadgen import (
     TRAFFIC_MIXES,
@@ -59,8 +77,15 @@ __all__ = [
     "TRAFFIC_MIXES",
     "AdmissionController",
     "AdmissionVerdict",
+    "AutoscalerPolicy",
     "CacheEntry",
+    "ClusterConfig",
+    "ClusterLoadSpec",
+    "ClusterReport",
     "DeviceFaultEvent",
+    "FleetFaultEvent",
+    "ForcedScaleEvent",
+    "HashRing",
     "LoadSpec",
     "MicroBatchScheduler",
     "Outcome",
@@ -71,15 +96,19 @@ __all__ = [
     "SolveProfile",
     "SolveRequest",
     "SolveResponse",
+    "TieredPlanCache",
     "build_profile",
     "build_profiles",
     "deadline_lapsed",
     "deadline_unmeetable",
     "generate_requests",
+    "generate_trace",
     "parse_priority",
     "plan_signature",
     "profile_items",
     "read_request_log",
+    "run_cluster",
+    "run_cluster_loadtest",
     "run_loadtest",
     "run_service",
     "structure_fingerprint",

@@ -1,0 +1,169 @@
+"""Array-native request traces: cluster-scale load, zero Python objects.
+
+A ``--duration 3600 --rate 10000`` run is ~36 million requests.  The
+single-fleet generator's one-``SolveRequest``-per-arrival stream
+(:mod:`repro.serve.loadgen`) would need tens of gigabytes and minutes
+of allocation alone, so the cluster tier keeps the whole trace as a
+struct-of-arrays :class:`RequestTrace`:
+
+- ``arrival_s``  — float64, sorted, rounded to 9 decimals (the repo's
+  virtual-timestamp precision),
+- ``source_idx`` — int16 index into ``sources`` (the unique key list),
+- ``priority``   — int8 :class:`~repro.serve.api.Priority` value,
+- ``deadline_s`` — float64 absolute deadline, ``+inf`` meaning none.
+
+Generation is fully vectorized and reuses the *same* statistical model
+as the object generator — :func:`repro.serve.loadgen.source_weights`
+for the dataset mix, ``PRIORITY_SHARES`` for the class split, Poisson
+arrivals with square-wave bursts — so "repeat-heavy at 120 rps" means
+the same workload at either tier.  Bursty arrivals use exact thinning:
+draw a homogeneous Poisson process at the peak rate, then keep each
+arrival with probability ``rate(t) / peak``.  One seeded PCG64
+generator drives everything, so a seed fully determines the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.serve.api import PRIORITY_NAMES, Priority
+from repro.serve.loadgen import PRIORITY_SHARES, TRAFFIC_MIXES, source_weights
+
+NO_DEADLINE = np.inf
+"""Sentinel in ``deadline_s`` for requests without a deadline."""
+
+_GAP_BLOCK = 262_144
+"""Exponential gaps are drawn in blocks of this size until the horizon
+is covered — a handful of vectorized draws even at 36M arrivals."""
+
+
+@dataclass(frozen=True)
+class ClusterLoadSpec:
+    """Parameters of one synthetic cluster traffic run."""
+
+    seed: int = 0
+    duration_s: float = 60.0
+    rate_rps: float = 1000.0
+    mix: str = "repeat-heavy"
+    deadline_ms: float = 100.0
+    burst_factor: float = 4.0
+    burst_s: float = 0.25
+    burst_period_s: float = 1.0
+    sources: tuple[str, ...] = ()  # empty → the Table II registry
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError(
+                f"duration must be > 0 s, got {self.duration_s}"
+            )
+        if self.rate_rps <= 0:
+            raise ConfigurationError(
+                f"rate must be > 0 rps, got {self.rate_rps}"
+            )
+        if self.mix not in TRAFFIC_MIXES:
+            raise ConfigurationError(
+                f"unknown traffic mix {self.mix!r}; "
+                f"expected one of {TRAFFIC_MIXES}"
+            )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "rate_rps": self.rate_rps,
+            "mix": self.mix,
+            "deadline_ms": self.deadline_ms,
+        }
+
+
+@dataclass
+class RequestTrace:
+    """Struct-of-arrays request log; row ``i`` is request id ``i``."""
+
+    sources: tuple[str, ...]
+    arrival_s: np.ndarray
+    source_idx: np.ndarray
+    priority: np.ndarray
+    deadline_s: np.ndarray
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return int(self.arrival_s.shape[0])
+
+    def priority_counts(self) -> dict[str, int]:
+        counts = np.bincount(self.priority, minlength=len(Priority))
+        return {
+            PRIORITY_NAMES[p]: int(counts[p.value]) for p in Priority
+        }
+
+    def source_counts(self) -> dict[str, int]:
+        counts = np.bincount(self.source_idx, minlength=len(self.sources))
+        return {
+            key: int(counts[i]) for i, key in enumerate(self.sources)
+        }
+
+
+def _arrivals(spec: ClusterLoadSpec, rng: np.random.Generator) -> np.ndarray:
+    """Sorted arrival timestamps over ``[0, duration_s)``."""
+    bursty = spec.mix == "bursty"
+    peak = spec.rate_rps * (spec.burst_factor if bursty else 1.0)
+    chunks: list[np.ndarray] = []
+    t = 0.0
+    while t < spec.duration_s:
+        gaps = rng.exponential(1.0 / peak, size=_GAP_BLOCK)
+        times = t + np.cumsum(gaps)
+        t = float(times[-1])
+        chunks.append(times)
+    arrivals = np.concatenate(chunks)
+    arrivals = arrivals[arrivals < spec.duration_s]
+    if bursty:
+        # Exact thinning of the peak-rate process: accept with
+        # probability rate(t)/peak.  In-burst phases accept everything;
+        # off-burst phases accept 1/burst_factor.
+        phase = arrivals % spec.burst_period_s
+        accept_p = np.where(
+            phase < spec.burst_s, 1.0, 1.0 / spec.burst_factor
+        )
+        arrivals = arrivals[rng.random(arrivals.shape[0]) < accept_p]
+    return np.round(arrivals, 9)
+
+
+def generate_trace(spec: ClusterLoadSpec) -> RequestTrace:
+    """Produce the full arrival-ordered trace for ``spec``."""
+    if spec.sources:
+        keys: tuple[str, ...] = tuple(spec.sources)
+    else:
+        from repro.datasets.suite import dataset_keys
+
+        keys = dataset_keys()
+    rng = np.random.default_rng(spec.seed)
+    arrivals = _arrivals(spec, rng)
+    n = arrivals.shape[0]
+    weights = source_weights(spec.mix, len(keys))
+    source_idx = rng.choice(
+        len(keys), size=n, p=weights
+    ).astype(np.int16)
+    priority_values = np.array(
+        [p.value for p, _ in PRIORITY_SHARES], dtype=np.int8
+    )
+    priority_weights = np.array([w for _, w in PRIORITY_SHARES])
+    priority = priority_values[
+        rng.choice(len(priority_values), size=n, p=priority_weights)
+    ]
+    deadline = np.full(n, NO_DEADLINE)
+    interactive = priority == Priority.INTERACTIVE.value
+    deadline[interactive] = np.round(
+        arrivals[interactive] + spec.deadline_ms * 1e-3, 9
+    )
+    return RequestTrace(
+        sources=keys,
+        arrival_s=arrivals,
+        source_idx=source_idx,
+        priority=priority,
+        deadline_s=deadline,
+        meta=spec.as_dict(),
+    )

@@ -75,21 +75,35 @@ class LoadSpec:
             )
 
 
-def _source_weights(spec: LoadSpec, keys: Sequence[str]) -> np.ndarray:
-    if spec.mix == "uniform":
-        return np.full(len(keys), 1.0 / len(keys))
+def source_weights(mix: str, n_keys: int) -> np.ndarray:
+    """Per-source probability weights of traffic mix ``mix``.
+
+    Shared by the object-stream generator below and the cluster tier's
+    vectorized trace generator (:mod:`repro.serve.cluster.trace`), so
+    "repeat-heavy" means the same skew in both.
+    """
+    if mix not in TRAFFIC_MIXES:
+        raise ConfigurationError(
+            f"unknown traffic mix {mix!r}; expected one of {TRAFFIC_MIXES}"
+        )
+    if mix == "uniform":
+        return np.full(n_keys, 1.0 / n_keys)
     # repeat-heavy / bursty: geometric weights over the hot set, the
     # remaining share spread over the tail.
-    hot = min(HOT_SET_SIZE, len(keys))
-    weights = np.zeros(len(keys))
+    hot = min(HOT_SET_SIZE, n_keys)
+    weights = np.zeros(n_keys)
     hot_weights = 0.5 ** np.arange(hot)
     weights[:hot] = HOT_SET_SHARE * hot_weights / hot_weights.sum()
-    tail = len(keys) - hot
+    tail = n_keys - hot
     if tail:
         weights[hot:] = (1.0 - HOT_SET_SHARE) / tail
     else:
         weights[:hot] /= weights[:hot].sum()
     return weights
+
+
+def _source_weights(spec: LoadSpec, keys: Sequence[str]) -> np.ndarray:
+    return source_weights(spec.mix, len(keys))
 
 
 def _instantaneous_rate(spec: LoadSpec, t: float) -> float:

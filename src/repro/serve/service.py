@@ -41,7 +41,8 @@ from repro.serve.api import (
 from repro.serve.cache import PlanCache
 from repro.serve.profile import SolveProfile, profile_items
 from repro.serve.scheduler import DeviceFaultEvent, MicroBatchScheduler
-from repro.telemetry import Telemetry, percentile
+from repro.serve.stats import latency_summary_ms
+from repro.telemetry import Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover — type name only, avoids eager import
     from repro.serve.loadgen import LoadSpec
@@ -143,15 +144,7 @@ class ServingReport:
     def latency_stats_ms(
         self, responses: Sequence[SolveResponse]
     ) -> dict[str, float]:
-        values = [r.latency_s * 1e3 for r in responses]
-        return {
-            "count": len(values),
-            "mean": round(sum(values) / len(values), 6) if values else 0.0,
-            "p50": round(percentile(values, 50.0), 6),
-            "p90": round(percentile(values, 90.0), 6),
-            "p99": round(percentile(values, 99.0), 6),
-            "max": round(max(values), 6) if values else 0.0,
-        }
+        return latency_summary_ms([r.latency_s * 1e3 for r in responses])
 
     def as_dict(self, include_responses: bool = True) -> dict[str, Any]:
         done = self.completed

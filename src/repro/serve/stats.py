@@ -1,0 +1,64 @@
+"""Shared latency-summary statistics for serving reports.
+
+Both the single-fleet :class:`~repro.serve.service.ServingReport` and the
+cluster :class:`~repro.serve.cluster.service.ClusterReport` publish the
+same percentile-summary shape for latency populations.  Keeping the
+computation here means the two reports cannot drift apart: a dashboard
+keyed on ``{count, mean, p50, p90, p99, max}`` reads either one.
+
+Values are rounded to 6 decimals (microsecond precision on
+millisecond-scale numbers) so the JSON forms stay byte-stable across
+runs and machines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.telemetry import percentile
+
+
+def latency_summary_ms(values: Sequence[float]) -> dict[str, Any]:
+    """Percentile summary of a latency population (milliseconds)."""
+    data = [float(v) for v in values]
+    return {
+        "count": len(data),
+        "mean": round(sum(data) / len(data), 6) if data else 0.0,
+        "p50": round(percentile(data, 50.0), 6),
+        "p90": round(percentile(data, 90.0), 6),
+        "p99": round(percentile(data, 99.0), 6),
+        "max": round(max(data), 6) if data else 0.0,
+    }
+
+
+def latency_summary_ms_array(
+    values: "np.ndarray", *, consume: bool = False
+) -> dict[str, Any]:
+    """Same summary shape for an array population (cluster scale).
+
+    ``numpy.percentile``'s default linear-interpolation method matches
+    :func:`repro.telemetry.percentile`, so the two paths agree; the
+    array path exists because materializing tens of millions of
+    latencies as a Python list would dominate the cluster run.
+
+    With ``consume=True`` the input array is partitioned in place (its
+    element *order* is destroyed, the multiset of values is preserved)
+    instead of copied — callers holding a population-sized array they
+    no longer need in order pass this to skip a full-size allocation.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return latency_summary_ms([])
+    p50, p90, p99 = np.percentile(
+        arr, [50.0, 90.0, 99.0], overwrite_input=consume
+    )
+    return {
+        "count": int(arr.size),
+        "mean": round(float(arr.mean()), 6),
+        "p50": round(float(p50), 6),
+        "p90": round(float(p90), 6),
+        "p99": round(float(p99), 6),
+        "max": round(float(arr.max()), 6),
+    }

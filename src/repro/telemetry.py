@@ -95,6 +95,31 @@ KNOWN_COUNTERS = frozenset({
     "serve.shed.drain_limit",
     "serve.profile_failures",
     "serve.device_faults",
+    # cluster tier (repro.serve.cluster): request accounting
+    "cluster.requests",
+    "cluster.completed",
+    "cluster.failed",
+    "cluster.expired",
+    "cluster.batches",
+    "cluster.config_loads",
+    "cluster.shed.overflow",
+    "cluster.shed.drain_limit",
+    # cluster front-tier router (consistent-hash placement)
+    "router.routed",
+    "router.remapped",
+    "router.ring_rebuilds",
+    # cluster autoscaler decisions
+    "autoscale.evaluations",
+    "autoscale.scale_ups",
+    "autoscale.drains",
+    "autoscale.holds",
+    "autoscale.retired",
+    # tiered plan cache ladder
+    "cache.tier.local_hits",
+    "cache.tier.remote_hits",
+    "cache.tier.misses",
+    "cache.tier.evictions",
+    "cache.tier.publishes",
     # fault-injection harness (repro.faults): every injected event is
     # counted, so a chaos report can reconcile injected vs. observed
     "faults.injected.worker_death",
@@ -103,6 +128,8 @@ KNOWN_COUNTERS = frozenset({
     "faults.injected.reconfig_stall",
     "faults.injected.deadline_storm",
     "faults.injected.device_outage",
+    "faults.injected.fleet_outage",
+    "faults.injected.forced_scale",
 })
 """Sanctioned monotonic counter names."""
 

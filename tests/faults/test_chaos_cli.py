@@ -65,3 +65,18 @@ class TestChaosCli:
         monkeypatch.setattr(repro.faults, "run_chaos", explode)
         assert main(["chaos", "--chaos-seed", "0"]) == 2
         assert "chaos:" in capsys.readouterr().err
+
+
+class TestChaosClusterProfile:
+    def test_cluster_profile_clean_and_deterministic(
+        self, tmp_path, capsys
+    ):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        argv = ["chaos", "--chaos-seed", "7", "--profile", "cluster"]
+        assert main(argv + ["--out", str(first)]) == 0
+        assert main(argv + ["--out", str(second)]) == 0
+        out = capsys.readouterr().out
+        assert "profile cluster" in out
+        assert "0 violation(s)" in out
+        assert first.read_bytes() == second.read_bytes()

@@ -1,0 +1,111 @@
+"""Consistent-hash ring: stability, bounded remap, determinism."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.cluster.ring import DEFAULT_VNODES, HashRing
+
+
+def keys(n):
+    return [f"fingerprint:{i:05d}" for i in range(n)]
+
+
+def build(members, vnodes=DEFAULT_VNODES):
+    ring = HashRing(vnodes=vnodes)
+    for fleet_id in members:
+        ring.add(fleet_id)
+    return ring
+
+
+class TestMembership:
+    def test_empty_ring_refuses_to_route(self):
+        with pytest.raises(ConfigurationError):
+            HashRing().owner("k")
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(vnodes=0)
+
+    def test_add_is_idempotent(self):
+        ring = build([1, 2])
+        before = ring.placement(keys(50))
+        ring.add(1)
+        assert len(ring) == 2
+        assert ring.placement(keys(50)) == before
+
+    def test_remove_unknown_is_a_no_op(self):
+        ring = build([1, 2])
+        ring.remove(99)
+        assert ring.members == (1, 2)
+
+    def test_members_sorted(self):
+        assert build([5, 1, 3]).members == (1, 3, 5)
+
+
+class TestPlacement:
+    def test_placement_is_deterministic(self):
+        a = build([0, 1, 2]).placement(keys(200))
+        b = build([0, 1, 2]).placement(keys(200))
+        assert a == b
+
+    def test_placement_independent_of_join_order(self):
+        a = build([0, 1, 2]).placement(keys(200))
+        b = build([2, 0, 1]).placement(keys(200))
+        assert a == b
+
+    def test_every_member_owns_some_keys(self):
+        ring = build([0, 1, 2, 3])
+        owners = set(ring.placement(keys(2000)).values())
+        assert owners == {0, 1, 2, 3}
+
+    def test_pinned_placement(self):
+        # Byte-stability across machines and Python versions: the SHA-256
+        # construction admits no process salt, so these concrete routes
+        # can be pinned as a regression anchor.
+        ring = build([0, 1, 2])
+        assert [ring.owner(k) for k in keys(8)] == [2, 2, 2, 1, 0, 1, 1, 2]
+
+
+class TestBoundedRemap:
+    def test_join_remaps_about_one_over_n(self):
+        population = keys(4000)
+        ring = build([0, 1, 2, 3])
+        before = ring.placement(population)
+        ring.add(4)
+        after = ring.placement(population)
+        moved = sum(1 for k in population if before[k] != after[k])
+        # Expectation is K/N = 800 of 4000 keys; the vnode spread keeps
+        # the realized count well inside [K/2N, 2K/N].  Exact value is
+        # pinned so any hashing change is loud.
+        assert 400 <= moved <= 1600
+        assert moved == 949
+
+    def test_join_only_pulls_keys_it_now_owns(self):
+        population = keys(1000)
+        ring = build([0, 1, 2])
+        before = ring.placement(population)
+        ring.add(3)
+        after = ring.placement(population)
+        for key in population:
+            if before[key] != after[key]:
+                assert after[key] == 3
+
+    def test_leave_scatters_only_the_leavers_keys(self):
+        population = keys(1000)
+        ring = build([0, 1, 2, 3])
+        before = ring.placement(population)
+        ring.remove(2)
+        after = ring.placement(population)
+        for key in population:
+            if before[key] == 2:
+                assert after[key] != 2
+            else:
+                assert after[key] == before[key]
+
+    def test_leave_then_rejoin_restores_placement(self):
+        population = keys(500)
+        ring = build([0, 1, 2])
+        before = ring.placement(population)
+        ring.remove(1)
+        ring.add(1)
+        assert ring.placement(population) == before

@@ -1,0 +1,111 @@
+"""Array-native trace generation: shape, determinism, statistical model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.api import Priority
+from repro.serve.cluster.trace import (
+    NO_DEADLINE,
+    ClusterLoadSpec,
+    generate_trace,
+)
+
+SOURCES = ("poisson2d_64", "heat1d_256", "adv_diff_128")
+
+
+def spec(**kw):
+    base = dict(
+        seed=11, duration_s=30.0, rate_rps=400.0, sources=SOURCES
+    )
+    base.update(kw)
+    return ClusterLoadSpec(**base)
+
+
+class TestValidation:
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(ConfigurationError):
+            ClusterLoadSpec(duration_s=0.0)
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ConfigurationError):
+            ClusterLoadSpec(rate_rps=-1.0)
+
+    def test_rejects_unknown_mix(self):
+        with pytest.raises(ConfigurationError):
+            ClusterLoadSpec(mix="nope")
+
+
+class TestShape:
+    def test_arrays_aligned_and_sorted(self):
+        trace = generate_trace(spec())
+        n = len(trace)
+        assert trace.arrival_s.shape == (n,)
+        assert trace.source_idx.shape == (n,)
+        assert trace.priority.shape == (n,)
+        assert trace.deadline_s.shape == (n,)
+        assert np.all(np.diff(trace.arrival_s) >= 0)
+        assert trace.arrival_s[0] >= 0.0
+        assert trace.arrival_s[-1] < 30.0
+
+    def test_dtypes_are_compact(self):
+        trace = generate_trace(spec())
+        assert trace.source_idx.dtype == np.int16
+        assert trace.priority.dtype == np.int8
+
+    def test_request_count_tracks_rate(self):
+        trace = generate_trace(spec())
+        expected = 400.0 * 30.0
+        assert 0.8 * expected < len(trace) < 1.2 * expected
+
+    def test_only_interactive_requests_carry_deadlines(self):
+        trace = generate_trace(spec())
+        interactive = trace.priority == Priority.INTERACTIVE.value
+        assert np.all(np.isfinite(trace.deadline_s[interactive]))
+        assert np.all(trace.deadline_s[~interactive] == NO_DEADLINE)
+        assert np.all(
+            trace.deadline_s[interactive] > trace.arrival_s[interactive]
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self):
+        a = generate_trace(spec())
+        b = generate_trace(spec())
+        assert np.array_equal(a.arrival_s, b.arrival_s)
+        assert np.array_equal(a.source_idx, b.source_idx)
+        assert np.array_equal(a.priority, b.priority)
+        assert np.array_equal(a.deadline_s, b.deadline_s)
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(spec())
+        b = generate_trace(spec(seed=12))
+        assert not np.array_equal(a.arrival_s, b.arrival_s)
+
+    def test_timestamps_rounded_to_nanoseconds(self):
+        trace = generate_trace(spec())
+        assert np.array_equal(trace.arrival_s, np.round(trace.arrival_s, 9))
+
+
+class TestStatisticalModel:
+    def test_every_source_appears(self):
+        trace = generate_trace(spec())
+        counts = trace.source_counts()
+        assert set(counts) == set(SOURCES)
+        assert all(v > 0 for v in counts.values())
+
+    def test_priority_shares_roughly_hold(self):
+        trace = generate_trace(spec(duration_s=60.0, rate_rps=800.0))
+        counts = trace.priority_counts()
+        total = sum(counts.values())
+        # PRIORITY_SHARES pins interactive at 30%: allow wide slack,
+        # the point is the class split is driven by the shared table.
+        assert 0.2 < counts["interactive"] / total < 0.4
+
+    def test_bursty_mix_clusters_arrivals(self):
+        trace = generate_trace(spec(mix="bursty"))
+        phase = trace.arrival_s % 1.0  # burst_period_s default
+        in_burst = np.mean(phase < 0.25)  # burst_s default
+        # Uniform traffic would put 25% of arrivals in the burst window;
+        # a 4x burst factor concentrates more than half there.
+        assert in_burst > 0.5

@@ -208,3 +208,70 @@ class TestServe:
         assert document["schema_version"] == 1
         assert "serve.latency_ms" in document["distributions"]
         assert document["counters"]["serve.requests"] > 0
+
+
+class TestClusterLoadtest:
+    def test_cluster_summary_and_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "cluster.json"
+        assert main([
+            "loadtest", "--cluster", "--seed", "0", "--duration", "2",
+            "--rate", "100", "--out", str(out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "loadtest --cluster" in printed
+        assert "fleets peak / final" in printed
+        document = json.loads(out.read_text())
+        assert document["schema_version"] == 1
+        assert document["requests"]["unaccounted"] == 0
+        assert document["cluster"]["affinity_routing"] is True
+
+    def test_cluster_reports_byte_identical(self, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        for path in (first, second):
+            assert main([
+                "loadtest", "--cluster", "--seed", "0", "--duration", "2",
+                "--rate", "100", "--out", str(path),
+            ]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_worker_count_does_not_change_report(self, tmp_path, capsys):
+        one = tmp_path / "w1.json"
+        four = tmp_path / "w4.json"
+        for path, workers in ((one, "1"), (four, "4")):
+            assert main([
+                "loadtest", "--cluster", "--seed", "0", "--duration", "2",
+                "--rate", "100", "--workers", workers, "--out", str(path),
+            ]) == 0
+        capsys.readouterr()
+        assert one.read_bytes() == four.read_bytes()
+
+    def test_cluster_flags_forwarded(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "cluster.json"
+        assert main([
+            "loadtest", "--cluster", "--seed", "0", "--duration", "2",
+            "--rate", "100", "--fleets", "3", "--max-fleets", "5",
+            "--no-autoscale", "--no-affinity", "--vnodes", "16",
+            "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        document = json.loads(out.read_text())
+        cluster = document["cluster"]
+        assert cluster["initial_fleets"] == 3
+        assert cluster["max_fleets"] == 5
+        assert cluster["autoscale"] is False
+        assert cluster["affinity_routing"] is False
+        assert cluster["vnodes"] == 16
+        assert document["fleets"]["peak"] == 3
+
+    def test_invalid_cluster_config_exits_two(self, capsys):
+        assert main([
+            "loadtest", "--cluster", "--duration", "2", "--rate", "100",
+            "--fleets", "9", "--max-fleets", "4",
+        ]) == 2
+        assert "loadtest:" in capsys.readouterr().err
