@@ -14,7 +14,12 @@ Maps Figure 3's blocks to modules:
   orchestration tying both decision loops together.
 """
 
-from repro.core.accelerator import Acamar, AcamarResult, SolverAttempt
+from repro.core.accelerator import (
+    Acamar,
+    AcamarResult,
+    BatchContext,
+    SolverAttempt,
+)
 from repro.core.chunking import (
     ChunkStream,
     MatrixChunk,
@@ -51,6 +56,7 @@ from repro.core.solver_modifier import SolverModifierUnit
 __all__ = [
     "Acamar",
     "AcamarResult",
+    "BatchContext",
     "ChunkStream",
     "MatrixChunk",
     "chunk_count",

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro import telemetry as tm
 from repro.config import AcamarConfig
+from repro.errors import ConfigurationError
 from repro.core.finegrained import FineGrainedReconfigurationUnit, ReconfigurationPlan
 from repro.core.matrix_structure import MatrixStructureUnit, SolverSelection
 from repro.core.solver_modifier import SolverModifierUnit
@@ -97,6 +98,31 @@ class AcamarResult:
         return merged
 
 
+@dataclass(frozen=True)
+class BatchContext:
+    """Pre-computed host work shared across a fingerprint-sharing batch.
+
+    The Matrix Structure verdict and the Fine-Grained unit's unroll plan
+    are pure functions of the operator, so a batch of solves against the
+    same operator can run them once and amortize the host-analysis cost
+    across every member.  The batched campaign driver additionally runs
+    the *first* solver attempt for all members in lockstep
+    (:func:`repro.solvers.batched.solve_batched`) and injects each
+    member's bit-identical result here, so :meth:`Acamar.solve` only
+    re-enters the numerics when the Solver Modifier has to fall back.
+
+    Correctness contract: the context must have been computed for *this
+    operator* (same values, not merely the same pattern — the symmetry
+    check reads values), and ``first_attempt`` must be bit-identical to
+    what the selected solver would produce.  The decision trace and
+    telemetry counters then come out exactly as an unbatched solve.
+    """
+
+    selection: SolverSelection
+    plan: ReconfigurationPlan
+    first_attempt: SolveResult | None = None
+
+
 FaultHook = Callable[[str, int, SolveResult], "SolveResult | None"]
 """Fault-injection seam of the attempt loop.
 
@@ -164,16 +190,37 @@ class Acamar:
         matrix: CSRMatrix,
         b: np.ndarray,
         x0: np.ndarray | None = None,
+        *,
+        batch_context: BatchContext | None = None,
     ) -> AcamarResult:
         """Solve ``Ax = b`` with robust convergence.
 
         Runs the structure-selected solver first and falls back through the
         Solver Modifier's preference order until one converges (Table II's
         Acamar column) or all configurations are exhausted.
+
+        ``batch_context`` supplies pre-computed host analysis (and
+        optionally the first attempt's result) for fingerprint-batched
+        execution; see :class:`BatchContext` for the contract.
         """
-        with tm.span("matrix_structure.select"):
-            selection = self.matrix_structure.select_solver(matrix)
-        plan = self.fine_grained.plan(matrix)
+        if batch_context is not None:
+            selection = batch_context.selection
+            plan = batch_context.plan
+            first_attempt = batch_context.first_attempt
+            if (
+                first_attempt is not None
+                and first_attempt.solver != selection.solver
+            ):
+                raise ConfigurationError(
+                    f"batch context carries a first attempt from "
+                    f"{first_attempt.solver!r} but the selection chose "
+                    f"{selection.solver!r}"
+                )
+        else:
+            with tm.span("matrix_structure.select"):
+                selection = self.matrix_structure.select_solver(matrix)
+            plan = self.fine_grained.plan(matrix)
+            first_attempt = None
         modifier = SolverModifierUnit(self.config.solver_fallback_order)
         attempts: list[SolverAttempt] = []
         solver_name: str | None = selection.solver
@@ -188,9 +235,14 @@ class Acamar:
         else:
             compute_matrix = matrix
         while solver_name is not None:
-            with tm.span("reconfigurable_solver.attempt"):
-                solver = self._make_solver(solver_name, matrix.shape[0])
-                result = solver.solve(compute_matrix, b, x0)
+            if not attempts and first_attempt is not None:
+                # The lockstep batch already ran this attempt; reuse its
+                # bit-identical result instead of re-entering the solver.
+                result = first_attempt
+            else:
+                with tm.span("reconfigurable_solver.attempt"):
+                    solver = self._make_solver(solver_name, matrix.shape[0])
+                    result = solver.solve(compute_matrix, b, x0)
             if self.fault_hook is not None:
                 injected = self.fault_hook(solver_name, len(attempts), result)
                 if injected is not None:

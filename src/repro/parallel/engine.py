@@ -51,6 +51,7 @@ __all__ = [
     "run_sharded",
     "shard_by_cost",
     "solve_items",
+    "solve_items_batched",
     "source_label",  # re-exported from repro.parallel.cost
 ]
 
@@ -68,12 +69,19 @@ MAX_ITEM_ATTEMPTS = 2
 
 @dataclass(frozen=True)
 class WorkItem:
-    """One schedulable campaign solve."""
+    """One schedulable campaign solve.
+
+    ``group`` is an optional batching key (the campaign uses the matrix
+    structure fingerprint): items sharing a group are kept in one chunk
+    by :func:`shard_by_cost` so the worker can solve them in lockstep.
+    ``None`` (the default) means the item schedules independently.
+    """
 
     index: int
     source: Any  # str | Path | Problem — kept loose to avoid heavy imports
     seed: int
     cost: float
+    group: str | None = None
 
 
 @dataclass(frozen=True)
@@ -132,15 +140,34 @@ def shard_by_cost(
 
     Items are assigned heaviest-first to the currently lightest chunk,
     then each chunk is restored to campaign (index) order.  Empty chunks
-    are dropped, so the result has ``min(n_chunks, len(items))`` entries.
+    are dropped, so the result has at most ``n_chunks`` entries.
+
+    Items sharing a non-``None`` ``group`` are scheduled as one
+    indivisible unit (summed cost), so a fingerprint-sharing batch is
+    never split across workers.  Ungrouped items behave exactly as
+    before.
     """
-    n_chunks = max(1, min(int(n_chunks), len(items)))
+    units: list[list[WorkItem]] = []
+    by_group: dict[str, list[WorkItem]] = {}
+    for item in items:
+        if item.group is None:
+            units.append([item])
+        elif item.group in by_group:
+            by_group[item.group].append(item)
+        else:
+            unit = [item]
+            by_group[item.group] = unit
+            units.append(unit)
+    n_chunks = max(1, min(int(n_chunks), len(units)))
     chunks: list[list[WorkItem]] = [[] for _ in range(n_chunks)]
     loads = [0.0] * n_chunks
-    for item in sorted(items, key=lambda it: (-it.cost, it.index)):
+    for unit in sorted(
+        units,
+        key=lambda u: (-sum(it.cost for it in u), min(it.index for it in u)),
+    ):
         target = loads.index(min(loads))
-        chunks[target].append(item)
-        loads[target] += item.cost
+        chunks[target].extend(unit)
+        loads[target] += sum(it.cost for it in unit)
     packed = [sorted(chunk, key=lambda it: it.index) for chunk in chunks]
     return [chunk for chunk in packed if chunk]
 
@@ -187,6 +214,36 @@ def solve_items(
                     )
                 )
     return results
+
+
+def solve_items_batched(
+    items: Sequence[WorkItem], config: AcamarConfig
+) -> list[ItemResult]:
+    """Worker entry point for fingerprint-batched campaigns.
+
+    Partitions the chunk by :attr:`WorkItem.group` (preserving first-seen
+    order) and hands each group to the campaign's lockstep group solver;
+    ungrouped items run as singleton groups.  Results come back in
+    campaign (index) order, exactly like :func:`solve_items` — the
+    batched path is a scheduling optimization, never a semantic one.
+    """
+    from repro.campaign import solve_group
+
+    order: list[list[WorkItem]] = []
+    by_group: dict[str, list[WorkItem]] = {}
+    for item in items:
+        if item.group is None:
+            order.append([item])
+        elif item.group in by_group:
+            by_group[item.group].append(item)
+        else:
+            members = [item]
+            by_group[item.group] = members
+            order.append(members)
+    results: list[ItemResult] = []
+    for members in order:
+        results.extend(solve_group(members, config))
+    return sorted(results, key=lambda r: r.index)
 
 
 def _lost_worker_result(item: WorkItem, attempts: int) -> ItemResult:

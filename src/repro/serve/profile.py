@@ -40,6 +40,14 @@ DISPATCH_OVERHEAD_SECONDS = 5e-6
 """Fixed per-request dispatch cost (queue pop, fingerprint lookup,
 descriptor DMA) charged on every served request, hit or miss."""
 
+BATCH_MEMBER_DISPATCH_SECONDS = 1e-6
+"""Dispatch cost of the second and later members of a fingerprint
+micro-batch.  The batch's first member pays the full
+:data:`DISPATCH_OVERHEAD_SECONDS` (descriptor setup, fingerprint lookup);
+members riding the same configured slot reuse the descriptor and the
+lookup and pay only the queue pop — the serving-tier analogue of the
+batched solver backend's amortized host analysis."""
+
 
 @dataclass(frozen=True)
 class SolveProfile:

@@ -33,7 +33,11 @@ from repro.fpga.multitenancy import FleetSpec
 from repro.serve.admission import QueuedRequest
 from repro.serve.api import Outcome, Priority, SolveResponse
 from repro.serve.cache import PlanCache
-from repro.serve.profile import DISPATCH_OVERHEAD_SECONDS, SolveProfile
+from repro.serve.profile import (
+    BATCH_MEMBER_DISPATCH_SECONDS,
+    DISPATCH_OVERHEAD_SECONDS,
+    SolveProfile,
+)
 
 
 @dataclass(frozen=True)
@@ -243,7 +247,14 @@ class MicroBatchScheduler:
             # amortization) but still count as cache misses — only a
             # warm batch's members were truly served from the cache.
             cold_member = not batch_warm and position == 0
-            service = DISPATCH_OVERHEAD_SECONDS + (
+            # Only the batch head pays full dispatch; members on the same
+            # configured slot reuse its descriptor and lookup.
+            dispatch = (
+                DISPATCH_OVERHEAD_SECONDS
+                if position == 0
+                else BATCH_MEMBER_DISPATCH_SECONDS
+            )
+            service = dispatch + (
                 profile.cold_service_s if cold_member else profile.warm_service_s
             )
             start = cursor

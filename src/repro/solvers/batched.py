@@ -1,0 +1,570 @@
+"""Batched lockstep drivers: K fingerprint-sharing solves at once.
+
+:func:`solve_batched` runs K problems whose matrices share one sparsity
+pattern through a single lockstep iteration, replacing K per-iteration
+kernel dispatches with one batched SpMV
+(:class:`~repro.sparse.batched.BatchedCSROperator`) and stacked vector
+updates.  The contract is strict **bit-identity**: every returned
+:class:`~repro.solvers.base.SolveResult` — iterate, status, iteration
+count, residual history, op tally — equals what ``solver.solve`` would
+produce for that problem alone.
+
+How bit-identity survives batching
+----------------------------------
+- every batched stage is elementwise *per problem row* (broadcast
+  ``(K, 1) * (K, n)`` scalar application, row-wise adds) or a per-row
+  segmented reduction over unchanged segments, so each problem's
+  floating-point accumulation order is exactly the sequential one;
+- inner products and norms are taken per row off the C-ordered stacked
+  state (a row view is contiguous, and ``astype(np.float64)`` copies it
+  contiguously), reproducing the sequential ``float(v.astype(f64) @
+  w.astype(f64))`` expressions verbatim;
+- each problem owns its :class:`~repro.solvers.monitor.ConvergenceMonitor`
+  and :class:`~repro.solvers.base.OpCounter`, updated in the sequential
+  order;
+- **finalize-and-compact**: the sequential solvers exit mid-iteration
+  (breakdowns, lucky convergence, monitor verdicts).  A finished row is
+  finalized with a snapshot taken at its exact sequential exit point;
+  any batched update that still touches the row afterwards writes
+  garbage that is discarded when the batch compacts at the end of the
+  step, so surviving rows never see perturbed state.
+
+Solvers without a lockstep driver (and batches whose matrices turn out
+not to share a pattern) fall back to K sequential ``solver.solve``
+calls — trivially bit-identical — counted on
+``batch.fallback_sequential``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro import telemetry as tm
+from repro.errors import ShapeMismatchError
+from repro.solvers.base import (
+    IterativeSolver,
+    OpCounter,
+    SolveResult,
+    SolveStatus,
+)
+from repro.solvers.monitor import ConvergenceMonitor
+from repro.sparse.batched import BatchedCSROperator
+from repro.sparse.csr import CSRMatrix
+
+_BREAKDOWN_EPS = 1e-30
+"""Must match the sequential solvers' breakdown threshold exactly."""
+
+BATCHED_SOLVERS = frozenset({"jacobi", "cg", "bicgstab"})
+"""Solvers with a lockstep driver; everything else falls back."""
+
+
+def solve_batched(
+    solver: IterativeSolver,
+    matrices: Sequence[CSRMatrix],
+    bs: Sequence[np.ndarray],
+    x0s: Sequence[np.ndarray | None] | None = None,
+) -> list[SolveResult]:
+    """Solve ``matrices[k] @ x = bs[k]`` for all k, bit-identical to
+    ``[solver.solve(m, b, x0) for ...]``.
+
+    ``solver`` supplies the numerical parameters (tolerance, iteration
+    caps, dtype) exactly as a sequential run would use them.  Batches
+    whose matrices share a sparsity pattern and whose solver has a
+    lockstep driver run the batched path; everything else takes the
+    sequential fallback (``batch.fallback_sequential``).
+    """
+    k = len(matrices)
+    if k != len(bs):
+        raise ShapeMismatchError(
+            f"solve_batched got {k} matrices and {len(bs)} right-hand sides"
+        )
+    if x0s is None:
+        x0s = [None] * k
+    if k != len(x0s):
+        raise ShapeMismatchError(
+            f"solve_batched got {k} matrices and {len(x0s)} initial guesses"
+        )
+    tm.count("batch.groups")
+    tm.count("batch.items", k)
+    if k == 0:
+        return []
+    pattern_shared = all(
+        matrices[0].structurally_equal(m) for m in matrices[1:]
+    )
+    if solver.name not in BATCHED_SOLVERS or not pattern_shared:
+        tm.count("batch.fallback_sequential", k)
+        return [
+            solver.solve(m, b, x0) for m, b, x0 in zip(matrices, bs, x0s)
+        ]
+    prepared = [
+        solver._prepare(m, b, x0) for m, b, x0 in zip(matrices, bs, x0s)
+    ]
+    driver = _DRIVERS[solver.name]
+    # Divergence legitimately overflows fp32 before the monitor catches
+    # it — same errstate policy as ``tolerate_float_excursions``.
+    with np.errstate(over="ignore", invalid="ignore"):
+        return driver(solver, prepared)
+
+
+def _finish(
+    solver: IterativeSolver,
+    status: SolveStatus,
+    x: np.ndarray,
+    monitor: ConvergenceMonitor,
+    ops: OpCounter,
+) -> SolveResult:
+    return SolveResult(
+        solver=solver.name,
+        status=status,
+        x=x,
+        iterations=monitor.iterations,
+        residual_history=monitor.history_array(),
+        ops=ops,
+    )
+
+
+def _row_dot(v: np.ndarray, w: np.ndarray) -> float:
+    """The sequential solvers' f64 inner product, on stacked rows."""
+    return float(v.astype(np.float64) @ w.astype(np.float64))
+
+
+def _row_norm(v: np.ndarray) -> float:
+    """The sequential solvers' f64 norm, on a stacked row."""
+    return float(np.linalg.norm(v.astype(np.float64)))
+
+
+def _monitor_for(
+    solver: IterativeSolver, b_row: np.ndarray
+) -> ConvergenceMonitor:
+    return ConvergenceMonitor(
+        b_norm=float(np.linalg.norm(b_row.astype(np.float64))),
+        tolerance=solver.tolerance,
+        max_iterations=solver.max_iterations,
+        setup_iterations=solver.setup_iterations,
+    )
+
+
+# ----------------------------------------------------------------------
+# Jacobi (paper Algorithm 1)
+# ----------------------------------------------------------------------
+
+
+def _jacobi_lockstep(
+    solver: IterativeSolver, prepared: list[tuple]
+) -> list[SolveResult]:
+    k_total = len(prepared)
+    n = prepared[0][0].shape[0]
+    dtype = solver.dtype
+    results: list[SolveResult | None] = [None] * k_total
+    ops = [OpCounter() for _ in range(k_total)]
+
+    t_parts: list[CSRMatrix] = []
+    c_rows: list[np.ndarray] = []
+    diag_rows: list[np.ndarray] = []
+    x_rows: list[np.ndarray] = []
+    monitors: dict[int, ConvergenceMonitor] = {}
+    alive: list[int] = []
+    for k, (matrix, b, x0) in enumerate(prepared):
+        diag = matrix.diagonal().astype(dtype)
+        if np.any(diag == 0):
+            # A zero diagonal makes D^-1 undefined: immediate breakdown,
+            # exactly the sequential early return (0 iterations).
+            results[k] = SolveResult(
+                solver=solver.name,
+                status=SolveStatus.BREAKDOWN,
+                x=x0,
+                iterations=0,
+                residual_history=np.array([], dtype=np.float64),
+                ops=ops[k],
+            )
+            continue
+        inv_diag = (1.0 / diag).astype(dtype)
+        off_diag = matrix.without_diagonal()
+        row_of = off_diag.row_ids()
+        t_parts.append(
+            off_diag.with_data(
+                (off_diag.data * inv_diag[row_of]).astype(dtype)
+            )
+        )
+        c_rows.append((inv_diag * b).astype(dtype))
+        diag_rows.append(diag)
+        x_rows.append(x0)
+        monitors[k] = _monitor_for(solver, b)
+        alive.append(k)
+
+    if not alive:
+        return results  # type: ignore[return-value]
+    op = BatchedCSROperator(t_parts)
+    t_nnz = op.nnz
+    x_block = np.stack(x_rows)
+    c_block = np.stack(c_rows)
+    diag_block = np.stack(diag_rows)
+
+    while alive:
+        with tm.span("kernel.spmv_batched"):
+            tx = op.matvec(x_block)
+        x_next = c_block - tx
+        delta = x_next - x_block
+        survivors: list[int] = []
+        for pos, k in enumerate(alive):
+            ops[k].record("spmv", t_nnz)
+            ops[k].record("vadd", n)
+            ops[k].record("vadd", n)
+            residual = _row_norm(diag_block[pos] * delta[pos])
+            ops[k].record("scale", n)
+            ops[k].record("norm", n)
+            verdict = monitors[k].update(residual)
+            if verdict is not None:
+                results[k] = _finish(
+                    solver, verdict, x_next[pos].copy(), monitors[k], ops[k]
+                )
+            else:
+                survivors.append(pos)
+        x_block = x_next
+        if len(survivors) < len(alive):
+            keep = np.asarray(survivors, dtype=np.intp)
+            x_block = x_block[keep]
+            c_block = c_block[keep]
+            diag_block = diag_block[keep]
+            op = op.take(keep)
+            alive = [alive[pos] for pos in survivors]
+    return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Conjugate Gradient (paper Algorithm 2)
+# ----------------------------------------------------------------------
+
+
+def _cg_lockstep(
+    solver: IterativeSolver, prepared: list[tuple]
+) -> list[SolveResult]:
+    k_total = len(prepared)
+    n = prepared[0][0].shape[0]
+    dtype = solver.dtype
+    results: list[SolveResult | None] = [None] * k_total
+    ops = [OpCounter() for _ in range(k_total)]
+    op = BatchedCSROperator([m for m, _, _ in prepared])
+    nnz = op.nnz
+    b_block = np.stack([b for _, b, _ in prepared])
+    x_block = np.stack([x0 for _, _, x0 in prepared])
+
+    with tm.span("kernel.spmv_batched"):
+        ax = op.matvec(x_block)
+    r_block = b_block - ax
+    p_block = r_block.copy()
+    monitors: dict[int, ConvergenceMonitor] = {}
+    rs: dict[int, float] = {}
+    alive: list[int] = []
+    for k in range(k_total):
+        ops[k].record("spmv", nnz)
+        ops[k].record("vadd", n)
+        rs[k] = _row_dot(r_block[k], r_block[k])
+        ops[k].record("dot", n)
+        monitors[k] = _monitor_for(solver, b_block[k])
+        status = monitors[k].update(np.sqrt(rs[k]))
+        if status is not None:
+            results[k] = _finish(
+                solver, status, x_block[k].copy(), monitors[k], ops[k]
+            )
+        else:
+            alive.append(k)
+
+    def compact(survivors: list[int]) -> None:
+        nonlocal x_block, r_block, p_block, op, alive
+        if len(survivors) == len(alive):
+            return
+        keep = np.asarray(survivors, dtype=np.intp)
+        x_block = x_block[keep]
+        r_block = r_block[keep]
+        p_block = p_block[keep]
+        op = op.take(keep)
+        alive[:] = [alive[pos] for pos in survivors]
+
+    # Rows finished at iteration zero: drop them before the first sweep
+    # (positions still equal original indices here).
+    if len(alive) < k_total:
+        keep = np.asarray(alive, dtype=np.intp)
+        x_block = x_block[keep]
+        r_block = r_block[keep]
+        p_block = p_block[keep]
+        op = op.take(keep)
+    while alive:
+        with tm.span("kernel.spmv_batched"):
+            ap = op.matvec(p_block)
+        width = len(alive)
+        alphas = np.zeros(width, dtype=dtype)
+        past_pap: list[int] = []
+        for pos, k in enumerate(alive):
+            ops[k].record("spmv", nnz)
+            p_ap = _row_dot(p_block[pos], ap[pos])
+            ops[k].record("dot", n)
+            if abs(p_ap) < _BREAKDOWN_EPS:
+                # Sequential CG breaks *before* the x/r updates.
+                results[k] = _finish(
+                    solver,
+                    SolveStatus.BREAKDOWN,
+                    x_block[pos].copy(),
+                    monitors[k],
+                    ops[k],
+                )
+            else:
+                alphas[pos] = dtype.type(rs[k] / p_ap)
+                past_pap.append(pos)
+        x_block += alphas[:, None] * p_block
+        r_block -= alphas[:, None] * ap
+        betas = np.zeros(width, dtype=dtype)
+        past_rs: list[int] = []
+        for pos in past_pap:
+            k = alive[pos]
+            ops[k].record("axpy", n)
+            ops[k].record("axpy", n)
+            rs_next = _row_dot(r_block[pos], r_block[pos])
+            ops[k].record("dot", n)
+            if rs[k] < _BREAKDOWN_EPS:
+                # The sequential quirk: the check reads the *old* rs,
+                # after x and r were already updated.
+                results[k] = _finish(
+                    solver,
+                    SolveStatus.BREAKDOWN,
+                    x_block[pos].copy(),
+                    monitors[k],
+                    ops[k],
+                )
+                continue
+            betas[pos] = dtype.type(rs_next / rs[k])
+            rs[k] = rs_next
+            past_rs.append(pos)
+        p_block = r_block + betas[:, None] * p_block
+        survivors: list[int] = []
+        for pos in past_rs:
+            k = alive[pos]
+            ops[k].record("axpy", n)
+            status = monitors[k].update(np.sqrt(max(rs[k], 0.0)))
+            if status is not None:
+                results[k] = _finish(
+                    solver, status, x_block[pos].copy(), monitors[k], ops[k]
+                )
+            else:
+                survivors.append(pos)
+        compact(survivors)
+    return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# BiCG-STAB (paper Algorithm 3)
+# ----------------------------------------------------------------------
+
+
+def _bicgstab_lockstep(
+    solver: IterativeSolver, prepared: list[tuple]
+) -> list[SolveResult]:
+    k_total = len(prepared)
+    n = prepared[0][0].shape[0]
+    dtype = solver.dtype
+    results: list[SolveResult | None] = [None] * k_total
+    ops = [OpCounter() for _ in range(k_total)]
+    op = BatchedCSROperator([m for m, _, _ in prepared])
+    nnz = op.nnz
+    b_block = np.stack([b for _, b, _ in prepared])
+    x_block = np.stack([x0 for _, _, x0 in prepared])
+
+    with tm.span("kernel.spmv_batched"):
+        ax = op.matvec(x_block)
+    r_block = b_block - ax
+    shadow = r_block.astype(np.float64).copy()
+    p_block = r_block.copy()
+    monitors: dict[int, ConvergenceMonitor] = {}
+    rho: dict[int, float] = {}
+    alive: list[int] = []
+    for k in range(k_total):
+        ops[k].record("spmv", nnz)
+        ops[k].record("vadd", n)
+        monitors[k] = _monitor_for(solver, b_block[k])
+        status = monitors[k].update(_row_norm(r_block[k]))
+        rho[k] = _row_dot(r_block[k], shadow[k])
+        ops[k].record("dot", n)
+        if status is not None:
+            results[k] = _finish(
+                solver, status, x_block[k].copy(), monitors[k], ops[k]
+            )
+        else:
+            alive.append(k)
+
+    blocks: dict[str, np.ndarray] = {}
+
+    def compact(survivors: list[int]) -> None:
+        nonlocal op, alive
+        if len(survivors) == len(alive):
+            return
+        keep = np.asarray(survivors, dtype=np.intp)
+        for name in list(blocks):
+            blocks[name] = blocks[name][keep]
+        op = op.take(keep)
+        alive[:] = [alive[pos] for pos in survivors]
+
+    blocks["x"] = x_block
+    blocks["r"] = r_block
+    blocks["p"] = p_block
+    blocks["shadow"] = shadow
+    # Rows finished at iteration zero: drop them before the first sweep
+    # (positions still equal original indices here).
+    if len(alive) < k_total:
+        keep = np.asarray(alive, dtype=np.intp)
+        for name in list(blocks):
+            blocks[name] = blocks[name][keep]
+        op = op.take(keep)
+
+    while alive:
+        # rho-breakdown is checked at the top of the sequential loop.
+        survivors = []
+        for pos, k in enumerate(alive):
+            if abs(rho[k]) < _BREAKDOWN_EPS:
+                results[k] = _finish(
+                    solver,
+                    SolveStatus.BREAKDOWN,
+                    blocks["x"][pos].copy(),
+                    monitors[k],
+                    ops[k],
+                )
+            else:
+                survivors.append(pos)
+        compact(survivors)
+        if not alive:
+            break
+        with tm.span("kernel.spmv_batched"):
+            ap = op.matvec(blocks["p"])
+        blocks["ap"] = ap
+        width = len(alive)
+        alpha_f: dict[int, float] = {}
+        alphas = np.zeros(width, dtype=dtype)
+        past_aprs: list[int] = []
+        for pos, k in enumerate(alive):
+            ops[k].record("spmv", nnz)
+            ap_rs = _row_dot(ap[pos], blocks["shadow"][pos])
+            ops[k].record("dot", n)
+            if abs(ap_rs) < _BREAKDOWN_EPS:
+                results[k] = _finish(
+                    solver,
+                    SolveStatus.BREAKDOWN,
+                    blocks["x"][pos].copy(),
+                    monitors[k],
+                    ops[k],
+                )
+            else:
+                alpha_f[k] = rho[k] / ap_rs
+                alphas[pos] = dtype.type(alpha_f[k])
+                past_aprs.append(pos)
+        blocks["s"] = blocks["r"] - alphas[:, None] * blocks["ap"]
+        survivors = []
+        for pos in past_aprs:
+            k = alive[pos]
+            ops[k].record("axpy", n)
+            s_norm = _row_norm(blocks["s"][pos])
+            if monitors[k].relative(s_norm) <= solver.tolerance:
+                # Lucky convergence: the alpha step alone solved the
+                # system; this row takes the sequential early exit.
+                x_final = (
+                    blocks["x"][pos]
+                    + dtype.type(alpha_f[k]) * blocks["p"][pos]
+                )
+                ops[k].record("axpy", n)
+                status = monitors[k].update(s_norm)
+                results[k] = _finish(
+                    solver, status, x_final, monitors[k], ops[k]
+                )
+            else:
+                survivors.append(pos)
+        compact(survivors)
+        if not alive:
+            break
+        with tm.span("kernel.spmv_batched"):
+            a_s = op.matvec(blocks["s"])
+        blocks["as"] = a_s
+        width = len(alive)
+        omega_f: dict[int, float] = {}
+        omegas = np.zeros(width, dtype=dtype)
+        alphas2 = np.zeros(width, dtype=dtype)
+        past_asas: list[int] = []
+        for pos, k in enumerate(alive):
+            ops[k].record("spmv", nnz)
+            as_s = _row_dot(a_s[pos], blocks["s"][pos])
+            as_as = _row_dot(a_s[pos], a_s[pos])
+            ops[k].record("dot", n)
+            ops[k].record("dot", n)
+            if as_as < _BREAKDOWN_EPS:
+                # A s = 0 with s != 0 only for singular A; the sequential
+                # loop breaks before updating x.
+                results[k] = _finish(
+                    solver,
+                    SolveStatus.BREAKDOWN,
+                    blocks["x"][pos].copy(),
+                    monitors[k],
+                    ops[k],
+                )
+            else:
+                omega_f[k] = as_s / as_as
+                omegas[pos] = dtype.type(omega_f[k])
+                alphas2[pos] = dtype.type(alpha_f[k])
+                past_asas.append(pos)
+        blocks["x"] = (
+            blocks["x"]
+            + alphas2[:, None] * blocks["p"]
+            + omegas[:, None] * blocks["s"]
+        )
+        blocks["r"] = blocks["s"] - omegas[:, None] * blocks["as"]
+        betas = np.zeros(width, dtype=dtype)
+        survivors = []
+        for pos in past_asas:
+            k = alive[pos]
+            ops[k].record("axpy", n)
+            ops[k].record("axpy", n)
+            ops[k].record("axpy", n)
+            residual = _row_norm(blocks["r"][pos])
+            ops[k].record("norm", n)
+            status = monitors[k].update(residual)
+            if status is not None:
+                results[k] = _finish(
+                    solver,
+                    status,
+                    blocks["x"][pos].copy(),
+                    monitors[k],
+                    ops[k],
+                )
+                continue
+            rho_next = _row_dot(blocks["r"][pos], blocks["shadow"][pos])
+            ops[k].record("dot", n)
+            if abs(omega_f[k]) < _BREAKDOWN_EPS:
+                # omega-breakdown (skew operators); x keeps the update.
+                results[k] = _finish(
+                    solver,
+                    SolveStatus.BREAKDOWN,
+                    blocks["x"][pos].copy(),
+                    monitors[k],
+                    ops[k],
+                )
+                continue
+            betas[pos] = dtype.type(
+                (rho_next / rho[k]) * (alpha_f[k] / omega_f[k])
+            )
+            rho[k] = rho_next
+            survivors.append(pos)
+        blocks["p"] = blocks["r"] + betas[:, None] * (
+            blocks["p"] - omegas[:, None] * blocks["ap"]
+        )
+        for pos in survivors:
+            k = alive[pos]
+            ops[k].record("axpy", n)
+            ops[k].record("axpy", n)
+        del blocks["ap"], blocks["s"], blocks["as"]
+        compact(survivors)
+    return results  # type: ignore[return-value]
+
+
+_DRIVERS = {
+    "jacobi": _jacobi_lockstep,
+    "cg": _cg_lockstep,
+    "bicgstab": _bicgstab_lockstep,
+}

@@ -1,0 +1,150 @@
+"""Lockstep application of K same-pattern CSR matrices.
+
+A fingerprint-sharing batch is K problems whose matrices store the same
+coordinates but (possibly) different values.  The batched solver driver
+needs ``y_k = A_k @ x_k`` for all K in one kernel invocation, which is
+exactly the multi-RHS SpMV with the value stream widened to a stacked
+``(K, nnz)`` block:
+
+- **csr plan** — one shared index gather feeds all K rows; per-entry
+  products land in a ``(K, nnz)`` workspace and ``np.add.reduceat``
+  reduces each row over the same segments as the single-vector kernel,
+- **dia plan** — the per-diagonal weight vectors are stacked to
+  ``(K, hi-lo)`` blocks once at construction and applied as row-wise
+  multiply-accumulate sweeps.
+
+Row ``k`` of every product is bit-identical to
+``matrices[k].matvec(x_block[k])``: each stage is either elementwise per
+row or a per-row segmented reduction over identical segments, so the
+per-problem accumulation order never changes.  That property is what
+lets the batched drivers in :mod:`repro.solvers.batched` promise results
+bit-identical to K sequential solves.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError, SparseFormatError
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.substrate import active_substrate
+
+
+class BatchedCSROperator:
+    """K same-pattern CSR matrices applied in lockstep.
+
+    The sparsity pattern (and therefore the kernel plan) comes from the
+    first matrix; every other matrix must store exactly the same
+    coordinates.  The operator owns a stacked copy of the value streams,
+    so callers may compact it (:meth:`take`) without touching the source
+    matrices.
+    """
+
+    def __init__(self, matrices: Sequence[CSRMatrix]) -> None:
+        if not matrices:
+            raise SparseFormatError(
+                "BatchedCSROperator needs at least one matrix"
+            )
+        pattern = matrices[0]
+        for m in matrices[1:]:
+            if not pattern.structurally_equal(m):
+                raise SparseFormatError(
+                    "all matrices in a batch must share one sparsity "
+                    "pattern (structure fingerprints differ)"
+                )
+        self.pattern = pattern
+        self.shape = pattern.shape
+        self.nnz = pattern.nnz
+        self.k = len(matrices)
+        self.data = np.stack([m.data for m in matrices]) if self.nnz else (
+            np.zeros((self.k, 0), dtype=pattern.data.dtype)
+        )
+        self._dia_weights: tuple[np.ndarray, ...] | None = None
+        self._scratch: dict = {}
+
+    @classmethod
+    def _from_stacked(
+        cls, pattern: CSRMatrix, data: np.ndarray
+    ) -> "BatchedCSROperator":
+        self = object.__new__(cls)
+        self.pattern = pattern
+        self.shape = pattern.shape
+        self.nnz = pattern.nnz
+        self.k = int(data.shape[0])
+        self.data = data
+        self._dia_weights = None
+        self._scratch = {}
+        return self
+
+    def take(self, keep: np.ndarray) -> "BatchedCSROperator":
+        """Compacted operator holding only the ``keep`` problem rows."""
+        sub = BatchedCSROperator._from_stacked(self.pattern, self.data[keep])
+        if self._dia_weights is not None:
+            sub._dia_weights = tuple(w[keep] for w in self._dia_weights)
+        return sub
+
+    def _stacked_dia_weights(self, terms: tuple) -> tuple[np.ndarray, ...]:
+        """Per-term ``(K, hi-lo)`` weight blocks, built once.
+
+        Reproduces the scatter :meth:`CSRMatrix._build_spmv_plan` uses
+        for its per-diagonal weights, applied to every value stream at
+        once — row ``k`` of each block equals the weights matrix ``k``'s
+        own plan would carry.
+        """
+        if self._dia_weights is None:
+            pattern = self.pattern
+            offsets = pattern.indices - pattern.row_ids()
+            row_ids = pattern.row_ids()
+            stacked = []
+            for offset, lo, hi, _weights in terms:
+                mask = offsets == offset
+                block = np.zeros((self.k, hi - lo), dtype=self.data.dtype)
+                block[:, row_ids[mask] - lo] = self.data[:, mask]
+                stacked.append(block)
+            self._dia_weights = tuple(stacked)
+        return self._dia_weights
+
+    def _workspace(self, tag: str, cols: int, dtype: np.dtype) -> np.ndarray:
+        key = (tag, np.dtype(dtype))
+        buf = self._scratch.get(key)
+        size = self.k * cols
+        if buf is None or buf.size < size:
+            buf = np.empty(size, dtype=dtype)
+            self._scratch[key] = buf
+        return buf[:size].reshape(self.k, cols)
+
+    def matvec(self, x_block: np.ndarray) -> np.ndarray:
+        """``result[k] = matrices[k] @ x_block[k]``, bit-identical per row."""
+        x_block = np.asarray(x_block)
+        n_rows, n_cols = self.shape
+        if x_block.shape != (self.k, n_cols):
+            raise ShapeMismatchError(
+                f"batched matvec expects a ({self.k}, {n_cols}) block, "
+                f"got {x_block.shape}"
+            )
+        out_dtype = np.result_type(self.data, x_block)
+        plan = self.pattern._spmv_plan()
+        substrate = active_substrate()
+        if plan[0] == "empty":
+            return np.zeros((self.k, n_rows), dtype=out_dtype)
+        if plan[0] == "dia":
+            result = np.zeros((self.k, n_rows), dtype=out_dtype)
+            scratch = self._workspace("dia", n_rows, out_dtype)
+            weights = self._stacked_dia_weights(plan[1])
+            for (offset, lo, hi, _), block in zip(plan[1], weights):
+                substrate.dia_update_batch(
+                    result, x_block, offset, lo, hi, block, scratch
+                )
+            return result
+        _, starts, nonempty = plan
+        products = self._workspace("products", self.nnz, out_dtype)
+        substrate.csr_products_batch(
+            self.data, x_block, self.pattern.indices, products
+        )
+        if nonempty is None:
+            return np.add.reduceat(products, starts, axis=1)
+        result = np.zeros((self.k, n_rows), dtype=out_dtype)
+        result[:, nonempty] = np.add.reduceat(products, starts, axis=1)
+        return result

@@ -20,9 +20,12 @@ returned as read-only arrays; copy before writing.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.errors import ShapeMismatchError, SparseFormatError
+from repro.sparse.substrate import active_substrate
 
 _DIA_MAX_DIAGONALS = 24
 """Upper bound on distinct diagonals for the banded SpMV fast path."""
@@ -183,6 +186,30 @@ class CSRMatrix:
             self._cache[key] = buf
         return buf[:size]
 
+    def structure_fingerprint(self) -> str:
+        """Hex SHA-256 of the sparsity pattern (shape, indptr, indices).
+
+        Values are deliberately excluded: matrices with equal structure
+        and different data share the analysis verdict, the SpMV kernel
+        plan and the unroll schedule, all of which depend only on the
+        pattern.  This is the key the serving plan cache and the batched
+        campaign grouper both use.  Cached alongside the other lazy
+        structure views (the pattern is immutable, so the hash is too).
+        """
+        digest = self._cache.get("structure_fingerprint")
+        if digest is None:
+            hasher = hashlib.sha256()
+            hasher.update(f"{self.shape[0]}x{self.shape[1]};".encode())
+            hasher.update(
+                np.ascontiguousarray(self.indptr, dtype="<i8").tobytes()
+            )
+            hasher.update(
+                np.ascontiguousarray(self.indices, dtype="<i8").tobytes()
+            )
+            digest = hasher.hexdigest()
+            self._cache["structure_fingerprint"] = digest
+        return digest
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
@@ -260,24 +287,93 @@ class CSRMatrix:
             )
         out_dtype = np.result_type(self.data, x)
         plan = self._spmv_plan()
+        substrate = active_substrate()
         if plan[0] == "empty":
             return np.zeros(self.n_rows, dtype=out_dtype)
         if plan[0] == "dia":
             result = np.zeros(self.n_rows, dtype=out_dtype)
             scratch = self._workspace("dia", self.n_rows, out_dtype)
             for offset, lo, hi, weights in plan[1]:
-                seg = scratch[: hi - lo]
-                np.multiply(weights, x[lo + offset : hi + offset], out=seg)
-                np.add(result[lo:hi], seg, out=result[lo:hi])
+                substrate.dia_update(
+                    result, x, offset, lo, hi, weights, scratch
+                )
             return result
         _, starts, nonempty = plan
         products = self._workspace("products", self.nnz, out_dtype)
-        np.multiply(self.data, x[self.indices], out=products)
+        substrate.csr_products(self.data, x, self.indices, products)
         if nonempty is None:
             return np.add.reduceat(products, starts)
         result = np.zeros(self.n_rows, dtype=out_dtype)
         result[nonempty] = np.add.reduceat(products, starts)
         return result
+
+    def _workspace_2d(
+        self, tag: str, rows: int, cols: int, dtype: np.dtype
+    ) -> np.ndarray:
+        """2-D view of a reusable scratch buffer (batched kernels).
+
+        Tags are disjoint from the single-vector kernels' tags, so an
+        interleaved sequence of batched and single ``matvec`` calls on
+        the same matrix never clobbers the other path's scratch.
+        """
+        return self._workspace(tag, rows * cols, dtype).reshape(rows, cols)
+
+    def matvec_batch(self, x_block: np.ndarray) -> np.ndarray:
+        """Batched SpMV: ``A @ x_k`` for K stacked RHS columns at once.
+
+        ``x_block`` has shape ``(K, n_cols)`` (row ``k`` is the k-th
+        vector); the result has shape ``(K, n_rows)``.  One index
+        gather serves all K columns, the per-entry products land in a
+        2-D stacked workspace, and the segmented reduction runs once
+        per column via ``np.add.reduceat(..., axis=1)``; the banded
+        fast path generalizes the same way with row-wise diagonal
+        sweeps.  Row ``k`` of the result is **bit-identical** to
+        ``self.matvec(x_block[k])`` — every stage is either elementwise
+        per row or a per-row ``reduceat`` over the same segments, so
+        the accumulation order per problem is unchanged.
+        """
+        x_block = np.asarray(x_block)
+        if x_block.ndim != 2 or x_block.shape[1] != self.n_cols:
+            raise ShapeMismatchError(
+                "matvec_batch expects a (K, "
+                f"{self.n_cols}) block, got {x_block.shape}"
+            )
+        k = x_block.shape[0]
+        out_dtype = np.result_type(self.data, x_block)
+        plan = self._spmv_plan()
+        substrate = active_substrate()
+        if plan[0] == "empty" or k == 0:
+            return np.zeros((k, self.n_rows), dtype=out_dtype)
+        if plan[0] == "dia":
+            result = np.zeros((k, self.n_rows), dtype=out_dtype)
+            scratch = self._workspace_2d("dia_batch", k, self.n_rows, out_dtype)
+            for offset, lo, hi, weights in plan[1]:
+                substrate.dia_update_batch(
+                    result, x_block, offset, lo, hi, weights, scratch
+                )
+            return result
+        _, starts, nonempty = plan
+        products = self._workspace_2d("products_batch", k, self.nnz, out_dtype)
+        substrate.csr_products_batch(self.data, x_block, self.indices, products)
+        if nonempty is None:
+            return np.add.reduceat(products, starts, axis=1)
+        result = np.zeros((k, self.n_rows), dtype=out_dtype)
+        result[:, nonempty] = np.add.reduceat(products, starts, axis=1)
+        return result
+
+    def rmatvec_batch(self, x_block: np.ndarray) -> np.ndarray:
+        """Batched transposed product ``A.T @ x_k`` for K stacked columns.
+
+        Same cached-transpose delegation as :meth:`rmatvec`; row ``k``
+        is bit-identical to ``self.rmatvec(x_block[k])``.
+        """
+        x_block = np.asarray(x_block)
+        if x_block.ndim != 2 or x_block.shape[1] != self.n_rows:
+            raise ShapeMismatchError(
+                "rmatvec_batch expects a (K, "
+                f"{self.n_rows}) block, got {x_block.shape}"
+            )
+        return self.transpose().matvec_batch(x_block)
 
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
         """Transposed product ``A.T @ x`` via the cached transpose.
@@ -449,3 +545,13 @@ class CSRMatrix:
         indptr = np.arange(n + 1, dtype=np.int64)
         indices = np.arange(n, dtype=np.int64)
         return CSRMatrix((n, n), indptr, indices, np.ones(n, dtype=dtype))
+
+
+def structure_fingerprint(matrix: CSRMatrix) -> str:
+    """Hex SHA-256 of the CSR sparsity pattern (shape, indptr, indices).
+
+    Functional form of :meth:`CSRMatrix.structure_fingerprint`, kept for
+    callers that key caches on matrices they do not own (the serving
+    plan cache re-exports it from :mod:`repro.serve`).
+    """
+    return matrix.structure_fingerprint()

@@ -1,0 +1,128 @@
+"""Optional numba-JIT kernel substrate (exact-parity compiled mirror).
+
+Importing this module requires the ``numba`` package; the registry in
+:mod:`repro.sparse.substrate` guards the import and reports a clean
+configuration error when it is missing, so the backend stays strictly
+optional and off by default.
+
+Parity contract
+---------------
+Every kernel here replaces an *elementwise* numpy stage and must produce
+bit-identical results.  Two rules keep that true:
+
+- ``fastmath`` stays **off** (the numba default): IEEE-754 then fixes
+  each elementwise result regardless of the execution engine,
+- multiply and add are written as **separate statements through an
+  explicit temporary**, so LLVM cannot legally contract them into a
+  fused multiply-add (contraction requires fast-math license).
+
+Segment reductions (``np.add.reduceat``) are deliberately *not*
+reimplemented — numpy's pairing order is unspecified, so the shared
+kernels in :mod:`repro.sparse.csr` keep running them for every
+substrate.  The ``batched-parity`` CI leg installs numba and holds this
+backend to byte-identical campaign CSV output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+
+@njit(cache=True)
+def _csr_products_1d(data, x, indices, out):  # pragma: no cover - jitted
+    for j in range(indices.shape[0]):
+        out[j] = data[j] * x[indices[j]]
+
+
+@njit(cache=True)
+def _csr_products_shared(data, x_block, indices, out):  # pragma: no cover
+    for k in range(x_block.shape[0]):
+        for j in range(indices.shape[0]):
+            out[k, j] = data[j] * x_block[k, indices[j]]
+
+
+@njit(cache=True)
+def _csr_products_stacked(data, x_block, indices, out):  # pragma: no cover
+    for k in range(x_block.shape[0]):
+        for j in range(indices.shape[0]):
+            out[k, j] = data[k, j] * x_block[k, indices[j]]
+
+
+@njit(cache=True)
+def _dia_update(result, x, offset, lo, hi, weights):  # pragma: no cover
+    for i in range(hi - lo):
+        t = weights[i] * x[lo + offset + i]
+        result[lo + i] = result[lo + i] + t
+
+
+@njit(cache=True)
+def _dia_update_shared(result, x_block, offset, lo, hi, weights):
+    # pragma: no cover - jitted
+    for k in range(x_block.shape[0]):
+        for i in range(hi - lo):
+            t = weights[i] * x_block[k, lo + offset + i]
+            result[k, lo + i] = result[k, lo + i] + t
+
+
+@njit(cache=True)
+def _dia_update_stacked(result, x_block, offset, lo, hi, weights):
+    # pragma: no cover - jitted
+    for k in range(x_block.shape[0]):
+        for i in range(hi - lo):
+            t = weights[k, i] * x_block[k, lo + offset + i]
+            result[k, lo + i] = result[k, lo + i] + t
+
+
+class NumbaSubstrate:
+    """JIT-compiled elementwise kernels with exact numpy parity."""
+
+    name = "numba"
+
+    def csr_products(
+        self,
+        data: np.ndarray,
+        x: np.ndarray,
+        indices: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        _csr_products_1d(data, x, indices, out)
+
+    def csr_products_batch(
+        self,
+        data: np.ndarray,
+        x_block: np.ndarray,
+        indices: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        if data.ndim == 1:
+            _csr_products_shared(data, x_block, indices, out)
+        else:
+            _csr_products_stacked(data, x_block, indices, out)
+
+    def dia_update(
+        self,
+        result: np.ndarray,
+        x: np.ndarray,
+        offset: int,
+        lo: int,
+        hi: int,
+        weights: np.ndarray,
+        scratch: np.ndarray,
+    ) -> None:
+        _dia_update(result, x, offset, lo, hi, weights)
+
+    def dia_update_batch(
+        self,
+        result: np.ndarray,
+        x_block: np.ndarray,
+        offset: int,
+        lo: int,
+        hi: int,
+        weights: np.ndarray,
+        scratch: np.ndarray,
+    ) -> None:
+        if weights.ndim == 1:
+            _dia_update_shared(result, x_block, offset, lo, hi, weights)
+        else:
+            _dia_update_stacked(result, x_block, offset, lo, hi, weights)

@@ -1,0 +1,190 @@
+"""Pluggable kernel substrate for the CSR compute kernels.
+
+The SpMV kernels in :mod:`repro.sparse.csr` decompose into two stage
+families:
+
+- **elementwise stages** — the gather-multiply that forms per-entry
+  products and the per-diagonal multiply-accumulate sweeps of the banded
+  fast path,
+- **segment reductions** — ``np.add.reduceat`` over row segments.
+
+A *substrate* supplies the elementwise stages; the segment reductions
+always run through ``np.add.reduceat`` regardless of substrate, because
+its accumulation order is an implementation detail of numpy that a
+reimplementation cannot be trusted to reproduce bit-for-bit.  Keeping
+reductions shared is what lets an alternative substrate promise **exact
+parity**: every stage it replaces is elementwise, where IEEE-754 fixes
+the result independent of the execution engine (provided no fused
+multiply-add contraction is introduced — the numba backend compiles with
+``fastmath=False`` and explicit temporaries for exactly that reason).
+
+Substrates are selected process-wide:
+
+- ``numpy`` (default) — the reference kernels, identical to the seed,
+- ``numba`` — optional JIT backend (:mod:`repro.sparse.numba_backend`),
+  import-guarded: selecting it without the ``numba`` package installed
+  raises a clean :class:`~repro.errors.ConfigurationError`,
+- the ``REPRO_SUBSTRATE`` environment variable picks the startup default
+  (worker processes inherit it, so a campaign pool runs every worker on
+  the same substrate).
+
+The campaign-CSV parity harness (``tests/solvers/test_batched_parity.py``
+and the ``batched-parity`` CI job) holds every registered substrate to
+byte-identical campaign output.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError, UnknownNameError
+
+SUBSTRATE_ENV = "REPRO_SUBSTRATE"
+"""Environment variable naming the startup substrate (default numpy)."""
+
+
+class NumpySubstrate:
+    """Reference elementwise kernels — the exact seed operations."""
+
+    name = "numpy"
+
+    # -- CSR gather-multiply ------------------------------------------
+
+    def csr_products(
+        self,
+        data: np.ndarray,
+        x: np.ndarray,
+        indices: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        """``out[j] = data[j] * x[indices[j]]``."""
+        np.multiply(data, x[indices], out=out)
+
+    def csr_products_batch(
+        self,
+        data: np.ndarray,
+        x_block: np.ndarray,
+        indices: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        """``out[k, j] = data[(k,) j] * x_block[k, indices[j]]``.
+
+        ``data`` is either one shared value stream ``(nnz,)`` (multi-RHS
+        against a single matrix) or a stacked ``(K, nnz)`` block (K
+        same-pattern matrices).  The gather lands directly in ``out`` and
+        the multiply runs in place, so no per-call temporary is allocated.
+        """
+        np.take(x_block, indices, axis=1, out=out)
+        np.multiply(data, out, out=out)
+
+    # -- banded (dia) multiply-accumulate sweeps ----------------------
+
+    def dia_update(
+        self,
+        result: np.ndarray,
+        x: np.ndarray,
+        offset: int,
+        lo: int,
+        hi: int,
+        weights: np.ndarray,
+        scratch: np.ndarray,
+    ) -> None:
+        """``result[lo:hi] += weights * x[lo+offset:hi+offset]``."""
+        seg = scratch[: hi - lo]
+        np.multiply(weights, x[lo + offset : hi + offset], out=seg)
+        np.add(result[lo:hi], seg, out=result[lo:hi])
+
+    def dia_update_batch(
+        self,
+        result: np.ndarray,
+        x_block: np.ndarray,
+        offset: int,
+        lo: int,
+        hi: int,
+        weights: np.ndarray,
+        scratch: np.ndarray,
+    ) -> None:
+        """Row-wise diagonal sweep over a stacked ``(K, n)`` block.
+
+        ``weights`` is ``(hi-lo,)`` (shared matrix) or ``(K, hi-lo)``
+        (stacked matrices); broadcasting applies it per row either way.
+        """
+        seg = scratch[:, : hi - lo]
+        np.multiply(weights, x_block[:, lo + offset : hi + offset], out=seg)
+        np.add(result[:, lo:hi], seg, out=result[:, lo:hi])
+
+
+_REGISTRY: dict[str, Callable[[], object]] = {}
+_active: object | None = None
+
+
+def register_substrate(name: str, factory: Callable[[], object]) -> None:
+    """Register a substrate factory under ``name``.
+
+    The factory runs lazily on first selection, which is what makes an
+    optional-dependency backend registerable unconditionally: the import
+    error (if any) surfaces only when someone actually selects it.
+    """
+    _REGISTRY[name] = factory
+
+
+def available_substrates() -> tuple[str, ...]:
+    """Registered substrate names (installable or not), sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _instantiate(name: str) -> object:
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_substrates())
+        raise UnknownNameError(
+            f"unknown kernel substrate {name!r}; known substrates: {known}"
+        ) from None
+    return factory()
+
+
+def active_substrate() -> object:
+    """The substrate the CSR kernels currently route through."""
+    global _active
+    if _active is None:
+        _active = _instantiate(os.environ.get(SUBSTRATE_ENV, "numpy"))
+    return _active
+
+
+def set_substrate(name: str) -> str:
+    """Select the process-wide substrate; returns the previous name."""
+    global _active
+    previous = active_substrate().name  # type: ignore[attr-defined]
+    _active = _instantiate(name)
+    return previous
+
+
+@contextmanager
+def use_substrate(name: str) -> Iterator[object]:
+    """Temporarily select ``name`` (tests and parity harnesses)."""
+    previous = set_substrate(name)
+    try:
+        yield active_substrate()
+    finally:
+        set_substrate(previous)
+
+
+def _numba_factory() -> object:
+    try:
+        from repro.sparse.numba_backend import NumbaSubstrate
+    except ImportError as exc:
+        raise ConfigurationError(
+            "the 'numba' kernel substrate requires the optional numba "
+            "package, which is not installed; install numba or select "
+            "the default 'numpy' substrate"
+        ) from exc
+    return NumbaSubstrate()
+
+
+register_substrate("numpy", NumpySubstrate)
+register_substrate("numba", _numba_factory)

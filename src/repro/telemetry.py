@@ -62,6 +62,7 @@ KNOWN_SPANS = frozenset({
     "fine_grained.plan",
     # kernels and cost model
     "kernel.spmv",
+    "kernel.spmv_batched",
     "kernel.rmatvec",
     "cost_model.acamar_latency",
     # serving profiler (wall-clock side only; the serving report itself
@@ -80,6 +81,10 @@ KNOWN_COUNTERS = frozenset({
     # campaign engine
     "campaign.failures",
     "campaign.workers_lost",
+    # batched execution (fingerprint-grouped lockstep solves)
+    "batch.groups",
+    "batch.items",
+    "batch.fallback_sequential",
     # serving pipeline
     "serve.requests",
     "serve.admitted",

@@ -7,7 +7,11 @@ from repro.fpga.multitenancy import FleetSpec
 from repro.serve.admission import QueuedRequest
 from repro.serve.api import Outcome, Priority, SolveRequest
 from repro.serve.cache import PlanCache
-from repro.serve.profile import DISPATCH_OVERHEAD_SECONDS, SolveProfile
+from repro.serve.profile import (
+    BATCH_MEMBER_DISPATCH_SECONDS,
+    DISPATCH_OVERHEAD_SECONDS,
+    SolveProfile,
+)
 from repro.serve.scheduler import MicroBatchScheduler
 
 SWAP_S = 5e-3
@@ -129,8 +133,10 @@ class TestCostCharging:
         assert by_id[0].service_s == pytest.approx(
             DISPATCH_OVERHEAD_SECONDS + prof.cold_service_s
         )
+        # Later members of a fingerprint micro-batch reuse the head's
+        # descriptor and lookup: amortized dispatch, warm device time.
         assert by_id[1].service_s == pytest.approx(
-            DISPATCH_OVERHEAD_SECONDS + prof.warm_service_s
+            BATCH_MEMBER_DISPATCH_SECONDS + prof.warm_service_s
         )
         # Amortized members of a cold batch are still cache *misses*.
         assert not by_id[0].cache_hit

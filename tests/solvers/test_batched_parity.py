@@ -1,0 +1,207 @@
+"""Bit-identity of the batched lockstep drivers vs sequential solves.
+
+These are the tests the batched backend's contract lives or dies by:
+for every supported solver, batch width and dtype, each member of a
+``solve_batched`` call must equal its own ``solver.solve`` run in every
+observable — status, iteration count, iterate (``array_equal``, not
+``allclose``), residual history, and the kernel-op tally the cost models
+consume.  The campaign-CSV harness (``tests/test_campaign_batched.py``)
+and the ``batched-parity`` CI job build on this foundation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeMismatchError
+from repro.solvers import (
+    BATCHED_SOLVERS,
+    BiCGStabSolver,
+    ConjugateGradientSolver,
+    GaussSeidelSolver,
+    JacobiSolver,
+    solve_batched,
+)
+from repro.sparse import CSRMatrix
+from repro.telemetry import Telemetry
+
+SOLVERS = {
+    "jacobi": JacobiSolver,
+    "cg": ConjugateGradientSolver,
+    "bicgstab": BiCGStabSolver,
+}
+
+
+def laplacian_family(rng, n: int, k: int, dtype) -> list[CSRMatrix]:
+    """K same-pattern, different-value diagonally dominant matrices."""
+    base = (
+        2.0 * np.eye(n)
+        - np.eye(n, k=1)
+        - np.eye(n, k=-1)
+        + np.diag(np.full(n, 0.5))
+    )
+    mats = []
+    for _ in range(k):
+        jitter = 1.0 + 0.05 * rng.standard_normal()
+        mats.append(CSRMatrix.from_dense((jitter * base).astype(dtype)))
+    return mats
+
+
+def assert_member_parity(batched, sequential):
+    assert batched.solver == sequential.solver
+    assert batched.status == sequential.status
+    assert batched.iterations == sequential.iterations
+    assert np.array_equal(batched.x, sequential.x)
+    assert batched.x.dtype == sequential.x.dtype
+    assert np.array_equal(
+        batched.residual_history, sequential.residual_history
+    )
+    assert batched.ops.counts == sequential.ops.counts
+    assert batched.ops.sizes == sequential.ops.sizes
+
+
+@pytest.mark.parametrize("name", sorted(BATCHED_SOLVERS))
+@pytest.mark.parametrize("k", [1, 2, 7])
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+class TestLockstepBitIdentity:
+    def test_matches_sequential(self, rng, name, k, dtype):
+        solver = SOLVERS[name](dtype=dtype)
+        mats = laplacian_family(rng, 40, k, dtype)
+        bs = [rng.standard_normal(40).astype(dtype) for _ in range(k)]
+        batched = solve_batched(solver, mats, bs)
+        for m, b, result in zip(mats, bs, batched):
+            assert_member_parity(result, solver.solve(m, b))
+
+    def test_matches_sequential_with_x0(self, rng, name, k, dtype):
+        solver = SOLVERS[name](dtype=dtype)
+        mats = laplacian_family(rng, 32, k, dtype)
+        bs = [rng.standard_normal(32).astype(dtype) for _ in range(k)]
+        x0s = [rng.standard_normal(32).astype(dtype) for _ in range(k)]
+        batched = solve_batched(solver, mats, bs, x0s)
+        for m, b, x0, result in zip(mats, bs, x0s, batched):
+            assert_member_parity(result, solver.solve(m, b, x0))
+
+
+class TestMixedExitPaths:
+    def test_members_finish_at_different_iterations(self, rng):
+        """A converged member must not perturb the stragglers."""
+        solver = ConjugateGradientSolver(max_iterations=200)
+        mats = laplacian_family(rng, 30, 3, np.float32)
+        # Member 1 starts at the exact solution: instant convergence.
+        x_true = rng.standard_normal(30).astype(np.float32)
+        bs = [
+            rng.standard_normal(30).astype(np.float32),
+            mats[1].matvec(x_true).astype(np.float32),
+            rng.standard_normal(30).astype(np.float32),
+        ]
+        x0s = [None, x_true, None]
+        batched = solve_batched(solver, mats, bs, x0s)
+        for m, b, x0, result in zip(mats, bs, x0s, batched):
+            assert_member_parity(result, solver.solve(m, b, x0))
+        iteration_counts = {r.iterations for r in batched}
+        assert len(iteration_counts) > 1  # genuinely mixed exits
+
+    def test_converged_mixed_with_max_iterations(self, rng):
+        solver = JacobiSolver(max_iterations=5)
+        mats = laplacian_family(rng, 24, 2, np.float32)
+        x_true = rng.standard_normal(24).astype(np.float32)
+        bs = [
+            mats[0].matvec(x_true).astype(np.float32),
+            rng.standard_normal(24).astype(np.float32),
+        ]
+        x0s = [x_true, None]
+        batched = solve_batched(solver, mats, bs, x0s)
+        for m, b, x0, result in zip(mats, bs, x0s, batched):
+            assert_member_parity(result, solver.solve(m, b, x0))
+        statuses = {r.status for r in batched}
+        assert len(statuses) > 1
+
+    def test_jacobi_zero_diagonal_breakdown_isolated(self, rng):
+        """One broken member breaks down; its neighbors solve on."""
+        solver = JacobiSolver(max_iterations=20)
+        mats = laplacian_family(rng, 16, 3, np.float32)
+        data = mats[1].data.copy()
+        diag_positions = np.flatnonzero(
+            mats[1].row_ids() == mats[1].indices
+        )
+        data[diag_positions[4]] = 0.0
+        mats[1] = mats[1].with_data(data)
+        bs = [rng.standard_normal(16).astype(np.float32) for _ in range(3)]
+        batched = solve_batched(solver, mats, bs)
+        for m, b, result in zip(mats, bs, batched):
+            assert_member_parity(result, solver.solve(m, b))
+
+    def test_bicgstab_divergence_matches(self, rng):
+        """An indefinite member diverges identically under lockstep."""
+        solver = BiCGStabSolver(max_iterations=50)
+        base = laplacian_family(rng, 20, 1, np.float32)[0]
+        hostile = base.with_data((-base.data).astype(np.float32))
+        mats = [base, base.with_data(base.data.copy()), hostile]
+        # Same pattern throughout — hostile only flips values.
+        bs = [rng.standard_normal(20).astype(np.float32) for _ in range(3)]
+        batched = solve_batched(solver, mats, bs)
+        for m, b, result in zip(mats, bs, batched):
+            assert_member_parity(result, solver.solve(m, b))
+
+
+class TestFallbacks:
+    def test_unsupported_solver_falls_back_sequential(self, rng):
+        solver = GaussSeidelSolver(max_iterations=10)
+        assert solver.name not in BATCHED_SOLVERS
+        mats = laplacian_family(rng, 12, 2, np.float32)
+        bs = [rng.standard_normal(12).astype(np.float32) for _ in range(2)]
+        collector = Telemetry()
+        with collector.activate():
+            batched = solve_batched(solver, mats, bs)
+        for m, b, result in zip(mats, bs, batched):
+            assert_member_parity(result, solver.solve(m, b))
+        counters = collector.as_dict()["counters"]
+        assert counters["batch.groups"] == 1
+        assert counters["batch.items"] == 2
+        assert counters["batch.fallback_sequential"] == 2
+
+    def test_pattern_mismatch_falls_back_sequential(self, rng):
+        solver = ConjugateGradientSolver(max_iterations=10)
+        a = laplacian_family(rng, 12, 1, np.float32)[0]
+        dense = np.eye(12, dtype=np.float32) * 3.0
+        dense[0, 11] = 1.0
+        b_matrix = CSRMatrix.from_dense(dense)
+        bs = [rng.standard_normal(12).astype(np.float32) for _ in range(2)]
+        collector = Telemetry()
+        with collector.activate():
+            batched = solve_batched(solver, [a, b_matrix], bs)
+        for m, rhs, result in zip([a, b_matrix], bs, batched):
+            assert_member_parity(result, solver.solve(m, rhs))
+        counters = collector.as_dict()["counters"]
+        assert counters["batch.fallback_sequential"] == 2
+
+    def test_lockstep_path_counts_no_fallback(self, rng):
+        solver = ConjugateGradientSolver(max_iterations=10)
+        mats = laplacian_family(rng, 12, 2, np.float32)
+        bs = [rng.standard_normal(12).astype(np.float32) for _ in range(2)]
+        collector = Telemetry()
+        with collector.activate():
+            solve_batched(solver, mats, bs)
+        counters = collector.as_dict()["counters"]
+        assert counters["batch.groups"] == 1
+        assert counters["batch.items"] == 2
+        assert "batch.fallback_sequential" not in counters
+        spans = collector.as_dict()["spans"]
+        assert "kernel.spmv_batched" in spans
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self, rng):
+        solver = JacobiSolver()
+        mats = laplacian_family(rng, 8, 2, np.float32)
+        with pytest.raises(ShapeMismatchError, match="right-hand sides"):
+            solve_batched(solver, mats, [np.zeros(8, dtype=np.float32)])
+        with pytest.raises(ShapeMismatchError, match="initial guesses"):
+            solve_batched(
+                solver,
+                mats,
+                [np.zeros(8, dtype=np.float32)] * 2,
+                [None],
+            )
+
+    def test_empty_batch_returns_empty(self):
+        assert solve_batched(JacobiSolver(), [], []) == []

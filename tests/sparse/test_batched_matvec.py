@@ -1,0 +1,164 @@
+"""Bit-identity tests for the batched SpMV kernels.
+
+The whole batched stack rests on one contract: row ``k`` of every
+batched product equals the corresponding single-vector kernel call
+*bitwise*, for every kernel plan (dia fast path, general csr gather,
+empty) and every dtype the solvers use.  ``np.array_equal`` is the
+right assertion here — approximate equality would hide exactly the
+drift these kernels promise not to introduce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeMismatchError, SparseFormatError
+from repro.sparse import BatchedCSROperator, CSRMatrix
+from repro.sparse.csr import structure_fingerprint
+from tests.conftest import random_dense
+
+
+def poisson_band(n: int, dtype=np.float32) -> CSRMatrix:
+    """1-D Poisson operator: takes the dia kernel plan."""
+    dense = (
+        2.0 * np.eye(n)
+        - np.eye(n, k=1)
+        - np.eye(n, k=-1)
+    )
+    return CSRMatrix.from_dense(dense.astype(dtype))
+
+
+def random_csr(rng, n: int, dtype=np.float32) -> CSRMatrix:
+    """Random-pattern matrix with empty rows: takes the csr plan."""
+    dense = random_dense(rng, n, n, density=0.08)
+    dense[n // 2] = 0.0  # force an empty row (masked reduceat path)
+    return CSRMatrix.from_dense(dense.astype(dtype))
+
+
+@pytest.mark.parametrize("k", [1, 2, 7])
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+class TestMatvecBatchBitIdentity:
+    def test_dia_plan(self, rng, k, dtype):
+        matrix = poisson_band(64, dtype)
+        assert matrix._spmv_plan()[0] == "dia"
+        block = rng.standard_normal((k, 64)).astype(dtype)
+        batched = matrix.matvec_batch(block)
+        for row in range(k):
+            assert np.array_equal(batched[row], matrix.matvec(block[row]))
+
+    def test_csr_plan(self, rng, k, dtype):
+        matrix = random_csr(rng, 80, dtype)
+        assert matrix._spmv_plan()[0] == "csr"
+        block = rng.standard_normal((k, 80)).astype(dtype)
+        batched = matrix.matvec_batch(block)
+        for row in range(k):
+            assert np.array_equal(batched[row], matrix.matvec(block[row]))
+
+    def test_rmatvec_batch(self, rng, k, dtype):
+        matrix = random_csr(rng, 60, dtype)
+        block = rng.standard_normal((k, 60)).astype(dtype)
+        batched = matrix.rmatvec_batch(block)
+        for row in range(k):
+            assert np.array_equal(batched[row], matrix.rmatvec(block[row]))
+
+
+class TestMatvecBatchEdges:
+    def test_empty_matrix(self):
+        matrix = CSRMatrix((3, 3), [0, 0, 0, 0], [], [])
+        block = np.ones((2, 3), dtype=np.float32)
+        result = matrix.matvec_batch(block)
+        assert result.shape == (2, 3)
+        assert not result.any()
+
+    def test_zero_k(self):
+        matrix = poisson_band(8)
+        result = matrix.matvec_batch(np.empty((0, 8), dtype=np.float32))
+        assert result.shape == (0, 8)
+
+    def test_shape_rejected(self):
+        matrix = poisson_band(8)
+        with pytest.raises(ShapeMismatchError, match="matvec_batch"):
+            matrix.matvec_batch(np.ones((2, 9), dtype=np.float32))
+        with pytest.raises(ShapeMismatchError, match="matvec_batch"):
+            matrix.matvec_batch(np.ones(8, dtype=np.float32))
+
+    def test_interleaved_batched_and_single_calls(self, rng):
+        """Batched and single kernels on one matrix share the cache dict
+        but not workspaces: interleaving must not corrupt either."""
+        matrix = random_csr(rng, 50)
+        block = rng.standard_normal((3, 50)).astype(np.float32)
+        expected_single = [matrix.matvec(block[row]) for row in range(3)]
+        expected_batch = matrix.matvec_batch(block).copy()
+        for _ in range(3):
+            single = matrix.matvec(block[0])
+            batched = matrix.matvec_batch(block)
+            assert np.array_equal(single, expected_single[0])
+            assert np.array_equal(batched, expected_batch)
+        for row in range(3):
+            assert np.array_equal(expected_batch[row], expected_single[row])
+
+    def test_results_do_not_alias_workspace(self, rng):
+        """A later batched call may not clobber an earlier result."""
+        matrix = poisson_band(32)
+        first_input = rng.standard_normal((2, 32)).astype(np.float32)
+        first = matrix.matvec_batch(first_input)
+        snapshot = first.copy()
+        matrix.matvec_batch(rng.standard_normal((2, 32)).astype(np.float32))
+        assert np.array_equal(first, snapshot)
+
+
+class TestBatchedCSROperator:
+    def _stack(self, rng, n=48, k=4):
+        base = random_csr(rng, n)
+        mats = [base] + [
+            base.with_data(
+                (base.data * (1.0 + 0.1 * rng.standard_normal(base.nnz)))
+                .astype(np.float32)
+            )
+            for _ in range(k - 1)
+        ]
+        return mats
+
+    def test_rows_match_per_matrix_matvec(self, rng):
+        mats = self._stack(rng)
+        op = BatchedCSROperator(mats)
+        block = rng.standard_normal((len(mats), 48)).astype(np.float32)
+        result = op.matvec(block)
+        for row, matrix in enumerate(mats):
+            assert np.array_equal(result[row], matrix.matvec(block[row]))
+
+    def test_dia_rows_match_per_matrix_matvec(self, rng):
+        base = poisson_band(40)
+        mats = [base] + [
+            base.with_data(
+                (base.data * (1.0 + 0.1 * rng.standard_normal(base.nnz)))
+                .astype(np.float32)
+            )
+            for _ in range(3)
+        ]
+        op = BatchedCSROperator(mats)
+        block = rng.standard_normal((len(mats), 40)).astype(np.float32)
+        result = op.matvec(block)
+        for row, matrix in enumerate(mats):
+            assert np.array_equal(result[row], matrix.matvec(block[row]))
+
+    def test_take_compacts_to_surviving_rows(self, rng):
+        mats = self._stack(rng)
+        op = BatchedCSROperator(mats)
+        keep = np.array([0, 2], dtype=np.intp)
+        sub = op.take(keep)
+        assert sub.k == 2
+        block = rng.standard_normal((2, 48)).astype(np.float32)
+        result = sub.matvec(block)
+        assert np.array_equal(result[0], mats[0].matvec(block[0]))
+        assert np.array_equal(result[1], mats[2].matvec(block[1]))
+
+    def test_pattern_mismatch_rejected(self, rng):
+        a = random_csr(rng, 30)
+        b = random_csr(rng, 30)
+        assert structure_fingerprint(a) != structure_fingerprint(b)
+        with pytest.raises(SparseFormatError, match="pattern"):
+            BatchedCSROperator([a, b])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(SparseFormatError, match="at least one"):
+            BatchedCSROperator([])

@@ -1,0 +1,108 @@
+"""Tests for the pluggable kernel-substrate registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, UnknownNameError
+from repro.sparse import CSRMatrix
+from repro.sparse.substrate import (
+    NumpySubstrate,
+    active_substrate,
+    available_substrates,
+    register_substrate,
+    set_substrate,
+    use_substrate,
+)
+
+
+def _numba_installed() -> bool:
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class TestRegistry:
+    def test_numpy_and_numba_are_registered(self):
+        names = available_substrates()
+        assert "numpy" in names
+        assert "numba" in names
+
+    def test_default_is_numpy(self):
+        assert active_substrate().name == "numpy"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(UnknownNameError, match="unknown kernel substrate"):
+            set_substrate("opencl")
+
+    def test_numba_without_package_raises_configuration_error(self):
+        if _numba_installed():
+            pytest.skip("numba is installed; the import guard cannot fire")
+        with pytest.raises(ConfigurationError, match="numba"):
+            set_substrate("numba")
+        # A failed selection must not leave the registry broken.
+        assert active_substrate().name == "numpy"
+
+    def test_use_substrate_restores_previous(self):
+        register_substrate("test-dummy", NumpySubstrate)
+        try:
+            before = active_substrate().name
+            with use_substrate("test-dummy") as substrate:
+                assert substrate is active_substrate()
+            assert active_substrate().name == before
+        finally:
+            from repro.sparse import substrate as module
+
+            module._REGISTRY.pop("test-dummy", None)
+
+    def test_use_substrate_restores_after_exception(self):
+        register_substrate("test-dummy", NumpySubstrate)
+        try:
+            before = active_substrate().name
+            with pytest.raises(RuntimeError):
+                with use_substrate("test-dummy"):
+                    raise RuntimeError("boom")
+            assert active_substrate().name == before
+        finally:
+            from repro.sparse import substrate as module
+
+            module._REGISTRY.pop("test-dummy", None)
+
+
+class TestSubstrateRouting:
+    def test_matvec_routes_through_active_substrate(self, rng):
+        """A recording substrate sees the kernel stages the CSR kernels
+        delegate; the product stays bit-identical to the default."""
+        calls = []
+        reference = NumpySubstrate()
+
+        class Recording(NumpySubstrate):
+            name = "recording"
+
+            def csr_products(self, data, x, indices, out):
+                calls.append("csr_products")
+                reference.csr_products(data, x, indices, out)
+
+            def dia_update(self, result, x, offset, lo, hi, weights, scratch):
+                calls.append("dia_update")
+                reference.dia_update(
+                    result, x, offset, lo, hi, weights, scratch
+                )
+
+        dense = np.where(
+            rng.random((30, 30)) < 0.2, rng.standard_normal((30, 30)), 0.0
+        )
+        matrix = CSRMatrix.from_dense(dense.astype(np.float32))
+        x = rng.standard_normal(30).astype(np.float32)
+        expected = matrix.matvec(x)
+        register_substrate("recording", Recording)
+        try:
+            with use_substrate("recording"):
+                routed = matrix.matvec(x)
+        finally:
+            from repro.sparse import substrate as module
+
+            module._REGISTRY.pop("recording", None)
+        assert calls  # the substrate actually served the call
+        assert np.array_equal(routed, expected)
