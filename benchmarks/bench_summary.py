@@ -3,8 +3,9 @@
 Alongside the paper-claim summary, this module renders the repo's own
 *performance trajectory* — the headline ratio of each committed
 optimization record (``BENCH_hotpath.json``, ``BENCH_serving.json``,
-``BENCH_cluster.json``, ``BENCH_batched.json``) in one table, each
-checked against the acceptance floor its own benchmark enforces.  The
+``BENCH_cluster.json``, ``BENCH_batched.json``, ``BENCH_dse.json``) in
+one table, each checked against the acceptance floor its own benchmark
+enforces.  The
 table reads committed records only; regenerate a record with its
 benchmark's ``main()`` before expecting the row to move.
 """
@@ -29,6 +30,7 @@ def perf_trajectory() -> ExperimentTable:
     serving = _load("BENCH_serving.json")
     cluster = _load("BENCH_cluster.json")
     batched = _load("BENCH_batched.json")
+    dse = _load("BENCH_dse.json")
     table = ExperimentTable(
         experiment_id="PERF",
         title="Performance trajectory (committed BENCH records)",
@@ -59,13 +61,19 @@ def perf_trajectory() -> ExperimentTable:
             float(batched["host"]["host_per_solve_speedup"]),
             2.0,
         ),
+        (
+            "dse",
+            "frontier best GFLOPS/W",
+            float(dse["best_gflops_per_watt"]),
+            5.0,
+        ),
     )
     for stage, metric, ratio, floor in rows:
         table.add_row(stage, metric, ratio, floor, ratio >= floor)
     table.add_note(
         "each floor is the acceptance bound the stage's own benchmark "
         "guards; see bench_hot_path / bench_serving / bench_cluster / "
-        "bench_batched"
+        "bench_batched / bench_dse"
     )
     return table
 

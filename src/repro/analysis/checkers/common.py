@@ -23,7 +23,7 @@ import ast
 #: ``from repro import Acamar`` (attribute of the root facade).
 REPRO_TOP_MODULES = frozenset({
     "analysis", "baselines", "campaign", "cli", "config", "core",
-    "datasets", "errors", "experiments", "faults", "fpga", "gpu",
+    "datasets", "dse", "errors", "experiments", "faults", "fpga", "gpu",
     "metrics", "parallel", "serve", "solvers", "sparse", "telemetry",
 })
 

@@ -36,6 +36,7 @@ RULE_ID = "REP001"
 
 SCOPED_PACKAGES = (
     "repro.sparse", "repro.fpga", "repro.solvers", "repro.serve",
+    "repro.dse",
 )
 
 #: Fully-qualified callables that read ambient nondeterministic state.

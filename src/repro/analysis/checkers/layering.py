@@ -14,10 +14,12 @@ module-granular bans that the unit table cannot express:
 
 - nothing but ``cli`` and ``__main__`` imports ``repro.cli``,
 - ``repro.serve.cluster`` is only importable from ``serve`` itself,
-  the ``faults`` chaos harness and the ``cli`` entry point,
-- ``repro.serve`` never reaches into ``repro.parallel`` submodules
-  (``parallel.engine`` internals); it must use the ``repro.parallel``
-  facade, which re-exports the supported surface,
+  the ``faults`` chaos harness, the ``dse`` explorer and the ``cli``
+  entry point,
+- neither ``repro.serve`` nor ``repro.dse`` reaches into
+  ``repro.parallel`` submodules (``parallel.engine`` internals); they
+  must use the ``repro.parallel`` facade, which re-exports the
+  supported surface,
 - nothing imports the root facade ``repro`` itself except the entry
   points (everything else names its dependency explicitly).
 
@@ -93,6 +95,13 @@ ALLOWED_DEPENDENCIES: Mapping[str, frozenset[str]] = {
         "errors", "config", "telemetry", "sparse", "solvers", "datasets",
         "core", "fpga", "campaign", "parallel", "serve",
     }),
+    # dse closes the deployment loop: it drives the serving simulator
+    # and prices the result with the fpga models, but nothing below the
+    # cli depends on it.
+    "dse": frozenset({
+        "errors", "config", "telemetry", "datasets", "core", "fpga",
+        "parallel", "serve",
+    }),
     "experiments": frozenset({
         "errors", "config", "telemetry", "sparse", "solvers", "datasets",
         "core", "fpga", "gpu", "metrics", "baselines",
@@ -101,7 +110,7 @@ ALLOWED_DEPENDENCIES: Mapping[str, frozenset[str]] = {
     "cli": frozenset({
         "errors", "config", "telemetry", "sparse", "solvers", "datasets",
         "core", "fpga", "gpu", "metrics", "baselines", "analysis",
-        "campaign", "parallel", "serve", "faults", "experiments",
+        "campaign", "parallel", "serve", "faults", "experiments", "dse",
         ROOT_FACADE,
     }),
     "__main__": frozenset({"cli"}),
@@ -119,6 +128,11 @@ DENIED_MODULE_PREFIXES: tuple[tuple[str | None, str, str], ...] = (
         "repro.serve must import the repro.parallel facade, not "
         "parallel submodule internals",
     ),
+    (
+        "dse", "repro.parallel.",
+        "repro.dse must import the repro.parallel facade, not "
+        "parallel submodule internals",
+    ),
 )
 
 #: Module prefixes only importable from these units.
@@ -128,7 +142,7 @@ RESTRICTED_TARGETS: Mapping[str, frozenset[str]] = {
     # rest of repro.serve may build on it, the chaos harness injects
     # into it, and the cli drives it — but the numeric and campaign
     # layers below serving must never reach up into cluster internals.
-    "repro.serve.cluster": frozenset({"serve", "faults", "cli"}),
+    "repro.serve.cluster": frozenset({"serve", "faults", "cli", "dse"}),
 }
 
 

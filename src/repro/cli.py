@@ -287,6 +287,51 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the JSON report to FILE",
     )
 
+    dse = sub.add_parser(
+        "dse",
+        help="explore fleet design space and answer capacity queries",
+    )
+    dse.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="workload seed (same seed → byte-identical report)",
+    )
+    dse.add_argument(
+        "--space", metavar="FILE",
+        help="design-space JSON (default: the built-in demo space)",
+    )
+    dse.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (never changes the report)",
+    )
+    dse.add_argument(
+        "--slo-ms", type=float, default=None, metavar="MS",
+        help="capacity query: p99 SLO in milliseconds",
+    )
+    dse.add_argument(
+        "--rate", type=float, default=None, metavar="RPS",
+        help="capacity query: target arrival rate",
+    )
+    dse.add_argument(
+        "--max-shed", type=float, default=None, metavar="FRAC",
+        help="capacity query: tolerable shed fraction",
+    )
+    dse.add_argument(
+        "--format", default="text", choices=("text", "json", "csv"),
+        help="report renderer",
+    )
+    dse.add_argument(
+        "--out", metavar="FILE",
+        help="also write the JSON report to FILE",
+    )
+    dse.add_argument(
+        "--csv", metavar="FILE",
+        help="also write the per-point CSV to FILE",
+    )
+    dse.add_argument(
+        "--telemetry", metavar="FILE",
+        help="write wall-clock telemetry (spans are NOT deterministic)",
+    )
+
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
     )
@@ -647,6 +692,63 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_dse(args: argparse.Namespace) -> int:
+    """Explore the fleet design space and answer the capacity query.
+
+    Exit-code contract (pinned in ``tests/dse/test_dse_cli.py``): 0
+    when a feasible cheapest configuration exists, 1 when the query has
+    no feasible answer, 2 for a usage error (bad space file, bad query
+    bounds, unknown sources).
+    """
+    from pathlib import Path
+
+    from repro.dse import CapacityQuery, load_space, run_dse
+    from repro.errors import ConfigurationError, UnknownNameError
+    from repro.telemetry import Telemetry
+
+    collector = Telemetry()
+    try:
+        space = load_space(args.space) if args.space else None
+        query_overrides = {
+            key: value
+            for key, value in (
+                ("slo_p99_ms", args.slo_ms),
+                ("rate_rps", args.rate),
+                ("max_shed_rate", args.max_shed),
+            )
+            if value is not None
+        }
+        query = CapacityQuery(**query_overrides)
+        report = run_dse(
+            space=space,
+            seed=args.seed,
+            workers=args.workers,
+            query=query,
+            collector=collector,
+        )
+    except (ConfigurationError, UnknownNameError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"dse: {message}", file=sys.stderr)
+        return 2
+    if args.out:
+        print(f"wrote report to {report.write_json(args.out)}",
+              file=sys.stderr)
+    if args.csv:
+        print(f"wrote CSV to {report.write_csv(args.csv)}",
+              file=sys.stderr)
+    if args.telemetry:
+        print(f"wrote telemetry to "
+              f"{collector.write_json(Path(args.telemetry))}",
+              file=sys.stderr)
+    if args.format == "json":
+        print(report.to_json(), end="")
+    elif args.format == "csv":
+        print(report.to_csv(), end="")
+    else:
+        print(report.render_text(), end="")
+    return 0 if report.capacity["cheapest"] is not None else 1
+
+
 def _parse_keys(raw: str | None) -> tuple[str, ...] | None:
     if raw is None:
         return None
@@ -686,6 +788,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_lint(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "dse":
+        return _cmd_dse(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "experiments":

@@ -17,7 +17,7 @@ paper's one-size defaults.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.config import AcamarConfig
 from repro.core.finegrained import FineGrainedReconfigurationUnit
@@ -50,10 +50,21 @@ class DesignPoint:
 
     def dominates(self, other: "DesignPoint") -> bool:
         """Weakly better in every objective, strictly better in one."""
-        mine, theirs = self.objectives, other.objectives
-        return all(a <= b for a, b in zip(mine, theirs)) and any(
-            a < b for a, b in zip(mine, theirs)
-        )
+        return dominates(self.objectives, other.objectives)
+
+
+def dominates(mine: Sequence[float], theirs: Sequence[float]) -> bool:
+    """Minimization dominance on equal-length objective tuples.
+
+    ``mine`` dominates ``theirs`` when it is weakly better (<=) in every
+    objective and strictly better (<) in at least one.  This is the one
+    dominance predicate in the repo — the Resource-Decision-loop sweep
+    below and the fleet-level explorer (:mod:`repro.dse`) both route
+    their Pareto extraction through it.
+    """
+    return all(a <= b for a, b in zip(mine, theirs)) and any(
+        a < b for a, b in zip(mine, theirs)
+    )
 
 
 def evaluate_point(
@@ -103,21 +114,38 @@ def explore(
     return points
 
 
-def pareto_front(points: Iterable[DesignPoint]) -> list[DesignPoint]:
-    """Non-dominated subset, ordered by SpMV cycles."""
+def pareto_front(
+    points: Iterable[Any],
+    key: Callable[[Any], Sequence[float]] | None = None,
+) -> list[Any]:
+    """Non-dominated subset, ordered by objective tuple.
+
+    ``key`` maps a point to its minimization tuple; by default the
+    point's ``objectives`` attribute is used (the :class:`DesignPoint`
+    convention).  The tuples may have any arity as long as it is uniform
+    across ``points``.  Identical objective tuples are deduplicated —
+    grid sweeps often tie — keeping the first point in input order.
+    """
     points = list(points)
+    if key is None:
+        objectives = [tuple(p.objectives) for p in points]
+    else:
+        objectives = [tuple(key(p)) for p in points]
     front = [
-        p
-        for p in points
-        if not any(q.dominates(p) for q in points if q is not p)
+        (mine, index)
+        for index, mine in enumerate(objectives)
+        if not any(
+            dominates(other, mine)
+            for j, other in enumerate(objectives)
+            if j != index
+        )
     ]
-    # Deduplicate identical objective tuples (grid points often tie).
-    seen: set[tuple[float, float, float]] = set()
+    seen: set[tuple[float, ...]] = set()
     unique = []
-    for p in sorted(front, key=lambda p: p.objectives):
-        if p.objectives not in seen:
-            seen.add(p.objectives)
-            unique.append(p)
+    for mine, index in sorted(front, key=lambda pair: (pair[0], pair[1])):
+        if mine not in seen:
+            seen.add(mine)
+            unique.append(points[index])
     return unique
 
 

@@ -1,0 +1,312 @@
+"""End-to-end evaluation of one fleet design point.
+
+Each (shape, traffic) pair is deployed through the real virtual-clock
+cluster simulator — profiling, admission, routing, batching,
+autoscaling and all — then priced with the FPGA area and fleet energy
+models.  The result is one flat metrics record per point, carrying the
+five frontier objectives (p99 latency, device-seconds, area-mm²,
+reconfiguration rate, GFLOPS/W) plus the raw accounting they derive
+from.
+
+:func:`evaluate_items` has the campaign's ``(items, config) ->
+list[ItemResult]`` worker shape, so :func:`run_sweep` fans a whole
+space out over :func:`repro.parallel.run_sharded` — pool restarts,
+fault isolation and ordered reassembly included — while staying
+byte-deterministic for any worker count: the virtual clock inside each
+point never observes the pool, and results are reassembled in point
+order.  Cold profiles are memoized per (sources, solver-plan) key so
+the sweep pays each real solve once per worker process, not once per
+point.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Sequence
+
+from repro import telemetry as tm
+from repro.config import AcamarConfig
+from repro.dse.space import (
+    SOLVER_MIXES,
+    DesignSpace,
+    FleetShape,
+    TrafficSpec,
+    point_id,
+)
+from repro.fpga.cost_model import PerformanceModel
+from repro.fpga.device import ALVEO_U55C, FPGADevice
+from repro.fpga.energy import EnergyModel
+from repro.parallel import ItemResult, WorkItem, run_sharded
+from repro.serve import (
+    ClusterConfig,
+    ClusterLoadSpec,
+    SolveProfile,
+    build_profiles,
+    run_cluster_loadtest,
+)
+from repro.serve.loadgen import source_weights
+from repro.telemetry import Telemetry
+
+SLOT_AREA_HEADROOM = 2.0
+"""A deployed slot is floorplanned at twice its maximum SpMV region —
+the same 2x partial-region budget the fleet designer
+(``FleetSpec.sized_for``) reserves for in-flight reconfiguration."""
+
+_PROFILE_MEMO: dict[str, dict[str, "SolveProfile | str"]] = {}
+"""Per-process cold-profile cache keyed by the profiling-relevant
+config: sources, seed, and the solver-plan fields of the Acamar
+config.  Shapes differing only in serving knobs (cache, queue, fleet
+bounds, slot count) share one entry."""
+
+
+def _profile_key(
+    sources: Sequence[str], seed: int, acamar: AcamarConfig
+) -> str:
+    return json.dumps(
+        {
+            "sources": list(sources),
+            "seed": seed,
+            "acamar": acamar.to_dict(),
+        },
+        sort_keys=True,
+    )
+
+
+def _profiles_for(
+    sources: Sequence[str], seed: int, acamar: AcamarConfig
+) -> dict[str, "SolveProfile | str"]:
+    key = _profile_key(sources, seed, acamar)
+    if key not in _PROFILE_MEMO:
+        _PROFILE_MEMO[key] = build_profiles(
+            list(sources), acamar, workers=1, seed=seed
+        )
+    return _PROFILE_MEMO[key]
+
+
+def acamar_config_for(
+    shape: FleetShape, base_config: AcamarConfig | None = None
+) -> AcamarConfig:
+    """The per-slot Acamar configuration a shape deploys."""
+    base = base_config if base_config is not None else AcamarConfig()
+    return base.with_overrides(
+        max_unroll=shape.max_unroll,
+        solver_fallback_order=SOLVER_MIXES[shape.solver_mix],
+    )
+
+
+def cluster_config_for(shape: FleetShape) -> ClusterConfig:
+    """The cluster-tier deployment a shape describes."""
+    return ClusterConfig(
+        initial_fleets=shape.min_fleets,
+        min_fleets=shape.min_fleets,
+        max_fleets=shape.max_fleets,
+        slots_per_fleet=shape.slots_per_fleet,
+        cache_capacity=shape.cache_capacity,
+        queue_capacity=shape.queue_capacity,
+        autoscale=shape.max_fleets > shape.min_fleets,
+        workers=1,
+    )
+
+
+def _modeled_flops_per_request(
+    traffic: TrafficSpec,
+    sources: Sequence[str],
+    profiles: Mapping[str, "SolveProfile | str"],
+) -> float:
+    """Expected FLOPs of one served request under the traffic mix.
+
+    2 FLOPs (multiply + add) per stored non-zero per iteration of the
+    profiled solver sequence's final attempt, weighted by each source's
+    arrival probability.  Sources whose profiling failed contribute
+    zero — their requests are answered FAILED, not computed.
+    """
+    weights = source_weights(traffic.mix, len(sources))
+    expected = 0.0
+    for weight, source in zip(weights, sources):
+        profile = profiles.get(source)
+        if isinstance(profile, SolveProfile):
+            expected += (
+                float(weight) * 2.0 * profile.nnz * profile.iterations
+            )
+    return expected
+
+
+def evaluate_point(
+    shape: FleetShape,
+    traffic: TrafficSpec,
+    sources: Sequence[str],
+    seed: int,
+    base_config: AcamarConfig | None = None,
+    device: FPGADevice = ALVEO_U55C,
+) -> dict[str, Any]:
+    """Deploy one design point through the cluster simulator and price it."""
+    with tm.span("dse.point_eval"):
+        acamar = acamar_config_for(shape, base_config)
+        config = cluster_config_for(shape)
+        profiles = _profiles_for(sources, config.profile_seed, acamar)
+        spec = ClusterLoadSpec(
+            seed=seed,
+            duration_s=traffic.duration_s,
+            rate_rps=traffic.rate_rps,
+            mix=traffic.mix,
+            deadline_ms=traffic.deadline_ms,
+            sources=tuple(sources),
+        )
+        report = run_cluster_loadtest(
+            spec, config, acamar, profiles=profiles
+        )
+        doc = report.as_dict()
+
+        fleets = doc["fleets"]
+        requests = doc["requests"]
+        horizon_s = fleets["horizon_s"]
+        config_loads = doc["batches"]["config_loads"]
+
+        slot_area_mm2 = SLOT_AREA_HEADROOM * device.spmv_region_area_mm2(
+            shape.max_unroll
+        )
+        area_mm2 = fleets["peak"] * (
+            shape.slots_per_fleet * slot_area_mm2 + device.fixed_area_mm2
+        )
+        fabric_mm2_seconds = (
+            fleets["provisioned_slot_seconds"] * slot_area_mm2
+            + fleets["provisioned_fleet_seconds"] * device.fixed_area_mm2
+        )
+
+        flops_per_request = _modeled_flops_per_request(
+            traffic, sources, profiles
+        )
+        modeled_flops = flops_per_request * requests["completed"]
+        swap_s = PerformanceModel(device).reconfig.solver_swap_seconds()
+        energy = EnergyModel(device).fleet(
+            modeled_flops=modeled_flops,
+            slot_area_mm2=slot_area_mm2,
+            provisioned_slot_seconds=fleets["provisioned_slot_seconds"],
+            provisioned_fleet_seconds=fleets["provisioned_fleet_seconds"],
+            config_loads=config_loads,
+            config_load_seconds=swap_s,
+        )
+
+        metrics = {
+            "p50_ms": doc["latency_ms"]["overall"]["p50"],
+            "p99_ms": doc["latency_ms"]["overall"]["p99"],
+            "generated": requests["generated"],
+            "completed": requests["completed"],
+            "failed": requests["failed"],
+            "shed_rate": requests["shed_rate"],
+            "unaccounted": requests["unaccounted"],
+            "device_seconds": fleets["device_seconds"],
+            "provisioned_slot_seconds": fleets["provisioned_slot_seconds"],
+            "provisioned_fleet_seconds": fleets[
+                "provisioned_fleet_seconds"
+            ],
+            "peak_fleets": fleets["peak"],
+            "horizon_s": horizon_s,
+            "config_loads": config_loads,
+            "reconfig_rate_per_s": round(
+                config_loads / horizon_s, 9
+            ) if horizon_s > 0 else 0.0,
+            "slot_area_mm2": round(slot_area_mm2, 9),
+            "area_mm2": round(area_mm2, 9),
+            "fabric_mm2_seconds": round(fabric_mm2_seconds, 9),
+            "modeled_flops": round(modeled_flops, 3),
+            "gflops_per_watt": energy.as_dict()["gflops_per_watt"],
+            "energy_j": energy.as_dict(),
+        }
+        return {
+            "id": point_id(shape, traffic),
+            "shape": shape.as_dict(),
+            "traffic": traffic.as_dict(),
+            "metrics": metrics,
+        }
+
+
+def evaluate_items(
+    items: Sequence[WorkItem], config: AcamarConfig
+) -> list[ItemResult]:
+    """Worker entry point: evaluate a chunk of design points.
+
+    Mirrors the campaign's ``solve_items`` contract so it can ride
+    ``run_sharded`` unchanged: each item gets its own telemetry
+    collector and any exception becomes a structured error record.
+    ``item.source`` is the point payload built by :func:`run_sweep`.
+    """
+    results: list[ItemResult] = []
+    for item in items:
+        payload = item.source
+        collector = Telemetry()
+        with collector.activate():
+            try:
+                record = evaluate_point(
+                    shape=FleetShape(**payload["shape"]),
+                    traffic=TrafficSpec(**payload["traffic"]),
+                    sources=tuple(payload["sources"]),
+                    seed=item.seed,
+                    base_config=config,
+                )
+                tm.count("dse.points_evaluated")
+                results.append(
+                    ItemResult(
+                        index=item.index,
+                        entry=record,
+                        error=None,
+                        label=record["id"],
+                        telemetry=collector.as_dict(),
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 — fault isolation
+                tm.count("dse.points_failed")
+                results.append(
+                    ItemResult(
+                        index=item.index,
+                        entry=None,
+                        error=f"{type(exc).__name__}: {exc}",
+                        label=str(payload.get("id", item.index)),
+                        telemetry=collector.as_dict(),
+                    )
+                )
+    return results
+
+
+def run_sweep(
+    space: DesignSpace,
+    seed: int = 0,
+    workers: int = 1,
+    base_config: AcamarConfig | None = None,
+    collector: Telemetry | None = None,
+) -> list[ItemResult]:
+    """Evaluate every point of ``space``, optionally over a worker pool.
+
+    Returns one :class:`ItemResult` per point in declaration order
+    regardless of ``workers`` — the pool only changes wall-clock time,
+    never the records, so reports stay byte-identical per seed.
+    """
+    base = base_config if base_config is not None else AcamarConfig()
+    items = []
+    for index, (shape, traffic) in enumerate(space.points()):
+        payload = {
+            "id": point_id(shape, traffic),
+            "shape": shape.as_dict(),
+            "traffic": traffic.as_dict(),
+            "sources": list(space.sources),
+        }
+        items.append(
+            WorkItem(
+                index=index,
+                source=payload,
+                seed=seed,
+                cost=traffic.rate_rps * traffic.duration_s,
+            )
+        )
+    collector = collector if collector is not None else Telemetry()
+    if workers > 1 and len(items) > 1:
+        outcome = run_sharded(
+            items, base, workers=workers, work_fn=evaluate_items
+        )
+        results = outcome.results
+        collector.merge(outcome.telemetry)
+    else:
+        results = evaluate_items(items, base)
+        for result in results:
+            collector.merge(result.telemetry)
+    return sorted(results, key=lambda r: r.index)

@@ -1,0 +1,49 @@
+"""Pareto frontier over evaluated fleet design points.
+
+The five deployment objectives the issue tracker of every serving team
+argues about, all minimized:
+
+- **p99 latency** — the SLO currency,
+- **device-seconds** — busy accelerator time actually billed,
+- **area-mm²** — peak fabric the deployment must own,
+- **reconfiguration rate** — ICAP pressure per wall-clock second,
+- **-GFLOPS/W** — energy efficiency (negated: more is better).
+
+Dominance itself lives in :func:`repro.core.design_space.pareto_front`
+— the same implementation the Resource-Decision-loop sweep uses — so
+there is exactly one definition of "Pareto-efficient" in the repo.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.core.design_space import pareto_front
+
+OBJECTIVES = (
+    "p99_ms",
+    "device_seconds",
+    "area_mm2",
+    "reconfig_rate_per_s",
+    "neg_gflops_per_watt",
+)
+"""Frontier objective names, in tuple order (all minimized)."""
+
+
+def point_objectives(record: Mapping[str, Any]) -> tuple[float, ...]:
+    """Minimization tuple of one evaluated point record."""
+    metrics = record["metrics"]
+    return (
+        float(metrics["p99_ms"]),
+        float(metrics["device_seconds"]),
+        float(metrics["area_mm2"]),
+        float(metrics["reconfig_rate_per_s"]),
+        -float(metrics["gflops_per_watt"]),
+    )
+
+
+def compute_frontier(
+    records: Sequence[Mapping[str, Any]],
+) -> list[Mapping[str, Any]]:
+    """Non-dominated point records, ordered by objective tuple."""
+    return pareto_front(records, key=point_objectives)

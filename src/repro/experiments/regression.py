@@ -27,11 +27,17 @@ DEFAULT_BANDS_PATH = (
 RELATIVE_TOLERANCE = 0.10
 """Allowed drift of each metric from its recorded reference (10 %)."""
 
-BENCH_GUARDED_PREFIXES = ("hotpath_", "serving_", "cluster_", "batched_")
+BENCH_GUARDED_PREFIXES = (
+    "hotpath_",
+    "serving_",
+    "cluster_",
+    "batched_",
+    "dse_",
+)
 """Band-name prefixes owned by dedicated benchmark guards
 (``bench_hot_path.py``, ``bench_serving.py``, ``bench_cluster.py``,
-``bench_batched.py``), not derivable from the modeled headline metrics
-this module measures."""
+``bench_batched.py``, ``bench_dse.py``), not derivable from the
+modeled headline metrics this module measures."""
 
 
 @dataclass(frozen=True)

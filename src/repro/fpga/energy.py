@@ -66,6 +66,57 @@ class EnergyReport:
         return self.total_j * seconds
 
 
+@dataclass(frozen=True)
+class FleetEnergyReport:
+    """Energy breakdown of one serving-fleet run, in joules.
+
+    The fleet-level corollary of :class:`EnergyReport`: leakage is
+    charged on *provisioned* fabric (slots exist and leak whether or not
+    they are busy — the serving-tier face of the paper's
+    underutilization argument), compute and memory on the modeled FLOP
+    volume actually served, and reconfiguration on every per-slot
+    config load the cluster simulator recorded.
+    """
+
+    modeled_flops: float
+    dynamic_compute_j: float
+    static_leakage_j: float
+    memory_j: float
+    reconfig_j: float
+
+    @property
+    def total_j(self) -> float:
+        return (
+            self.dynamic_compute_j
+            + self.static_leakage_j
+            + self.memory_j
+            + self.reconfig_j
+        )
+
+    @property
+    def gflops_per_watt(self) -> float:
+        """Modeled efficiency of the deployment.
+
+        Average-power form: GFLOPS/W = (flops/s) / (J/s) = flops/J/1e9,
+        so the run duration cancels and the ratio is exact for any
+        horizon.
+        """
+        if self.total_j <= 0.0:
+            return 0.0
+        return self.modeled_flops / self.total_j / 1e9
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "modeled_flops": round(self.modeled_flops, 3),
+            "dynamic_compute_j": round(self.dynamic_compute_j, 9),
+            "static_leakage_j": round(self.static_leakage_j, 9),
+            "memory_j": round(self.memory_j, 9),
+            "reconfig_j": round(self.reconfig_j, 9),
+            "total_j": round(self.total_j, 9),
+            "gflops_per_watt": round(self.gflops_per_watt, 9),
+        }
+
+
 class EnergyModel:
     """Prices solves on a device, given the latency model's reports."""
 
@@ -119,3 +170,34 @@ class EnergyModel:
                 + ICAP_POWER_W * latency.solver_swap_seconds,
             )
         return self._report(latency, time_weighted_area_mm2)
+
+    def fleet(
+        self,
+        *,
+        modeled_flops: float,
+        slot_area_mm2: float,
+        provisioned_slot_seconds: float,
+        provisioned_fleet_seconds: float,
+        config_loads: int,
+        config_load_seconds: float,
+    ) -> FleetEnergyReport:
+        """Price a whole serving-fleet run (the ``repro dse`` objective).
+
+        - dynamic/memory: ``modeled_flops`` at 2 FLOPs per MAC-op, each
+          stored non-zero streamed once per sweep,
+        - leakage: every provisioned slot-second leaks its slot's area,
+          every provisioned fleet-second leaks the device's static
+          region — idle capacity is not free,
+        - reconfig: ICAP power over every config load's transfer time.
+        """
+        mac_ops = modeled_flops / 2.0
+        return FleetEnergyReport(
+            modeled_flops=modeled_flops,
+            dynamic_compute_j=mac_ops * MAC_ENERGY_J,
+            static_leakage_j=LEAKAGE_W_PER_MM2 * (
+                provisioned_slot_seconds * slot_area_mm2
+                + provisioned_fleet_seconds * self.device.fixed_area_mm2
+            ),
+            memory_j=mac_ops * CSR_BYTES_PER_NNZ * HBM_ENERGY_PER_BYTE_J,
+            reconfig_j=ICAP_POWER_W * config_loads * config_load_seconds,
+        )

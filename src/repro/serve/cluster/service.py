@@ -1114,21 +1114,31 @@ def run_cluster(
     trace: RequestTrace,
     config: ClusterConfig | None = None,
     acamar_config: AcamarConfig | None = None,
+    profiles: "dict[str, SolveProfile | str] | None" = None,
 ) -> ClusterReport:
-    """Simulate serving ``trace`` on a fleet cluster."""
+    """Simulate serving ``trace`` on a fleet cluster.
+
+    ``profiles`` lets a caller inject pre-built source profiles (the
+    design-space explorer memoizes them across points sharing an
+    accelerator config); they must cover ``trace.sources`` and have been
+    built with the same ``acamar_config`` and ``profile_seed`` a fresh
+    :func:`~repro.serve.service.build_profiles` call would use, or the
+    byte-determinism contract across callers is void.
+    """
     config = config if config is not None else ClusterConfig()
     acamar_config = (
         acamar_config if acamar_config is not None else AcamarConfig()
     )
     collector = Telemetry()
     with collector.activate():
-        profiles = build_profiles(
-            list(trace.sources),
-            acamar_config,
-            workers=config.workers,
-            seed=config.profile_seed,
-            collector=collector,
-        )
+        if profiles is None:
+            profiles = build_profiles(
+                list(trace.sources),
+                acamar_config,
+                workers=config.workers,
+                seed=config.profile_seed,
+                collector=collector,
+            )
         simulation = _ClusterSimulation(trace, config, profiles)
         duration = float(trace.meta.get("duration_s", 0.0))
         if duration <= 0.0 and len(trace):
@@ -1163,9 +1173,10 @@ def run_cluster_loadtest(
     spec: ClusterLoadSpec,
     config: ClusterConfig | None = None,
     acamar_config: AcamarConfig | None = None,
+    profiles: "dict[str, SolveProfile | str] | None" = None,
 ) -> ClusterReport:
     """Generate a synthetic cluster trace for ``spec`` and serve it."""
     from repro.serve.cluster.trace import generate_trace
 
     trace = generate_trace(spec)
-    return run_cluster(trace, config, acamar_config)
+    return run_cluster(trace, config, acamar_config, profiles=profiles)

@@ -70,6 +70,10 @@ KNOWN_SPANS = frozenset({
     "serve.profile.resolve",
     "serve.profile.solve",
     "serve.profile.cost_model",
+    # design-space explorer (repro.dse): wall-clock cost of evaluating
+    # one fleet design point end-to-end (the report itself carries only
+    # virtual-clock and modeled quantities)
+    "dse.point_eval",
 })
 """Sanctioned span names (wall-time intervals)."""
 
@@ -135,6 +139,9 @@ KNOWN_COUNTERS = frozenset({
     "faults.injected.device_outage",
     "faults.injected.fleet_outage",
     "faults.injected.forced_scale",
+    # design-space explorer (repro.dse): sweep progress accounting
+    "dse.points_evaluated",
+    "dse.points_failed",
 })
 """Sanctioned monotonic counter names."""
 

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.design_space import (
     DesignPoint,
+    dominates,
     evaluate_point,
     explore,
     pareto_front,
@@ -70,6 +71,61 @@ class TestPareto:
         )
         front = pareto_front(points)
         assert len(front) == 1
+
+
+class TestParetoEdgeCases:
+    """Generalized pareto_front on raw objective tuples via ``key``."""
+
+    @staticmethod
+    def front_ids(rows):
+        return [
+            identity
+            for identity, _ in pareto_front(rows, key=lambda r: r[1])
+        ]
+
+    def test_module_level_dominance_predicate(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+        assert not dominates((1.0, 3.0), (1.0, 2.0))
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+        assert not dominates((1.0, 4.0), (2.0, 3.0))
+
+    def test_single_point_space_is_its_own_front(self):
+        assert self.front_ids([("only", (3.0, 7.0))]) == ["only"]
+
+    def test_duplicate_points_collapse_to_first(self):
+        rows = [("first", (1.0, 2.0)), ("second", (1.0, 2.0))]
+        assert self.front_ids(rows) == ["first"]
+
+    def test_tie_on_one_objective_keeps_both(self):
+        rows = [("a", (1.0, 5.0)), ("b", (1.0, 3.0))]
+        # b dominates a: equal first objective, strictly better second.
+        assert self.front_ids(rows) == ["b"]
+        rows = [("a", (1.0, 5.0)), ("b", (2.0, 3.0))]
+        # Incomparable: tie-free trade-off keeps both, sorted by tuple.
+        assert self.front_ids(rows) == ["a", "b"]
+
+    def test_all_dominated_by_single_optimum(self):
+        rows = [
+            ("best", (0.0, 0.0)),
+            ("mid", (1.0, 1.0)),
+            ("worst", (2.0, 2.0)),
+        ]
+        assert self.front_ids(rows) == ["best"]
+
+    def test_arbitrary_arity_tuples(self):
+        rows = [
+            ("a", (1.0, 1.0, 1.0, 1.0, 1.0)),
+            ("b", (1.0, 1.0, 1.0, 1.0, 2.0)),
+        ]
+        assert self.front_ids(rows) == ["a"]
+
+    def test_default_key_still_reads_objectives_attribute(self):
+        better = DesignPoint(8, 8, 0.15, 100.0, 0.2, 3, 1e-4)
+        worse = DesignPoint(8, 0, 0.15, 120.0, 0.3, 5, 2e-4)
+        assert pareto_front([worse, better]) == [better]
+
+    def test_empty_input_yields_empty_front(self):
+        assert pareto_front([]) == []
 
 
 class TestRecommend:

@@ -1,0 +1,55 @@
+"""Tests for the five-objective fleet frontier."""
+
+from repro.dse import OBJECTIVES, compute_frontier, point_objectives
+
+
+def record(identity, p99, dev_s, area, cfg_rate, gfpw):
+    return {
+        "id": identity,
+        "shape": {},
+        "traffic": {},
+        "metrics": {
+            "p99_ms": p99,
+            "device_seconds": dev_s,
+            "area_mm2": area,
+            "reconfig_rate_per_s": cfg_rate,
+            "gflops_per_watt": gfpw,
+        },
+    }
+
+
+class TestPointObjectives:
+    def test_tuple_matches_objective_names(self):
+        rec = record("a", 1.0, 2.0, 3.0, 4.0, 5.0)
+        assert len(point_objectives(rec)) == len(OBJECTIVES)
+        assert point_objectives(rec) == (1.0, 2.0, 3.0, 4.0, -5.0)
+
+    def test_efficiency_is_negated_so_more_is_better(self):
+        efficient = record("a", 1.0, 1.0, 1.0, 1.0, 10.0)
+        wasteful = record("b", 1.0, 1.0, 1.0, 1.0, 1.0)
+        assert point_objectives(efficient)[-1] < (
+            point_objectives(wasteful)[-1]
+        )
+
+
+class TestComputeFrontier:
+    def test_dominated_point_is_dropped(self):
+        good = record("good", 1.0, 1.0, 1.0, 1.0, 10.0)
+        bad = record("bad", 2.0, 2.0, 2.0, 2.0, 5.0)
+        front = compute_frontier([bad, good])
+        assert [r["id"] for r in front] == ["good"]
+
+    def test_incomparable_points_both_survive(self):
+        fast = record("fast", 1.0, 5.0, 1.0, 1.0, 1.0)
+        cheap = record("cheap", 5.0, 1.0, 1.0, 1.0, 1.0)
+        front = compute_frontier([fast, cheap])
+        assert {r["id"] for r in front} == {"fast", "cheap"}
+
+    def test_higher_efficiency_dominates(self):
+        efficient = record("eff", 1.0, 1.0, 1.0, 1.0, 10.0)
+        wasteful = record("waste", 1.0, 1.0, 1.0, 1.0, 1.0)
+        front = compute_frontier([wasteful, efficient])
+        assert [r["id"] for r in front] == ["eff"]
+
+    def test_empty_input(self):
+        assert compute_frontier([]) == []

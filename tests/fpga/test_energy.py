@@ -6,9 +6,14 @@ from repro import Acamar
 from repro.datasets import load_problem, poisson_2d
 from repro.fpga import PerformanceModel
 from repro.fpga.energy import (
+    CSR_BYTES_PER_NNZ,
+    HBM_ENERGY_PER_BYTE_J,
     ICAP_POWER_W,
+    LEAKAGE_W_PER_MM2,
+    MAC_ENERGY_J,
     EnergyModel,
     EnergyReport,
+    FleetEnergyReport,
 )
 
 
@@ -97,3 +102,70 @@ class TestEnergyModel:
         area = model.acamar_spmv_area_mm2(problem.matrix, result.plan)
         energy = EnergyModel().acamar(latency, area)
         assert 0 < energy.total_j < 1.0  # sane magnitude for a ms-scale solve
+
+
+class TestFleetEnergy:
+    def fleet_report(self, **overrides):
+        fields = dict(
+            modeled_flops=2e9,
+            slot_area_mm2=0.02,
+            provisioned_slot_seconds=16.0,
+            provisioned_fleet_seconds=8.0,
+            config_loads=10,
+            config_load_seconds=1e-3,
+        )
+        fields.update(overrides)
+        return EnergyModel().fleet(**fields)
+
+    def test_components_follow_the_constants(self):
+        report = self.fleet_report()
+        mac_ops = 1e9  # 2 FLOPs per MAC-op
+        assert report.dynamic_compute_j == pytest.approx(
+            mac_ops * MAC_ENERGY_J
+        )
+        assert report.memory_j == pytest.approx(
+            mac_ops * CSR_BYTES_PER_NNZ * HBM_ENERGY_PER_BYTE_J
+        )
+        assert report.reconfig_j == pytest.approx(
+            ICAP_POWER_W * 10 * 1e-3
+        )
+        device = EnergyModel().device
+        assert report.static_leakage_j == pytest.approx(
+            LEAKAGE_W_PER_MM2
+            * (16.0 * 0.02 + 8.0 * device.fixed_area_mm2)
+        )
+
+    def test_total_and_efficiency(self):
+        report = self.fleet_report()
+        assert report.total_j == pytest.approx(
+            report.dynamic_compute_j + report.static_leakage_j
+            + report.memory_j + report.reconfig_j
+        )
+        assert report.gflops_per_watt == pytest.approx(
+            report.modeled_flops / report.total_j / 1e9
+        )
+
+    def test_idle_fabric_still_leaks(self):
+        """Provisioned-but-idle slots cost leakage: the serving-tier
+        face of the underutilization argument."""
+        busy = self.fleet_report()
+        overprovisioned = self.fleet_report(
+            provisioned_slot_seconds=64.0, provisioned_fleet_seconds=32.0
+        )
+        assert (
+            overprovisioned.static_leakage_j > busy.static_leakage_j
+        )
+        assert (
+            overprovisioned.gflops_per_watt < busy.gflops_per_watt
+        )
+
+    def test_zero_energy_guards_efficiency(self):
+        report = FleetEnergyReport(0.0, 0.0, 0.0, 0.0, 0.0)
+        assert report.gflops_per_watt == 0.0
+
+    def test_as_dict_includes_efficiency(self):
+        doc = self.fleet_report().as_dict()
+        assert set(doc) == {
+            "modeled_flops", "dynamic_compute_j", "static_leakage_j",
+            "memory_j", "reconfig_j", "total_j", "gflops_per_watt",
+        }
