@@ -1,0 +1,162 @@
+"""Lint-layer acceptance benchmark: the incremental cache must pay.
+
+Runs the whole-program lint (``repro lint``: REP001–REP010 over the
+real ``src/repro`` tree) twice against a throwaway cache — cold, then
+warm — and records wall-clock for both plus the invariants that make
+the cache *safe* to trust in ``benchmarks/BENCH_lint.json``:
+
+- **warm speedup**: a warm run re-hashes every file but re-parses
+  nothing; the acceptance floor is >= 3x over the cold run (measured
+  headroom is an order of magnitude beyond that),
+- **byte-identity**: cold and warm runs must render identically in
+  every output format — a cache that changes findings is worse than no
+  cache,
+- **hit accounting**: the cold run misses everything, the warm run
+  hits everything.
+
+Wall-clock ratios vary by machine, so only the deterministic headline
+values (hit rates, findings count) are pinned in
+``reference_bands.json``; the speedup is guarded as an acceptance
+floor, like the serving cache's >2x p50 win.
+
+Regenerate the committed record with ``python benchmarks/bench_lint.py``
+after an intentional analysis change (and say why in the commit).
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis import format_findings, run_project_lint
+from repro.experiments.report import ExperimentTable
+
+BENCH_PATH = Path(__file__).resolve().parent / "BENCH_lint.json"
+BANDS_PATH = Path(__file__).resolve().parent / "reference_bands.json"
+
+GUARD_RELATIVE_TOLERANCE = 0.10
+ACCEPTANCE_RATIO = 3.0
+"""Acceptance floor: the warm-cache lint must beat cold by >= 3x."""
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINT_TARGET = REPO_ROOT / "src" / "repro"
+
+FORMATS = ("text", "json", "github", "sarif")
+
+
+def _timed_lint(cache_path: Path) -> tuple[float, object]:
+    started = time.perf_counter()
+    report = run_project_lint(
+        [LINT_TARGET], root=REPO_ROOT, cache_path=cache_path
+    )
+    return time.perf_counter() - started, report
+
+
+def measure() -> dict:
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_path = Path(scratch) / "lint-cache.json"
+        cold_s, cold = _timed_lint(cache_path)
+        warm_s, warm = _timed_lint(cache_path)
+    identical = all(
+        format_findings(cold, fmt) == format_findings(warm, fmt)
+        for fmt in FORMATS
+    )
+    return {
+        "files_checked": cold.files_checked,
+        "findings": len(cold.findings),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "warm_speedup": round(cold_s / warm_s, 2),
+        "cold_hit_rate": round(
+            cold.cache_hits / max(1, cold.files_checked), 4
+        ),
+        "warm_hit_rate": round(
+            warm.cache_hits / max(1, warm.files_checked), 4
+        ),
+        "output_identical": identical,
+    }
+
+
+def run() -> tuple[ExperimentTable, dict]:
+    report = measure()
+    table = ExperimentTable(
+        experiment_id="Lint",
+        title=(
+            "Incremental whole-program lint over src/repro "
+            f"({report['files_checked']} files, REP001-REP010)"
+        ),
+        headers=("mode", "wall s", "cache hit rate", "findings"),
+    )
+    table.add_row(
+        "cold cache", report["cold_s"], report["cold_hit_rate"],
+        report["findings"],
+    )
+    table.add_row(
+        "warm cache", report["warm_s"], report["warm_hit_rate"],
+        report["findings"],
+    )
+    table.add_note(
+        f"warm speedup: {report['warm_speedup']:.1f}x "
+        f"(acceptance floor {ACCEPTANCE_RATIO:.0f}x); outputs "
+        + ("byte-identical" if report["output_identical"]
+           else "DIVERGED")
+    )
+    return table, report
+
+
+def test_bench_lint(benchmark, print_table):
+    table, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(table)
+    # Cache-safety invariants: identical output, full hit accounting.
+    assert report["output_identical"], (
+        "warm-cache lint output diverged from the cold run"
+    )
+    assert report["cold_hit_rate"] == 0.0
+    assert report["warm_hit_rate"] == 1.0
+    # The acceptance criterion: the cache pays for itself >= 3x.
+    assert report["warm_speedup"] >= ACCEPTANCE_RATIO, (
+        f"warm lint speedup {report['warm_speedup']:.2f}x below the "
+        f"{ACCEPTANCE_RATIO:.0f}x acceptance floor"
+    )
+    # Band guard: the deterministic lint headline values must not
+    # drift (the repo tree itself must stay finding-free).
+    with open(BANDS_PATH) as fh:
+        bands = json.load(fh)
+    measured = {
+        "lint_findings": float(report["findings"]),
+        "lint_warm_hit_rate": report["warm_hit_rate"],
+    }
+    failures = []
+    for name, value in measured.items():
+        reference = float(bands[name])
+        low = (1.0 - GUARD_RELATIVE_TOLERANCE) * reference
+        high = (1.0 + GUARD_RELATIVE_TOLERANCE) * reference
+        if not low <= value <= high:
+            failures.append(
+                f"{name}: measured {value:.4f} outside "
+                f"[{low:.4f}, {high:.4f}]"
+            )
+    assert not failures, "; ".join(failures)
+
+
+def test_committed_record_meets_acceptance():
+    """The committed record shows the >=3x cache acceptance result."""
+    with open(BENCH_PATH) as fh:
+        committed = json.load(fh)
+    assert committed["warm_speedup"] >= ACCEPTANCE_RATIO
+    assert committed["output_identical"] is True
+    assert committed["findings"] == 0
+
+
+def main() -> int:  # pragma: no cover - CLI
+    table, report = run()
+    with open(BENCH_PATH, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(table.to_text())
+    print(f"written: {BENCH_PATH}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -51,17 +51,16 @@ def load_baseline(path: Path) -> Counter[str]:
     return allowance
 
 
-def write_baseline(report: LintReport, path: Path) -> Path:
-    """Serialize the report's findings as a baseline file.
+def _write_allowance(counts: Counter[str], path: Path) -> Path:
+    """Serialize a fingerprint → count allowance as a baseline file.
 
     Entries are aggregated by fingerprint with a count, sorted for
     stable diffs.
     """
-    counts: Counter[str] = Counter(
-        f.fingerprint() for f in report.findings
-    )
     findings = []
     for fingerprint in sorted(counts):
+        if counts[fingerprint] <= 0:
+            continue
         rule, file_path, message = fingerprint.split("|", 2)
         entry: dict[str, object] = {
             "rule": rule,
@@ -77,6 +76,35 @@ def write_baseline(report: LintReport, path: Path) -> Path:
     }
     path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
     return path
+
+
+def write_baseline(report: LintReport, path: Path) -> Path:
+    """Serialize the report's findings as a baseline file."""
+    counts: Counter[str] = Counter(
+        f.fingerprint() for f in report.findings
+    )
+    return _write_allowance(counts, path)
+
+
+def prune_baseline(
+    report: LintReport, allowance: Counter[str], path: Path
+) -> tuple[int, int]:
+    """Rewrite ``path`` keeping only allowance that still fires.
+
+    ``report`` must be the **unsuppressed** lint report.  Each entry's
+    count is trimmed to the number of matching findings (so a partially
+    fixed fingerprint shrinks), and entries that no longer fire at all
+    are dropped.  Returns ``(kept, dropped)`` entry-count totals so the
+    CLI can report what changed; the file is rewritten even when
+    nothing was dropped, normalizing its formatting.
+    """
+    fired: Counter[str] = Counter(f.fingerprint() for f in report.findings)
+    kept: Counter[str] = Counter()
+    for fingerprint, count in allowance.items():
+        kept[fingerprint] = min(count, fired[fingerprint])
+    dropped = sum(allowance.values()) - sum(kept.values())
+    _write_allowance(kept, path)
+    return sum(kept.values()), dropped
 
 
 def apply_baseline(

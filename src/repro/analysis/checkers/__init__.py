@@ -1,17 +1,43 @@
-"""The repo-specific invariant checkers (rule ids REP001–REP006)."""
+"""The repo-specific invariant checkers (rule ids REP001–REP010).
+
+Two checker families share the registry:
+
+- **file-scoped** checkers (REP001–REP006) implement
+  :class:`~repro.analysis.engine.Checker` and see one parsed file at a
+  time; they run in phase 1 of the whole-program pass (cacheable,
+  parallelizable) and under the legacy per-file
+  :func:`~repro.analysis.engine.run_lint`,
+- **project-scoped** checkers (REP007–REP010) implement
+  :class:`~repro.analysis.project.ProjectChecker` and see the assembled
+  :class:`~repro.analysis.project.ProjectIndex`; they run in phase 2
+  and only via :func:`~repro.analysis.project.run_project_lint`.
+
+:func:`partition_checkers` splits a rule selection into the two
+families; :func:`checkers_for_rules` keeps its historical contract of
+returning the file-scoped subset.
+"""
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
+from repro.analysis.checkers.clock_escape import ClockEscapeChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.exceptions import ExceptionPolicyChecker
+from repro.analysis.checkers.exit_contract import ExitContractChecker
 from repro.analysis.checkers.layering import LayeringChecker
 from repro.analysis.checkers.numeric import NumericSafetyChecker
+from repro.analysis.checkers.telemetry_liveness import (
+    TelemetryLivenessChecker,
+)
 from repro.analysis.checkers.telemetry_names import TelemetryNameChecker
 from repro.analysis.checkers.virtual_clock import VirtualClockChecker
+from repro.analysis.checkers.worker_boundary import WorkerBoundaryChecker
 from repro.analysis.engine import Checker
 from repro.errors import UnknownNameError
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.analysis.project import ProjectChecker
 
 ALL_CHECKERS: tuple[Checker, ...] = (
     DeterminismChecker(),
@@ -21,35 +47,92 @@ ALL_CHECKERS: tuple[Checker, ...] = (
     TelemetryNameChecker(),
     VirtualClockChecker(),
 )
+"""The file-scoped checkers, in rule-id order."""
 
-RULE_IDS: tuple[str, ...] = tuple(c.rule_id for c in ALL_CHECKERS)
+ALL_PROJECT_CHECKERS: tuple["ProjectChecker", ...] = (
+    TelemetryLivenessChecker(),
+    WorkerBoundaryChecker(),
+    ExitContractChecker(),
+    ClockEscapeChecker(),
+)
+"""The project-scoped (cross-module) checkers, in rule-id order."""
+
+RULE_IDS: tuple[str, ...] = tuple(
+    c.rule_id for c in (*ALL_CHECKERS, *ALL_PROJECT_CHECKERS)
+)
+
+PROJECT_RULE_IDS: tuple[str, ...] = tuple(
+    c.rule_id for c in ALL_PROJECT_CHECKERS
+)
+
+ALL_RULES: dict[str, str] = {
+    c.rule_id: c.title for c in (*ALL_CHECKERS, *ALL_PROJECT_CHECKERS)
+}
+"""Rule id → one-line title, for ``--help`` text and SARIF metadata."""
+
+
+def _validate(rules: Sequence[str]) -> None:
+    unknown = sorted(set(rules) - set(ALL_RULES))
+    if unknown:
+        raise UnknownNameError(
+            f"unknown lint rule(s) {unknown}; known: {sorted(ALL_RULES)}"
+        )
 
 
 def checkers_for_rules(rules: Sequence[str] | None) -> tuple[Checker, ...]:
-    """Subset of :data:`ALL_CHECKERS` for the given rule ids.
+    """File-scoped subset of the registry for the given rule ids.
 
-    ``None`` (or an empty selection) means every checker; an unknown
-    rule id raises :class:`~repro.errors.UnknownNameError`.
+    ``None`` (or an empty selection) means every file-scoped checker;
+    an unknown rule id raises :class:`~repro.errors.UnknownNameError`.
+    Project-scoped ids are accepted but contribute nothing here — use
+    :func:`partition_checkers` to get both families.
     """
     if not rules:
         return ALL_CHECKERS
+    _validate(rules)
     by_id = {c.rule_id: c for c in ALL_CHECKERS}
-    unknown = sorted(set(rules) - set(by_id))
-    if unknown:
-        raise UnknownNameError(
-            f"unknown lint rule(s) {unknown}; known: {sorted(by_id)}"
-        )
-    return tuple(by_id[rule] for rule in dict.fromkeys(rules))
+    return tuple(
+        by_id[rule] for rule in dict.fromkeys(rules) if rule in by_id
+    )
+
+
+def partition_checkers(
+    rules: Sequence[str] | None,
+) -> tuple[tuple[Checker, ...], tuple["ProjectChecker", ...]]:
+    """Split a rule selection into (file-scoped, project-scoped).
+
+    ``None`` (or an empty selection) means everything; an unknown rule
+    id raises :class:`~repro.errors.UnknownNameError`.  Order follows
+    the selection, deduplicated.
+    """
+    if not rules:
+        return ALL_CHECKERS, ALL_PROJECT_CHECKERS
+    _validate(rules)
+    file_by_id = {c.rule_id: c for c in ALL_CHECKERS}
+    project_by_id = {c.rule_id: c for c in ALL_PROJECT_CHECKERS}
+    selection = tuple(dict.fromkeys(rules))
+    return (
+        tuple(file_by_id[r] for r in selection if r in file_by_id),
+        tuple(project_by_id[r] for r in selection if r in project_by_id),
+    )
 
 
 __all__ = [
     "ALL_CHECKERS",
+    "ALL_PROJECT_CHECKERS",
+    "ALL_RULES",
+    "PROJECT_RULE_IDS",
     "RULE_IDS",
+    "ClockEscapeChecker",
     "DeterminismChecker",
     "ExceptionPolicyChecker",
+    "ExitContractChecker",
     "LayeringChecker",
     "NumericSafetyChecker",
+    "TelemetryLivenessChecker",
     "TelemetryNameChecker",
     "VirtualClockChecker",
+    "WorkerBoundaryChecker",
     "checkers_for_rules",
+    "partition_checkers",
 ]

@@ -1,0 +1,112 @@
+"""REP010 — cross-module determinism escapes via helper re-exports.
+
+REP001 bans wall-clock and entropy reads *inside* the deterministic
+packages, and REP006 bans the ``time`` module in the virtual-clock
+serving tier.  Both are file-local rules, so they share a blind spot:
+a helper module **outside** the scoped packages can read the clock (or
+hold a shared RNG stream) and export the result, and a scoped module
+can then import it — same nondeterminism, laundered through one level
+of indirection the per-file rules cannot see.
+
+The facts layer marks *tainted exports* in every module: re-exports of
+``time``/``datetime``/``secrets`` attributes, module-level values
+captured from clock/entropy calls at import time, module-level RNG
+instances (shared streams are consumption-order dependent even when
+seeded), and top-level functions that call a clock/entropy source
+internally.  Taint propagates through module-level re-export chains to
+a fixpoint.  This checker then flags every ``from <helper> import
+<tainted name>`` in a scoped module, where the helper is a non-scoped
+``repro`` module in the index.
+
+``repro.telemetry`` is the sanctioned timing boundary (its spans are
+wall-clock by design and never feed deterministic output), so it is
+exempt both as a source and as a taint carrier.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.checkers.common import in_module
+from repro.analysis.checkers.determinism import (
+    SCOPED_PACKAGES as DETERMINISM_SCOPES,
+)
+from repro.analysis.engine import Finding
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.analysis.project import ProjectIndex
+
+RULE_ID = "REP010"
+
+#: The modules the escape hatch is guarded for: the REP001 determinism
+#: scopes (which include the REP006 virtual-clock tier ``repro.serve``).
+SCOPED_PACKAGES = DETERMINISM_SCOPES
+
+SANCTIONED_SOURCES = frozenset({"repro.telemetry"})
+
+_PROPAGATION_ROUNDS = 10
+
+
+def _propagate(index: "ProjectIndex") -> dict[str, dict[str, str]]:
+    """Close the per-module taint maps over module-level re-exports."""
+    tainted: dict[str, dict[str, str]] = {
+        module: dict(facts.get("tainted", {}))
+        for module, facts in index.modules.items()
+    }
+    for _ in range(_PROPAGATION_ROUNDS):
+        changed = False
+        for module, facts in index.modules.items():
+            if module in SANCTIONED_SOURCES:
+                continue
+            for record in facts.get("from_imports", []):
+                target, name, _line, is_top = (
+                    str(record[0]), str(record[1]), record[2],
+                    bool(record[3]),
+                )
+                if not is_top or target in SANCTIONED_SOURCES:
+                    continue
+                source_taint = tainted.get(target, {})
+                if name in source_taint and name not in tainted[module]:
+                    tainted[module][name] = (
+                        f"via {target}: {source_taint[name]}"
+                    )
+                    changed = True
+        if not changed:
+            break
+    return tainted
+
+
+class ClockEscapeChecker:
+    """Flag tainted helper imports entering the deterministic core."""
+
+    rule_id = RULE_ID
+    title = "no wall-clock/RNG laundering into the deterministic core"
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        tainted = _propagate(index)
+        for module, facts in sorted(index.modules.items()):
+            if not in_module(module, *SCOPED_PACKAGES):
+                continue
+            path = str(facts["path"])
+            for record in facts.get("from_imports", []):
+                target, name, line = (
+                    str(record[0]), str(record[1]), int(record[2]),
+                )
+                if not target.startswith("repro"):
+                    continue
+                if target in SANCTIONED_SOURCES:
+                    continue
+                if in_module(target, *SCOPED_PACKAGES):
+                    continue  # intra-core imports are REP001's business
+                reason = tainted.get(target, {}).get(name)
+                if reason is None:
+                    continue
+                yield Finding(
+                    rule=self.rule_id, path=path, line=line,
+                    message=(
+                        f"{module} imports {name!r} from {target}, which "
+                        f"is determinism-tainted ({reason}); the "
+                        "deterministic core must not consume wall-clock "
+                        "or shared-RNG state through helper modules"
+                    ),
+                )

@@ -5,8 +5,9 @@ bit-identical SpMV against the seed kernel (PR 2), deterministic
 per-position campaign seeds (PR 1), and byte-identical serving reports
 on the virtual clock (PR 3).  Inside the packages that carry those
 guarantees (``repro.sparse``, ``repro.fpga``, ``repro.solvers``,
-``repro.serve``) this rule forbids every ambient source of
-nondeterminism:
+``repro.serve``, ``repro.dse``, plus the cost-model tenants
+``repro.gpu`` / ``repro.metrics`` the upcoming placement work will
+schedule) this rule forbids every ambient source of nondeterminism:
 
 - wall-clock reads (``time.time``/``time.monotonic``/``datetime.now``
   and friends),
@@ -36,7 +37,7 @@ RULE_ID = "REP001"
 
 SCOPED_PACKAGES = (
     "repro.sparse", "repro.fpga", "repro.solvers", "repro.serve",
-    "repro.dse",
+    "repro.dse", "repro.gpu", "repro.metrics",
 )
 
 #: Fully-qualified callables that read ambient nondeterministic state.
@@ -79,7 +80,7 @@ class DeterminismChecker:
     """Forbid ambient nondeterminism in the guaranteed-deterministic core."""
 
     rule_id = RULE_ID
-    title = "determinism in sparse/fpga/solvers/serve"
+    title = "determinism in sparse/fpga/solvers/serve/dse/gpu/metrics"
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
         if not in_module(source.module, *SCOPED_PACKAGES):

@@ -1,0 +1,180 @@
+"""REP009 — the CLI exit-code contract, proven over every return path.
+
+Every ``repro`` subcommand documents the same three-way contract,
+pinned in ``tests/analysis/test_lint_cli.py`` and its siblings: **0**
+for success/clean, **1** for findings / not-converged / violations,
+**2** for a usage error.  CI pipelines, the chaos harness and the
+smoke jobs all branch on those literals, so an undocumented status
+(a stray ``return 3``, an ``sys.exit(code)`` with a computed code, a
+command handler that falls back to returning ``None``) silently turns
+a red build green or vice versa.
+
+The facts layer records, for ``repro.cli`` and ``repro.__main__``, the
+shape of every ``return`` in each top-level function and every
+``sys.exit(...)`` / ``raise SystemExit(...)`` site.  This checker then
+proves *confinement to {0, 1, 2}* for each **enforced** function —
+``main`` and every ``_cmd_*`` handler — by chasing shapes:
+
+- integer literals must be 0, 1 or 2,
+- conditional expressions are checked on both arms,
+- a call's exit status is confined iff the callee is (followed through
+  same-module helpers and, for ``sys.exit(main())`` in ``__main__``,
+  across modules through the index),
+- ``None`` returns and computed values are violations,
+- call cycles are resolved optimistically (a cycle of otherwise-clean
+  dispatchers is confined).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.analysis.engine import Finding
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.analysis.project import ProjectIndex
+
+RULE_ID = "REP009"
+
+ALLOWED_STATUSES = frozenset({0, 1, 2})
+
+#: A violation: (display path, line, reason).
+_Violation = tuple[str, int, str]
+
+
+def _is_enforced(name: str) -> bool:
+    return name == "main" or name.startswith("_cmd_")
+
+
+class ExitContractChecker:
+    """Confine every subcommand's exit paths to the documented 0/1/2."""
+
+    rule_id = RULE_ID
+    title = "CLI exit statuses provably confined to 0/1/2"
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        memo: dict[tuple[str, str], list[_Violation]] = {}
+        seen: set[_Violation] = set()
+        for module, facts in sorted(index.modules.items()):
+            exits = facts.get("exits")
+            if exits is None:
+                continue
+            path = str(facts["path"])
+            for fname in sorted(exits["functions"]):
+                if not _is_enforced(fname):
+                    continue
+                for violation in self._confined(
+                    index, module, fname, memo, frozenset()
+                ):
+                    if violation not in seen:
+                        seen.add(violation)
+                        yield self._finding(fname, violation)
+            for record in exits.get("raises", []):
+                owner = str(record["fn"])
+                for violation in self._shape_violations(
+                    index, module, path, record["shape"], memo, frozenset()
+                ):
+                    if violation not in seen:
+                        seen.add(violation)
+                        yield self._finding(owner, violation)
+
+    def _finding(self, owner: str, violation: _Violation) -> Finding:
+        path, line, reason = violation
+        return Finding(
+            rule=self.rule_id, path=path, line=line,
+            message=(
+                f"exit contract of {owner}(): {reason} — every repro "
+                "subcommand must exit with a documented status "
+                "(0 ok, 1 findings/violations, 2 usage error)"
+            ),
+        )
+
+    def _confined(
+        self,
+        index: "ProjectIndex",
+        module: str,
+        fname: str,
+        memo: dict[tuple[str, str], list[_Violation]],
+        stack: frozenset[tuple[str, str]],
+    ) -> list[_Violation]:
+        key = (module, fname)
+        if key in memo:
+            return memo[key]
+        if key in stack:
+            return []  # optimistic on dispatch cycles
+        facts = index.modules.get(module)
+        if facts is None or facts.get("exits") is None:
+            return [("<unknown>", 1, f"{module}.{fname} is outside the "
+                     "linted tree")]
+        path = str(facts["path"])
+        shapes = facts["exits"]["functions"].get(fname)
+        if shapes is None:
+            return [(path, 1, f"{module} has no top-level function "
+                     f"{fname!r} to prove the exit contract against")]
+        violations: list[_Violation] = []
+        if not shapes:
+            violations.append((
+                path, 1,
+                f"{fname}() has no return statement; return an explicit "
+                "0/1/2 status",
+            ))
+        for shape in shapes:
+            violations.extend(self._shape_violations(
+                index, module, path, shape, memo, stack | {key}
+            ))
+        memo[key] = violations
+        return violations
+
+    def _shape_violations(
+        self,
+        index: "ProjectIndex",
+        module: str,
+        path: str,
+        shape: dict[str, Any],
+        memo: dict[tuple[str, str], list[_Violation]],
+        stack: frozenset[tuple[str, str]],
+    ) -> list[_Violation]:
+        kind = str(shape["kind"])
+        line = int(shape["line"])
+        if kind == "int":
+            value = int(shape["value"])
+            if value in ALLOWED_STATUSES:
+                return []
+            return [(path, line, f"status {value} is outside the "
+                     "documented contract")]
+        if kind == "none":
+            return [(path, line, "a path yields None instead of an "
+                     "explicit status literal")]
+        if kind == "call":
+            target = str(shape["target"])
+            if "." not in target:
+                facts = index.modules.get(module)
+                functions = (
+                    facts["exits"]["functions"]
+                    if facts is not None and facts.get("exits") is not None
+                    else {}
+                )
+                if target in functions:
+                    return self._confined(index, module, target, memo, stack)
+                # An import-bound name (``from repro.cli import main``)
+                # resolves through the module's bindings.
+                bindings = (
+                    facts.get("bindings", {}) if facts is not None else {}
+                )
+                if target in bindings:
+                    target = str(bindings[target])
+                else:
+                    return [(path, line, f"status flows from {target}(), "
+                             "which is not provably confined to 0/1/2")]
+            split = index.split_qualified(target)
+            if split is not None:
+                target_module, attr = split
+                facts = index.modules.get(target_module)
+                if facts is not None and facts.get("exits") is not None:
+                    return self._confined(
+                        index, target_module, attr, memo, stack
+                    )
+            return [(path, line, f"status flows from {target}(), which is "
+                     "not provably confined to 0/1/2")]
+        return [(path, line, "a computed status is not provably confined "
+                 "to 0/1/2")]

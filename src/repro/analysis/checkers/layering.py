@@ -68,8 +68,10 @@ ALLOWED_DEPENDENCIES: Mapping[str, frozenset[str]] = {
     "baselines": frozenset(
         {"errors", "config", "sparse", "solvers", "fpga"}
     ),
+    # analysis → parallel covers the whole-program lint pass, which
+    # fans phase-1 file parsing out over the run_sharded pool.
     "analysis": frozenset(
-        {"errors", "config", "telemetry", "sparse", "solvers"}
+        {"errors", "config", "telemetry", "sparse", "solvers", "parallel"}
     ),
     # -- orchestration ------------------------------------------------
     # campaign ↔ parallel is a sanctioned cycle: workers lazily import
@@ -144,6 +146,32 @@ RESTRICTED_TARGETS: Mapping[str, frozenset[str]] = {
     # layers below serving must never reach up into cluster internals.
     "repro.serve.cluster": frozenset({"serve", "faults", "cli", "dse"}),
 }
+
+
+def cycle_path(source_unit: str, target_unit: str) -> list[str] | None:
+    """Declared-dependency chain ``target_unit → … → source_unit``.
+
+    When an undeclared edge ``source_unit → target_unit`` would close a
+    cycle through the *sanctioned* graph, the chain names every module
+    on the loop — the actionable fix is breaking one of those declared
+    edges (or a lazy import), and the offending edge alone doesn't say
+    which.  Returns ``None`` when no declared path exists (the edge is
+    merely unsanctioned, not cyclic).  BFS, so the shortest cycle wins;
+    neighbor order is sorted for deterministic messages.
+    """
+    if source_unit == target_unit:
+        return [target_unit]
+    queue: list[list[str]] = [[target_unit]]
+    visited = {target_unit}
+    while queue:
+        path = queue.pop(0)
+        for neighbor in sorted(ALLOWED_DEPENDENCIES.get(path[-1], ())):
+            if neighbor == source_unit:
+                return path + [neighbor]
+            if neighbor not in visited:
+                visited.add(neighbor)
+                queue.append(path + [neighbor])
+    return None
 
 
 def unit_of(module: str) -> str | None:
@@ -264,9 +292,17 @@ class LayeringChecker:
             label = "the repro root facade" if (
                 target_unit == ROOT_FACADE
             ) else f"unit {target_unit!r}"
-            yield source.finding(
-                self.rule_id, node,
+            message = (
                 f"{source.module} imports {target}: unit "
                 f"{source_unit!r} may not depend on {label} "
-                "(see ALLOWED_DEPENDENCIES)",
+                "(see ALLOWED_DEPENDENCIES)"
             )
+            loop = cycle_path(source_unit, target_unit)
+            if loop is not None:
+                chain = " → ".join([source_unit, *loop])
+                message += (
+                    f"; this edge closes a dependency cycle through the "
+                    f"sanctioned graph: {chain} — break one of those "
+                    "declared edges or make this import lazy"
+                )
+            yield source.finding(self.rule_id, node, message)

@@ -13,9 +13,10 @@ them:
 - :class:`Checker` — the protocol every rule implements,
 - :func:`run_lint` — walk paths, parse each file once, dispatch every
   checker over the shared AST, return sorted findings,
-- :func:`format_findings` — ``text`` / ``json`` / ``github`` renderers
-  (the last emits workflow annotation commands so findings land on PR
-  diffs).
+- :func:`format_findings` — ``text`` / ``json`` / ``github`` / ``sarif``
+  renderers (``github`` emits workflow annotation commands so findings
+  land on PR diffs; ``sarif`` emits a SARIF 2.1.0 log for code-scanning
+  upload, rendered by :mod:`repro.analysis.sarif`).
 
 Checkers live in :mod:`repro.analysis.checkers`; baseline suppression in
 :mod:`repro.analysis.baseline`; the CLI front-end is ``repro lint``.
@@ -33,7 +34,7 @@ from repro.errors import ConfigurationError
 
 ANALYSIS_SCHEMA_VERSION = 1
 
-FORMATS = ("text", "json", "github")
+FORMATS = ("text", "json", "github", "sarif")
 
 
 @dataclass(frozen=True)
@@ -110,6 +111,13 @@ class LintReport:
     suppressed: int = 0
     stale_baseline: list[str] = field(default_factory=list)
     files_checked: int = 0
+    cache_hits: int = 0
+    """Files whose per-file results were reused from the incremental
+    cache (whole-program runs only).  Deliberately **not** rendered by
+    any formatter: cold-cache, warm-cache and ``--workers N`` runs must
+    stay byte-identical on stdout."""
+    cache_misses: int = 0
+    """Files that had to be (re)parsed this run.  Not rendered either."""
 
     @property
     def clean(self) -> bool:
@@ -156,9 +164,17 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
     return iter(collected)
 
 
-def load_source(path: Path, root: Path | None = None) -> SourceFile:
-    """Parse one file into the :class:`SourceFile` all checkers share."""
-    text = path.read_text(encoding="utf-8")
+def load_source(
+    path: Path, root: Path | None = None, text: str | None = None
+) -> SourceFile:
+    """Parse one file into the :class:`SourceFile` all checkers share.
+
+    ``text`` short-circuits the disk read when the caller already holds
+    the file contents (the whole-program pass reads bytes once to
+    content-hash them for the incremental cache).
+    """
+    if text is None:
+        text = path.read_text(encoding="utf-8")
     try:
         tree = ast.parse(text, filename=str(path))
     except SyntaxError as exc:
@@ -249,13 +265,19 @@ def _render_github(report: LintReport) -> str:
 
 
 def format_findings(report: LintReport, fmt: str = "text") -> str:
-    """Render a report as ``text``, ``json`` or ``github``."""
+    """Render a report as ``text``, ``json``, ``github`` or ``sarif``."""
     if fmt == "text":
         return _render_text(report)
     if fmt == "json":
         return _render_json(report)
     if fmt == "github":
         return _render_github(report)
+    if fmt == "sarif":
+        # Imported lazily: the SARIF renderer needs the rule catalogue
+        # from repro.analysis.checkers, which imports this module.
+        from repro.analysis.sarif import render_sarif
+
+        return render_sarif(report)
     raise ConfigurationError(
         f"unknown lint format {fmt!r}; expected one of {FORMATS}"
     )

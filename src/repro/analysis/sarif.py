@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 rendering for lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning, VS Code SARIF viewers and most CI dashboards ingest.
+This module renders a :class:`~repro.analysis.engine.LintReport` as one
+SARIF *run* of the ``repro-lint`` tool driver:
+
+- the driver carries the **full rule catalogue** (REP001–REP010, sorted
+  by id) regardless of which rules fired, so dashboards can show rule
+  metadata for zero-result runs too,
+- each finding becomes one ``result`` with ``ruleId``/``ruleIndex``
+  resolved against that catalogue, the finding severity as ``level``,
+  and a single physical location (repo-relative URI + start line),
+- output is deterministic: rules and results keep the report's sorted
+  order and the JSON is rendered with a fixed indent and no ambient
+  state (no timestamps, no absolute paths).
+
+The renderer is dispatched lazily from
+:func:`repro.analysis.engine.format_findings` (``--format sarif``) to
+keep the engine ↔ checkers import graph acyclic.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://example.invalid/repro/docs/static-analysis.md"
+
+#: Finding severity → SARIF result level.  Every current rule reports
+#: ``error``; the mapping keeps the renderer total over the schema.
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def _rule_catalogue() -> list[dict[str, object]]:
+    """All known rules, sorted by id, as SARIF reportingDescriptors."""
+    from repro.analysis.checkers import ALL_RULES
+
+    return [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": title},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, title in sorted(ALL_RULES.items())
+    ]
+
+
+def render_sarif(report: LintReport) -> str:
+    """Render ``report`` as a SARIF 2.1.0 log (a JSON string)."""
+    rules = _rule_catalogue()
+    rule_index = {
+        str(descriptor["id"]): i for i, descriptor in enumerate(rules)
+    }
+    results: list[dict[str, object]] = []
+    for finding in report.findings:
+        result: dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": _LEVELS.get(finding.severity, "error"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {"startLine": max(1, finding.line)},
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

@@ -19,9 +19,14 @@ Commands
     serve it, emitting latency percentiles, queue/shed statistics and
     cache hit rate (byte-identical report for a fixed seed).
 ``lint``
-    Run the invariant linter (``repro.analysis``): determinism,
-    layering, numeric-safety, exception-policy, telemetry-naming and
-    virtual-clock rules (REP001–REP006) with baseline suppression.
+    Run the whole-program invariant linter (``repro.analysis``): the
+    file-scoped determinism, layering, numeric-safety,
+    exception-policy, telemetry-naming and virtual-clock rules
+    (REP001–REP006) plus the cross-module telemetry-liveness,
+    worker-boundary, exit-contract and determinism-escape rules
+    (REP007–REP010), with an incremental cache, ``--workers`` fan-out,
+    ``--diff`` changed-files mode, SARIF output and baseline
+    suppression.
 ``chaos``
     Run the deterministic fault-injection harness (``repro.faults``)
     against the pool / serve / solver recovery surfaces and audit the
@@ -240,15 +245,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     lint = sub.add_parser(
-        "lint", help="machine-check the repo's invariants (REP001–REP006)"
+        "lint", help="machine-check the repo's invariants (REP001–REP010)"
     )
     lint.add_argument(
         "paths", nargs="*",
         help="files/directories to lint (default: the repro package)",
     )
     lint.add_argument(
-        "--format", default="text", choices=("text", "json", "github"),
-        help="finding renderer (github emits PR annotations)",
+        "--format", default="text",
+        choices=("text", "json", "github", "sarif"),
+        help="finding renderer (github emits PR annotations, sarif a "
+        "SARIF 2.1.0 log for code-scanning upload)",
     )
     lint.add_argument(
         "--baseline", metavar="FILE",
@@ -260,8 +267,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write current findings to the baseline file and exit 0",
     )
     lint.add_argument(
+        "--prune-baseline", action="store_true",
+        help="rewrite the baseline file dropping entries that no longer "
+        "fire, then report as usual",
+    )
+    lint.add_argument(
         "--rules", metavar="IDS",
-        help="comma-separated rule subset, e.g. REP001,REP004",
+        help="comma-separated rule subset, e.g. REP001,REP008",
+    )
+    lint.add_argument(
+        "--diff", metavar="REF",
+        help="only report file-scoped findings for files changed since "
+        "REF (cross-module REP007–REP010 findings always report)",
+    )
+    lint.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fan cold-file parsing out over N pool workers (default 1)",
+    )
+    lint.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the incremental lint cache",
+    )
+    lint.add_argument(
+        "--cache", metavar="FILE",
+        help="incremental cache location (default: .repro-lint-cache.json "
+        "in the working directory)",
+    )
+    lint.add_argument(
+        "--out", metavar="FILE",
+        help="also write the rendered report to FILE",
     )
 
     chaos = sub.add_parser(
@@ -619,12 +653,12 @@ def _cmd_serving(args: argparse.Namespace, command: str) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    """Run the invariant linter.
+    """Run the whole-program invariant linter.
 
     Exit-code contract (pinned in ``tests/analysis/test_lint_cli.py``,
     matching the ``repro solve`` style): 0 when the tree is clean (or a
     baseline was written), 1 when findings remain, 2 for a usage error
-    (bad path, bad baseline, unknown rule).
+    (bad path, bad baseline, unknown rule, bad diff ref).
     """
     from pathlib import Path
 
@@ -632,10 +666,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
         DEFAULT_BASELINE,
         apply_baseline,
-        checkers_for_rules,
+        changed_files,
         format_findings,
         load_baseline,
-        run_lint,
+        prune_baseline,
+        run_project_lint,
         write_baseline,
     )
     from repro.errors import ConfigurationError, UnknownNameError
@@ -648,17 +683,45 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         rules = [r.strip() for r in args.rules.split(",") if r.strip()]
     baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE
     try:
-        report = run_lint(paths, checkers_for_rules(rules))
+        if args.write_baseline and args.prune_baseline:
+            raise ConfigurationError(
+                "--write-baseline and --prune-baseline are mutually "
+                "exclusive"
+            )
+        changed = None
+        if args.diff:
+            changed = changed_files(Path.cwd(), args.diff)
+        report = run_project_lint(
+            paths,
+            rules=rules,
+            workers=max(1, args.workers),
+            cache_path=Path(args.cache) if args.cache else None,
+            use_cache=not args.no_cache,
+            changed_only=changed,
+        )
         if args.write_baseline:
             print(f"wrote baseline to {write_baseline(report, baseline_path)}")
             return 0
+        if args.prune_baseline:
+            kept, dropped = prune_baseline(
+                report, load_baseline(baseline_path), baseline_path
+            )
+            print(
+                f"pruned baseline {baseline_path}: kept {kept} "
+                f"entr(y/ies), dropped {dropped} stale",
+                file=sys.stderr,
+            )
         if baseline_path.exists() or args.baseline:
             report = apply_baseline(report, load_baseline(baseline_path))
     except (ConfigurationError, UnknownNameError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"lint: {message}", file=sys.stderr)
         return 2
-    print(format_findings(report, args.format))
+    rendered = format_findings(report, args.format)
+    if args.out:
+        Path(args.out).write_text(rendered + "\n", encoding="utf-8")
+        print(f"wrote lint report to {args.out}", file=sys.stderr)
+    print(rendered)
     return 0 if report.clean else 1
 
 

@@ -219,7 +219,7 @@ def cross_shapes(axes: Mapping[str, Sequence[Any]]) -> tuple[FleetShape, ...]:
     for name in SHAPE_AXES:
         if not axes[name]:
             raise ConfigurationError(f"axis {name!r} must not be empty")
-    shapes = []
+    shapes: list[FleetShape] = []
     for slots, unroll, mix, cache, queue, bounds in product(
         *(axes[name] for name in SHAPE_AXES)
     ):
@@ -295,7 +295,7 @@ def space_from_dict(payload: Mapping[str, Any]) -> DesignSpace:
     if not isinstance(axes, Mapping):
         raise ConfigurationError("'axes' must be an object of axis lists")
     shapes = cross_shapes(axes)
-    traffic = []
+    traffic: list[TrafficSpec] = []
     for entry in payload["traffic"]:
         if not isinstance(entry, Mapping):
             raise ConfigurationError(

@@ -33,6 +33,7 @@ BENCH_GUARDED_PREFIXES = (
     "cluster_",
     "batched_",
     "dse_",
+    "lint_",
 )
 """Band-name prefixes owned by dedicated benchmark guards
 (``bench_hot_path.py``, ``bench_serving.py``, ``bench_cluster.py``,

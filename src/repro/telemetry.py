@@ -142,6 +142,11 @@ KNOWN_COUNTERS = frozenset({
     # design-space explorer (repro.dse): sweep progress accounting
     "dse.points_evaluated",
     "dse.points_failed",
+    # whole-program linter (repro.analysis.project): incremental-cache
+    # effectiveness per run, so CI can watch warm-cache hit rates
+    "lint.files_parsed",
+    "lint.cache_hits",
+    "lint.cache_misses",
 })
 """Sanctioned monotonic counter names."""
 

@@ -43,6 +43,29 @@ def lint_tree(tmp_path):
 
 
 @pytest.fixture
+def project_report(tmp_path):
+    """Write a virtual repo tree, run the whole-program lint over it.
+
+    Returns the full :class:`LintReport`; tests usually pass a rule
+    subset so only the project checker under test fires.  The cache is
+    disabled — these fixtures assert rule semantics, not cache
+    mechanics (those live in ``test_project.py``).
+    """
+    from repro.analysis import run_project_lint
+
+    def _run(files: dict[str, str], rules=None):
+        for relpath, code in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(code)
+        return run_project_lint(
+            [tmp_path], rules=rules, root=tmp_path, use_cache=False
+        )
+
+    return _run
+
+
+@pytest.fixture
 def repo_src() -> Path:
     """The real src/repro tree (repo layout assumed by CI and tests)."""
     return Path(__file__).resolve().parents[2] / "src" / "repro"

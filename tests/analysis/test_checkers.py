@@ -119,6 +119,33 @@ class TestLayering:
         report = run_lint([repo_src], [self.CHECKER])
         assert report.findings == []
 
+    def test_cycle_closing_edge_names_the_loop(self, lint_snippet):
+        # gpu → fpga is undeclared, and fpga → gpu is sanctioned, so
+        # this edge would close a cycle; the message must walk it.
+        findings = lint_snippet(
+            "repro/gpu/mod.py", "import repro.fpga\n", self.CHECKER
+        )
+        assert rules(findings) == ["REP002"]
+        assert "closes a dependency cycle" in findings[0].message
+        assert "gpu → fpga → gpu" in findings[0].message
+
+    def test_acyclic_undeclared_edge_has_no_cycle_note(self, lint_snippet):
+        # metrics → solvers is undeclared but nothing under solvers
+        # reaches back to metrics: plain violation, no cycle chain.
+        findings = lint_snippet(
+            "repro/metrics/mod.py", "import repro.solvers\n", self.CHECKER
+        )
+        assert rules(findings) == ["REP002"]
+        assert "cycle" not in findings[0].message
+
+    def test_cycle_path_helper(self):
+        from repro.analysis.checkers.layering import cycle_path
+
+        assert cycle_path("gpu", "fpga") == ["fpga", "gpu"]
+        assert cycle_path("metrics", "solvers") is None
+        # Sanctioned mutual cycles resolve to the direct loop.
+        assert cycle_path("campaign", "parallel") == ["parallel", "campaign"]
+
 
 # ---------------------------------------------------------------- REP003
 
@@ -322,9 +349,31 @@ class TestVirtualClock:
 
 
 class TestCheckerRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_ten_rules_registered(self):
         assert RULE_IDS == (
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+            "REP007", "REP008", "REP009", "REP010",
+        )
+
+    def test_partition_splits_by_family(self):
+        from repro.analysis.checkers import partition_checkers
+
+        file_checkers, project_checkers = partition_checkers(
+            ["REP008", "REP002", "REP007"]
+        )
+        assert tuple(c.rule_id for c in file_checkers) == ("REP002",)
+        assert tuple(c.rule_id for c in project_checkers) == (
+            "REP008", "REP007",
+        )
+
+    def test_partition_none_means_everything(self):
+        from repro.analysis.checkers import (
+            ALL_PROJECT_CHECKERS,
+            partition_checkers,
+        )
+
+        assert partition_checkers(None) == (
+            ALL_CHECKERS, ALL_PROJECT_CHECKERS,
         )
 
     def test_subset_selection_preserves_order_and_dedupes(self):

@@ -108,7 +108,7 @@ class TestRendering:
 
     def test_unknown_format_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown lint format"):
-            format_findings(self.make_report(), "sarif")
+            format_findings(self.make_report(), "xml")
 
 
 class TestBaseline:
@@ -155,6 +155,28 @@ class TestBaseline:
         assert len(cleaned.stale_baseline) == 1
         assert "REP001" in cleaned.stale_baseline[0]
         assert "stale baseline entry" in format_findings(cleaned, "text")
+
+    def test_prune_trims_counts_and_drops_stale(self, tmp_path):
+        # Grandfather fingerprint A twice and B once ...
+        path = write_baseline(
+            LintReport(
+                findings=[
+                    make_finding(line=3), make_finding(line=9),
+                    make_finding(rule="REP004", msg="other"),
+                ],
+                files_checked=1,
+            ),
+            tmp_path / "baseline.json",
+        )
+        # ... then only one A still fires: prune trims A to 1, drops B.
+        from repro.analysis import prune_baseline
+
+        now = LintReport(findings=[make_finding(line=3)], files_checked=1)
+        kept, dropped = prune_baseline(now, load_baseline(path), path)
+        assert (kept, dropped) == (1, 2)
+        assert load_baseline(path) == {make_finding().fingerprint(): 1}
+        cleaned = apply_baseline(now, load_baseline(path))
+        assert cleaned.clean and cleaned.stale_baseline == []
 
     def test_missing_baseline_is_usage_error(self, tmp_path):
         with pytest.raises(ConfigurationError, match="not found"):

@@ -5,6 +5,7 @@ Exit-code contract (matching the pinned ``repro solve`` style):
 """
 
 import json
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -25,6 +26,17 @@ def tree(tmp_path):
     (pkg / "clean.py").write_text(CLEAN_SNIPPET)
     (pkg / "dirty.py").write_text(DIRTY_SNIPPET)
     return tmp_path
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache_cwd(tmp_path_factory, monkeypatch):
+    """Run every CLI invocation from a scratch cwd.
+
+    The default incremental-cache location is ``.repro-lint-cache.json``
+    in the working directory; without this, CLI tests would write (and
+    cross-contaminate) a cache file inside the repo checkout.
+    """
+    monkeypatch.chdir(tmp_path_factory.mktemp("lint-cwd"))
 
 
 def run(args):
@@ -102,8 +114,123 @@ class TestFormats:
 
     def test_bad_format_rejected_by_argparse(self, tree, capsys):
         with pytest.raises(SystemExit) as excinfo:
-            run([str(tree), "--format", "sarif"])
+            run([str(tree), "--format", "xml"])
         assert excinfo.value.code == 2
+
+    def test_sarif_format_parses(self, tree, capsys):
+        assert run([str(tree), "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        (result,) = doc["runs"][0]["results"]
+        assert result["ruleId"] == "REP001"
+
+    def test_out_writes_report_file(self, tree, tmp_path, capsys):
+        target = tmp_path / "lint.sarif"
+        assert run([
+            str(tree), "--format", "sarif", "--out", str(target)
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "wrote lint report to" in captured.err
+        # The file carries exactly what stdout showed.
+        assert target.read_text() == captured.out
+
+
+class TestIncrementalFlags:
+    def test_cache_and_workers_do_not_change_output(self, tree, capsys):
+        outputs = []
+        for extra in ([], [], ["--no-cache"], ["--workers", "2"]):
+            assert run([str(tree), "--format", "json", *extra]) == 1
+            outputs.append(capsys.readouterr().out)
+        # Cold cache, warm cache, no cache, parallel: byte-identical.
+        assert len(set(outputs)) == 1
+
+    def test_custom_cache_path(self, tree, tmp_path):
+        cache = tmp_path / "nested.json"
+        assert run([str(tree), "--cache", str(cache)]) == 1
+        assert json.loads(cache.read_text())["files"]
+
+    def test_no_cache_leaves_no_file_behind(self, tree):
+        assert run([str(tree), "--no-cache"]) == 1
+        assert not (Path.cwd() / ".repro-lint-cache.json").exists()
+
+
+def git(root, *args):
+    subprocess.run(
+        ["git", "-C", str(root), "-c", "user.email=t@example.com",
+         "-c", "user.name=t", *args],
+        check=True, capture_output=True,
+    )
+
+
+class TestDiffMode:
+    def test_diff_outside_a_repository_exits_two(self, tree, capsys):
+        # The autouse fixture chdirs to a scratch (non-git) directory.
+        assert run([str(tree), "--diff", "HEAD"]) == 2
+        assert "git" in capsys.readouterr().err
+
+    def test_diff_filters_unchanged_findings(
+        self, tree, monkeypatch, capsys
+    ):
+        git(tree, "init", "-q")
+        git(tree, "add", "-A")
+        git(tree, "commit", "-q", "-m", "seed")
+        monkeypatch.chdir(tree)
+        # The full lint is red, but nothing changed since HEAD.
+        assert run([str(tree), "--no-cache"]) == 1
+        assert run([str(tree), "--no-cache", "--diff", "HEAD"]) == 0
+        capsys.readouterr()
+        # A fresh (untracked) violation surfaces; the committed one
+        # stays filtered.
+        (tree / "repro" / "sparse" / "fresh.py").write_text(DIRTY_SNIPPET)
+        assert run([str(tree), "--no-cache", "--diff", "HEAD"]) == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out and "dirty.py" not in out
+
+    def test_bad_ref_exits_two(self, tree, monkeypatch, capsys):
+        git(tree, "init", "-q")
+        git(tree, "add", "-A")
+        git(tree, "commit", "-q", "-m", "seed")
+        monkeypatch.chdir(tree)
+        assert run([str(tree), "--diff", "no-such-ref"]) == 2
+        assert "git" in capsys.readouterr().err
+
+
+class TestPruneBaseline:
+    def test_prune_round_trip(self, tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        # Grandfather two violations across two files.
+        (tree / "repro" / "sparse" / "also.py").write_text(DIRTY_SNIPPET)
+        assert run([str(tree), "--write-baseline", "--baseline",
+                    str(baseline)]) == 0
+        assert len(json.loads(baseline.read_text())["findings"]) == 2
+
+        # Fix one of them; pruning drops its (now stale) entry and the
+        # suppressed run stays clean with no stale-baseline noise.
+        (tree / "repro" / "sparse" / "also.py").write_text(CLEAN_SNIPPET)
+        assert run([str(tree), "--prune-baseline", "--baseline",
+                    str(baseline)]) == 0
+        captured = capsys.readouterr()
+        assert "kept 1" in captured.err and "dropped 1" in captured.err
+        entries = json.loads(baseline.read_text())["findings"]
+        assert len(entries) == 1 and "dirty.py" in entries[0]["path"]
+        assert run([str(tree), "--baseline", str(baseline)]) == 0
+        assert "stale" not in capsys.readouterr().out
+
+    def test_prune_keeps_still_firing_entries_intact(
+        self, tree, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        assert run([str(tree), "--write-baseline", "--baseline",
+                    str(baseline)]) == 0
+        before = baseline.read_text()
+        assert run([str(tree), "--prune-baseline", "--baseline",
+                    str(baseline)]) == 0
+        assert "dropped 0" in capsys.readouterr().err
+        assert baseline.read_text() == before
+
+    def test_write_and_prune_are_mutually_exclusive(self, tree, capsys):
+        assert run([str(tree), "--write-baseline", "--prune-baseline"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
 
 
 class TestRealTree:

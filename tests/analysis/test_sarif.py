@@ -1,0 +1,130 @@
+"""SARIF 2.1.0 renderer: structural schema validation and determinism.
+
+``jsonschema`` is not a repo dependency, so ``validate_sarif`` is a
+hand-rolled structural check of the SARIF 2.1.0 subset the renderer
+emits — required keys, types, catalogue/result cross-references and
+line-number bounds.  It deliberately fails on anything GitHub code
+scanning would reject (missing message, dangling ruleIndex, absolute
+artifact URIs).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import format_findings
+from repro.analysis.engine import Finding, LintReport
+from repro.analysis.sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    TOOL_NAME,
+    render_sarif,
+)
+
+_LEVELS = {"none", "note", "warning", "error"}
+
+
+def validate_sarif(doc):
+    """Assert ``doc`` is a structurally valid SARIF 2.1.0 log."""
+    assert isinstance(doc, dict)
+    assert doc["$schema"] == SARIF_SCHEMA_URI
+    assert doc["version"] == "2.1.0"
+    assert isinstance(doc["runs"], list) and doc["runs"]
+    for run in doc["runs"]:
+        driver = run["tool"]["driver"]
+        assert isinstance(driver["name"], str) and driver["name"]
+        rules = driver.get("rules", [])
+        assert isinstance(rules, list)
+        for descriptor in rules:
+            assert isinstance(descriptor["id"], str) and descriptor["id"]
+            assert isinstance(
+                descriptor["shortDescription"]["text"], str
+            )
+        for result in run.get("results", []):
+            assert isinstance(result["ruleId"], str) and result["ruleId"]
+            assert result["level"] in _LEVELS
+            assert isinstance(result["message"]["text"], str)
+            assert result["message"]["text"]
+            if "ruleIndex" in result:
+                index = result["ruleIndex"]
+                assert isinstance(index, int)
+                assert 0 <= index < len(rules)
+                assert rules[index]["id"] == result["ruleId"]
+            assert isinstance(result["locations"], list)
+            for location in result["locations"]:
+                physical = location["physicalLocation"]
+                uri = physical["artifactLocation"]["uri"]
+                assert isinstance(uri, str) and uri
+                assert not uri.startswith("/"), "URIs must be repo-relative"
+                start = physical["region"]["startLine"]
+                assert isinstance(start, int) and start >= 1
+
+
+def make_report(findings=()):
+    return LintReport(findings=list(findings), files_checked=3)
+
+
+def make_finding(rule="REP001", line=7, severity="error"):
+    return Finding(
+        rule=rule, path="src/repro/sparse/x.py", line=line,
+        message=f"{rule} fired", severity=severity,
+    )
+
+
+class TestRenderer:
+    def test_empty_report_still_carries_full_catalogue(self):
+        doc = json.loads(render_sarif(make_report()))
+        validate_sarif(doc)
+        (run,) = doc["runs"]
+        assert run["results"] == []
+        assert run["tool"]["driver"]["name"] == TOOL_NAME
+        ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert ids == [f"REP{n:03d}" for n in range(1, 11)]
+
+    def test_findings_become_cross_referenced_results(self):
+        doc = json.loads(render_sarif(make_report([
+            make_finding("REP001"), make_finding("REP008", line=12),
+        ])))
+        validate_sarif(doc)
+        first, second = doc["runs"][0]["results"]
+        assert first["ruleId"] == "REP001" and first["ruleIndex"] == 0
+        assert second["ruleId"] == "REP008" and second["ruleIndex"] == 7
+        region = second["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 12
+
+    def test_unknown_rule_omits_rule_index(self):
+        doc = json.loads(render_sarif(make_report([make_finding("REP999")])))
+        validate_sarif(doc)
+        (result,) = doc["runs"][0]["results"]
+        assert "ruleIndex" not in result
+
+    def test_line_zero_is_clamped_to_one(self):
+        doc = json.loads(render_sarif(make_report([make_finding(line=0)])))
+        validate_sarif(doc)
+        region = (
+            doc["runs"][0]["results"][0]["locations"][0]
+            ["physicalLocation"]["region"]
+        )
+        assert region["startLine"] == 1
+
+    @pytest.mark.parametrize("severity,level", [
+        ("error", "error"), ("warning", "warning"),
+        ("note", "note"), ("mystery", "error"),
+    ])
+    def test_severity_maps_to_level(self, severity, level):
+        doc = json.loads(
+            render_sarif(make_report([make_finding(severity=severity)]))
+        )
+        validate_sarif(doc)
+        assert doc["runs"][0]["results"][0]["level"] == level
+
+    def test_output_is_deterministic(self):
+        report = make_report([make_finding("REP001"), make_finding("REP007")])
+        assert render_sarif(report) == render_sarif(report)
+
+    def test_schema_version_constant_matches_document(self):
+        assert SARIF_VERSION == "2.1.0"
+
+    def test_format_findings_dispatches_sarif(self):
+        report = make_report([make_finding()])
+        assert format_findings(report, "sarif") == render_sarif(report)
