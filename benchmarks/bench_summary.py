@@ -3,7 +3,8 @@
 Alongside the paper-claim summary, this module renders the repo's own
 *performance trajectory* — the headline ratio of each committed
 optimization record (``BENCH_hotpath.json``, ``BENCH_serving.json``,
-``BENCH_cluster.json``, ``BENCH_batched.json``, ``BENCH_dse.json``) in
+``BENCH_cluster.json``, ``BENCH_batched.json``, ``BENCH_dse.json``,
+``BENCH_placement.json``) in
 one table, each checked against the acceptance floor its own benchmark
 enforces.  The
 table reads committed records only; regenerate a record with its
@@ -31,6 +32,7 @@ def perf_trajectory() -> ExperimentTable:
     cluster = _load("BENCH_cluster.json")
     batched = _load("BENCH_batched.json")
     dse = _load("BENCH_dse.json")
+    placement = _load("BENCH_placement.json")
     table = ExperimentTable(
         experiment_id="PERF",
         title="Performance trajectory (committed BENCH records)",
@@ -67,13 +69,27 @@ def perf_trajectory() -> ExperimentTable:
             float(dse["best_gflops_per_watt"]),
             5.0,
         ),
+        (
+            "placement",
+            "device-seconds saving vs best single backend",
+            float(
+                min(
+                    rec["device_seconds"]
+                    for name, rec in
+                    placement["results"]["400rps"].items()
+                    if name in ("fpga_only", "gpu_only")
+                )
+                / placement["results"]["400rps"]["mixed"]["device_seconds"]
+            ),
+            1.0,
+        ),
     )
     for stage, metric, ratio, floor in rows:
         table.add_row(stage, metric, ratio, floor, ratio >= floor)
     table.add_note(
         "each floor is the acceptance bound the stage's own benchmark "
         "guards; see bench_hot_path / bench_serving / bench_cluster / "
-        "bench_batched / bench_dse"
+        "bench_batched / bench_dse / bench_placement"
     )
     return table
 

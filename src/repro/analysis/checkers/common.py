@@ -24,7 +24,8 @@ import ast
 REPRO_TOP_MODULES = frozenset({
     "analysis", "baselines", "campaign", "cli", "config", "core",
     "datasets", "dse", "errors", "experiments", "faults", "fpga", "gpu",
-    "metrics", "parallel", "serve", "solvers", "sparse", "telemetry",
+    "metrics", "parallel", "placement", "serve", "solvers", "sparse",
+    "telemetry",
 })
 
 

@@ -37,7 +37,7 @@ RULE_ID = "REP001"
 
 SCOPED_PACKAGES = (
     "repro.sparse", "repro.fpga", "repro.solvers", "repro.serve",
-    "repro.dse", "repro.gpu", "repro.metrics",
+    "repro.dse", "repro.gpu", "repro.metrics", "repro.placement",
 )
 
 #: Fully-qualified callables that read ambient nondeterministic state.

@@ -52,6 +52,9 @@ ALLOWED_DEPENDENCIES: Mapping[str, frozenset[str]] = {
     # -- numeric substrate and models ---------------------------------
     "sparse": frozenset({"errors", "config", "telemetry"}),
     "gpu": frozenset({"errors", "sparse"}),
+    # placement prices one micro-batch on each device class: it wraps
+    # the gpu SpMV model and carries the FPGA-side constants itself.
+    "placement": frozenset({"errors", "gpu"}),
     "solvers": frozenset({"errors", "config", "telemetry", "sparse"}),
     "datasets": frozenset({"errors", "sparse"}),
     "metrics": frozenset({"errors", "fpga"}),
@@ -87,7 +90,7 @@ ALLOWED_DEPENDENCIES: Mapping[str, frozenset[str]] = {
     ),
     "serve": frozenset({
         "errors", "config", "telemetry", "sparse", "datasets", "core",
-        "fpga", "campaign", "parallel",
+        "fpga", "campaign", "parallel", "placement",
     }),
     # faults sits beside cli at the top of the stack: it injects into
     # the three recovery surfaces (parallel pool, serve, core attempt
@@ -102,7 +105,7 @@ ALLOWED_DEPENDENCIES: Mapping[str, frozenset[str]] = {
     # cli depends on it.
     "dse": frozenset({
         "errors", "config", "telemetry", "datasets", "core", "fpga",
-        "parallel", "serve",
+        "parallel", "serve", "placement",
     }),
     "experiments": frozenset({
         "errors", "config", "telemetry", "sparse", "solvers", "datasets",
@@ -113,7 +116,7 @@ ALLOWED_DEPENDENCIES: Mapping[str, frozenset[str]] = {
         "errors", "config", "telemetry", "sparse", "solvers", "datasets",
         "core", "fpga", "gpu", "metrics", "baselines", "analysis",
         "campaign", "parallel", "serve", "faults", "experiments", "dse",
-        ROOT_FACADE,
+        "placement", ROOT_FACADE,
     }),
     "__main__": frozenset({"cli"}),
     ROOT_FACADE: frozenset({

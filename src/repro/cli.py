@@ -153,6 +153,16 @@ def _build_parser() -> argparse.ArgumentParser:
             help="co-resident solver instances per device",
         )
         p.add_argument(
+            "--gpu-tenants", type=int, default=0, metavar="N",
+            help="MPS GPU tenant partitions alongside the FPGA slots "
+            "(0 = pure-FPGA fleet; cluster mode: tenants per fleet)",
+        )
+        p.add_argument(
+            "--cpu-assist", action="store_true",
+            help="offload cold-path structural analysis to a host CPU "
+            "core (adds a PCIe round trip, frees device time)",
+        )
+        p.add_argument(
             "--no-cache", action="store_true",
             help="disable the fingerprint-keyed plan cache",
         )
@@ -243,6 +253,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-autoscale", action="store_true",
         help="hold the fleet count static at --fleets",
     )
+    cluster.add_argument(
+        "--max-gpu-tenants", type=int, default=None, metavar="N",
+        help="cluster-wide cap on GPU tenant partitions; the "
+        "autoscaler clamps new fleets' tenancy to stay under it "
+        "(default: uncapped)",
+    )
 
     lint = sub.add_parser(
         "lint", help="machine-check the repo's invariants (REP001–REP010)"
@@ -309,7 +325,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--profile", default="all",
-        choices=("pool", "serve", "solver", "cluster", "all"),
+        choices=("pool", "serve", "solver", "cluster", "placement", "all"),
         help="which recovery surface to attack (default: all of them)",
     )
     chaos.add_argument(
@@ -543,6 +559,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             min_fleets=args.min_fleets,
             max_fleets=args.max_fleets,
             slots_per_fleet=args.slots_per_fleet,
+            gpu_tenants_per_fleet=args.gpu_tenants,
+            cpu_assist=args.cpu_assist,
+            max_gpu_tenants=args.max_gpu_tenants,
             max_batch=args.cluster_max_batch,
             batch_fill_ms=args.batch_fill_ms,
             queue_capacity=args.cluster_queue_capacity,
@@ -601,7 +620,10 @@ def _cmd_serving(args: argparse.Namespace, command: str) -> int:
         cache_enabled=not args.no_cache,
         cache_capacity=args.cache_capacity,
         fleet=FleetSpec(
-            devices=args.devices, slots_per_device=args.slots_per_device
+            devices=args.devices,
+            slots_per_device=args.slots_per_device,
+            gpu_tenants=args.gpu_tenants,
+            cpu_assist=args.cpu_assist,
         ),
         workers=args.workers,
     )

@@ -62,13 +62,19 @@ class CapacityQuery:
 def is_feasible(
     record: Mapping[str, Any], query: CapacityQuery
 ) -> bool:
-    """SLO met, shedding bounded, accounting airtight."""
+    """SLO met, shedding bounded, accounting airtight.
+
+    ``completed > 0`` is checked first: a zero-completion point carries
+    null latency statistics, and a fleet that served nothing can never
+    be feasible no matter how empty its percentiles look.
+    """
     metrics = record["metrics"]
     return (
-        metrics["p99_ms"] <= query.slo_p99_ms
+        metrics["completed"] > 0
+        and metrics["p99_ms"] is not None
+        and metrics["p99_ms"] <= query.slo_p99_ms
         and metrics["shed_rate"] <= query.max_shed_rate
         and metrics["unaccounted"] == 0
-        and metrics["completed"] > 0
     )
 
 

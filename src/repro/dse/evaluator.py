@@ -36,6 +36,7 @@ from repro.dse.space import (
 from repro.fpga.cost_model import PerformanceModel
 from repro.fpga.device import ALVEO_U55C, FPGADevice
 from repro.fpga.energy import EnergyModel
+from repro.placement import GPU_TENANT_AREA_MM2
 from repro.parallel import ItemResult, WorkItem, run_sharded
 from repro.serve import (
     ClusterConfig,
@@ -101,6 +102,8 @@ def cluster_config_for(shape: FleetShape) -> ClusterConfig:
         min_fleets=shape.min_fleets,
         max_fleets=shape.max_fleets,
         slots_per_fleet=shape.slots_per_fleet,
+        gpu_tenants_per_fleet=shape.gpu_tenants,
+        cpu_assist=shape.cpu_assist,
         cache_capacity=shape.cache_capacity,
         queue_capacity=shape.queue_capacity,
         autoscale=shape.max_fleets > shape.min_fleets,
@@ -165,12 +168,21 @@ def evaluate_point(
         slot_area_mm2 = SLOT_AREA_HEADROOM * device.spmv_region_area_mm2(
             shape.max_unroll
         )
+        # GPU tenants are priced at their MPS-partition die share, on
+        # the same mm²-seconds axis as the FPGA regions.  The report's
+        # provisioned_slot_seconds counts every dispatch slot, so the
+        # tenant share is peeled off before the FPGA-area multiply.
+        gpu_tenant_s = fleets.get("provisioned_gpu_tenant_seconds", 0.0)
         area_mm2 = fleets["peak"] * (
-            shape.slots_per_fleet * slot_area_mm2 + device.fixed_area_mm2
+            shape.slots_per_fleet * slot_area_mm2
+            + device.fixed_area_mm2
+            + shape.gpu_tenants * GPU_TENANT_AREA_MM2
         )
         fabric_mm2_seconds = (
-            fleets["provisioned_slot_seconds"] * slot_area_mm2
+            (fleets["provisioned_slot_seconds"] - gpu_tenant_s)
+            * slot_area_mm2
             + fleets["provisioned_fleet_seconds"] * device.fixed_area_mm2
+            + gpu_tenant_s * GPU_TENANT_AREA_MM2
         )
 
         flops_per_request = _modeled_flops_per_request(
@@ -213,6 +225,11 @@ def evaluate_point(
             "gflops_per_watt": energy.as_dict()["gflops_per_watt"],
             "energy_j": energy.as_dict(),
         }
+        if shape.gpu_tenants > 0:
+            metrics["gpu_batches"] = doc["batches"]["gpu_batches"]
+            metrics["gpu_transfers"] = doc["batches"]["gpu_transfers"]
+            metrics["provisioned_gpu_tenant_seconds"] = gpu_tenant_s
+            metrics["placement_by_class"] = doc["placement"]["by_class"]
         return {
             "id": point_id(shape, traffic),
             "shape": shape.as_dict(),

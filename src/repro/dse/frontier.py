@@ -31,10 +31,17 @@ OBJECTIVES = (
 
 
 def point_objectives(record: Mapping[str, Any]) -> tuple[float, ...]:
-    """Minimization tuple of one evaluated point record."""
+    """Minimization tuple of one evaluated point record.
+
+    A point that completed nothing publishes null latency statistics;
+    it maps to infinite p99 here so it can never dominate a point that
+    actually served traffic (under the old 0.0 sentinel, an idle fleet
+    looked infinitely fast and poisoned the frontier).
+    """
     metrics = record["metrics"]
+    p99 = metrics["p99_ms"]
     return (
-        float(metrics["p99_ms"]),
+        float("inf") if p99 is None else float(p99),
         float(metrics["device_seconds"]),
         float(metrics["area_mm2"]),
         float(metrics["reconfig_rate_per_s"]),

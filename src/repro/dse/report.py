@@ -28,10 +28,16 @@ DSE_SCHEMA_VERSION = 1
 CSV_COLUMNS = (
     "id", "traffic", "mix", "rate_rps", "slots_per_fleet", "max_unroll",
     "solver_mix", "cache_capacity", "queue_capacity", "min_fleets",
-    "max_fleets", "p50_ms", "p99_ms", "completed", "shed_rate",
-    "device_seconds", "area_mm2", "fabric_mm2_seconds",
-    "reconfig_rate_per_s", "gflops_per_watt", "on_frontier",
+    "max_fleets", "gpu_tenants", "cpu_assist", "p50_ms", "p99_ms",
+    "completed", "shed_rate", "device_seconds", "area_mm2",
+    "fabric_mm2_seconds", "reconfig_rate_per_s", "gflops_per_watt",
+    "on_frontier",
 )
+
+
+def _csv_ms(value: Any) -> str:
+    """Render a latency cell; idle points carry ``None`` sentinels."""
+    return "n/a" if value is None else f"{float(value):.6f}"
 
 
 @dataclass(frozen=True)
@@ -93,8 +99,10 @@ class DseReport:
                 str(shape["queue_capacity"]),
                 str(shape["min_fleets"]),
                 str(shape["max_fleets"]),
-                f"{metrics['p50_ms']:.6f}",
-                f"{metrics['p99_ms']:.6f}",
+                str(shape.get("gpu_tenants", 0)),
+                "1" if shape.get("cpu_assist") else "0",
+                _csv_ms(metrics["p50_ms"]),
+                _csv_ms(metrics["p99_ms"]),
                 str(metrics["completed"]),
                 f"{metrics['shed_rate']:.9f}",
                 f"{metrics['device_seconds']:.9f}",

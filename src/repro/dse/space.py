@@ -43,6 +43,14 @@ SHAPE_AXES = (
     "queue_capacity", "fleet_bounds",
 )
 
+#: Optional axes with their defaults: heterogeneous-placement knobs a
+#: space may sweep without forcing every legacy space document to name
+#: them.
+OPTIONAL_SHAPE_AXES: Mapping[str, tuple[Any, ...]] = {
+    "gpu_tenants": (0,),
+    "cpu_assist": (False,),
+}
+
 DEMO_SOURCES = ("2C", "Wi", "Li", "Fe")
 """Registry keys of the committed demo space (small, structurally
 diverse: SPD cliques, non-symmetric SDD, symmetric SDD, mixed-sign
@@ -60,11 +68,22 @@ class FleetShape:
     queue_capacity: int
     min_fleets: int
     max_fleets: int
+    gpu_tenants: int = 0
+    cpu_assist: bool = False
 
     def __post_init__(self) -> None:
-        if self.slots_per_fleet < 1:
+        if self.slots_per_fleet < 0:
             raise ConfigurationError(
-                f"slots_per_fleet must be >= 1, got {self.slots_per_fleet}"
+                f"slots_per_fleet must be >= 0, got {self.slots_per_fleet}"
+            )
+        if self.gpu_tenants < 0:
+            raise ConfigurationError(
+                f"gpu_tenants must be >= 0, got {self.gpu_tenants}"
+            )
+        if self.slots_per_fleet + self.gpu_tenants < 1:
+            raise ConfigurationError(
+                "a fleet shape needs at least one dispatchable slot "
+                "(slots_per_fleet + gpu_tenants >= 1)"
             )
         if self.max_unroll < 1:
             raise ConfigurationError(
@@ -91,15 +110,25 @@ class FleetShape:
 
     @property
     def shape_id(self) -> str:
-        """Stable human-readable identity used in reports and CSV."""
-        return (
+        """Stable human-readable identity used in reports and CSV.
+
+        Heterogeneous suffixes (``-g<n>``, ``-assist``) appear only
+        when the axes are engaged, so every legacy shape id is
+        unchanged.
+        """
+        base = (
             f"s{self.slots_per_fleet}-u{self.max_unroll}-"
             f"{self.solver_mix}-c{self.cache_capacity}-"
             f"q{self.queue_capacity}-f{self.min_fleets}:{self.max_fleets}"
         )
+        if self.gpu_tenants > 0:
+            base += f"-g{self.gpu_tenants}"
+        if self.cpu_assist:
+            base += "-assist"
+        return base
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        document: dict[str, Any] = {
             "slots_per_fleet": self.slots_per_fleet,
             "max_unroll": self.max_unroll,
             "solver_mix": self.solver_mix,
@@ -108,6 +137,10 @@ class FleetShape:
             "min_fleets": self.min_fleets,
             "max_fleets": self.max_fleets,
         }
+        if self.gpu_tenants > 0 or self.cpu_assist:
+            document["gpu_tenants"] = self.gpu_tenants
+            document["cpu_assist"] = self.cpu_assist
+        return document
 
 
 @dataclass(frozen=True)
@@ -206,22 +239,35 @@ def point_id(shape: FleetShape, traffic: TrafficSpec) -> str:
 def cross_shapes(axes: Mapping[str, Sequence[Any]]) -> tuple[FleetShape, ...]:
     """Cross the named axis lists into the full shape grid.
 
-    ``axes`` must provide exactly the :data:`SHAPE_AXES` keys;
-    ``fleet_bounds`` entries are ``(min_fleets, max_fleets)`` pairs.
+    ``axes`` must provide exactly the :data:`SHAPE_AXES` keys and may
+    add any of :data:`OPTIONAL_SHAPE_AXES` (``gpu_tenants``,
+    ``cpu_assist``); ``fleet_bounds`` entries are ``(min_fleets,
+    max_fleets)`` pairs.
     """
     missing = [name for name in SHAPE_AXES if name not in axes]
-    unknown = sorted(set(axes) - set(SHAPE_AXES))
+    unknown = sorted(
+        set(axes) - set(SHAPE_AXES) - set(OPTIONAL_SHAPE_AXES)
+    )
     if missing or unknown:
         raise ConfigurationError(
-            f"shape axes must be exactly {SHAPE_AXES}; "
+            f"shape axes must be exactly {SHAPE_AXES} "
+            f"(plus optional {tuple(OPTIONAL_SHAPE_AXES)}); "
             f"missing {missing}, unknown {unknown}"
         )
-    for name in SHAPE_AXES:
-        if not axes[name]:
+    for name in (*SHAPE_AXES, *OPTIONAL_SHAPE_AXES):
+        if name in axes and not axes[name]:
             raise ConfigurationError(f"axis {name!r} must not be empty")
+    optional = {
+        name: tuple(axes.get(name, default))
+        for name, default in OPTIONAL_SHAPE_AXES.items()
+    }
     shapes: list[FleetShape] = []
-    for slots, unroll, mix, cache, queue, bounds in product(
-        *(axes[name] for name in SHAPE_AXES)
+    for slots, unroll, mix, cache, queue, bounds, tenants, assist in (
+        product(
+            *(axes[name] for name in SHAPE_AXES),
+            optional["gpu_tenants"],
+            optional["cpu_assist"],
+        )
     ):
         if not isinstance(bounds, (tuple, list)) or len(bounds) != 2:
             raise ConfigurationError(
@@ -237,6 +283,8 @@ def cross_shapes(axes: Mapping[str, Sequence[Any]]) -> tuple[FleetShape, ...]:
                 queue_capacity=int(queue),
                 min_fleets=int(bounds[0]),
                 max_fleets=int(bounds[1]),
+                gpu_tenants=int(tenants),
+                cpu_assist=bool(assist),
             )
         )
     return tuple(shapes)

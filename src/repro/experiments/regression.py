@@ -34,6 +34,7 @@ BENCH_GUARDED_PREFIXES = (
     "batched_",
     "dse_",
     "lint_",
+    "placement_",
 )
 """Band-name prefixes owned by dedicated benchmark guards
 (``bench_hot_path.py``, ``bench_serving.py``, ``bench_cluster.py``,

@@ -17,6 +17,7 @@ from repro.faults.injectors import (
     ChaosExecutorFactory,
     ForcedDivergenceHook,
     chaos_cluster_config,
+    chaos_placement_config,
     chaos_service_config,
     storm_requests,
 )
@@ -25,6 +26,7 @@ from repro.faults.plan import (
     EXHAUSTION_BUDGET,
     ClusterFaultSchedule,
     FaultPlan,
+    PlacementFaultSchedule,
     PoolFaultSchedule,
     ServeFaultSchedule,
     SolverFaultSchedule,
@@ -35,6 +37,7 @@ from repro.faults.runner import (
     ProfileOutcome,
     run_chaos,
     run_cluster_profile,
+    run_placement_profile,
     run_pool_profile,
     run_serve_profile,
     run_solver_profile,
@@ -49,14 +52,17 @@ __all__ = [
     "ClusterFaultSchedule",
     "FaultPlan",
     "ForcedDivergenceHook",
+    "PlacementFaultSchedule",
     "PoolFaultSchedule",
     "ProfileOutcome",
     "ServeFaultSchedule",
     "SolverFaultSchedule",
     "chaos_cluster_config",
+    "chaos_placement_config",
     "chaos_service_config",
     "run_chaos",
     "run_cluster_profile",
+    "run_placement_profile",
     "run_pool_profile",
     "run_serve_profile",
     "run_solver_profile",

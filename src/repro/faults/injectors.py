@@ -37,6 +37,7 @@ from repro.fpga.multitenancy import FleetSpec
 from repro.solvers.base import SolveResult, SolveStatus
 from repro.faults.plan import (
     ClusterFaultSchedule,
+    PlacementFaultSchedule,
     PoolFaultSchedule,
     ServeFaultSchedule,
 )
@@ -212,6 +213,32 @@ def chaos_service_config(
         max_batch=4,
         cache_capacity=schedule.cache_capacity,
         fleet=FleetSpec(devices=1, slots_per_device=slots),
+        device_faults=schedule.device_faults,
+    )
+
+
+def chaos_placement_config(
+    schedule: PlacementFaultSchedule,
+    fpga_slots: int,
+    gpu_tenants: int,
+) -> ServiceConfig:
+    """Mixed-fleet configuration under the plan's flapping tenants.
+
+    The fleet tenants both device classes (with CPU assist on, so the
+    offload path is exercised too) and the plan's class-tagged outages
+    ride the scheduler's fault seam; each is counted here as injected.
+    """
+    for _ in schedule.device_faults:
+        tm.count("faults.injected.device_outage")
+    return ServiceConfig(
+        queue_capacity=256,
+        max_batch=4,
+        fleet=FleetSpec(
+            devices=1,
+            slots_per_device=fpga_slots,
+            gpu_tenants=gpu_tenants,
+            cpu_assist=True,
+        ),
         device_faults=schedule.device_faults,
     )
 

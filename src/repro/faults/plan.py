@@ -36,7 +36,7 @@ from repro.errors import ConfigurationError
 from repro.serve.cluster.service import FleetFaultEvent, ForcedScaleEvent
 from repro.serve.scheduler import DeviceFaultEvent
 
-CHAOS_PROFILES = ("pool", "serve", "solver", "cluster")
+CHAOS_PROFILES = ("pool", "serve", "solver", "cluster", "placement")
 """The chaos runner's profile names, one per recovery surface."""
 
 EXHAUSTION_BUDGET = 99
@@ -49,6 +49,7 @@ _POOL_STREAM = 1
 _SERVE_STREAM = 2
 _SOLVER_STREAM = 3
 _CLUSTER_STREAM = 4
+_PLACEMENT_STREAM = 5
 
 
 def _rng(seed: int, stream: int) -> np.random.Generator:
@@ -137,6 +138,29 @@ class ClusterFaultSchedule:
     mid_drain_at_s: float
     fleet_faults: tuple[FleetFaultEvent, ...]
     forced_scale: tuple[ForcedScaleEvent, ...]
+
+
+@dataclass(frozen=True)
+class PlacementFaultSchedule:
+    """Heterogeneous-fleet chaos: flapping GPU tenants on a mixed fleet.
+
+    ``device_faults`` mixes GPU-tenant outages (the flapping tenants —
+    repeated short outages in quick succession, the MPS-partition
+    preemption case) with at least one FPGA-slot outage, so the audits
+    can check that a fault in one device class never evicts the other
+    class's residents or steals its slots.  ``rate_rps`` shapes the
+    driving trace so both slot pools carry real batches while tenants
+    flap.
+    """
+
+    rate_rps: float
+    device_faults: tuple[DeviceFaultEvent, ...]
+
+    def faults_for(self, device_class: str) -> tuple[DeviceFaultEvent, ...]:
+        """The scheduled outages targeting one device class."""
+        return tuple(
+            e for e in self.device_faults if e.device_class == device_class
+        )
 
 
 @dataclass(frozen=True)
@@ -309,6 +333,72 @@ class FaultPlan:
             mid_drain_at_s=mid_drain_at,
             fleet_faults=tuple(faults),
             forced_scale=tuple(forced),
+        )
+
+    def placement_schedule(
+        self,
+        duration_s: float,
+        fpga_slots: int,
+        gpu_tenants: int,
+    ) -> PlacementFaultSchedule:
+        """Draw the mixed-fleet outage schedule (flapping GPU tenants).
+
+        Two transitions are guaranteed on every seed: at least one GPU
+        tenant flaps (two short outages in quick succession on the same
+        tenant ordinal) and at least one FPGA-slot outage lands, so the
+        class-isolation audit always has both fault kinds to reconcile.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError(
+                f"placement chaos duration must be > 0 s, got {duration_s}"
+            )
+        if fpga_slots < 1 or gpu_tenants < 1:
+            raise ConfigurationError(
+                "placement chaos needs a mixed fleet (>= 1 FPGA slot and "
+                f">= 1 GPU tenant), got {fpga_slots} / {gpu_tenants}"
+            )
+        rng = _rng(self.seed, _PLACEMENT_STREAM)
+        rate = float(np.round(rng.uniform(140.0, 220.0), 6))
+        faults: list[DeviceFaultEvent] = []
+        # The guaranteed flap: one tenant goes down twice, back to back.
+        flap_tenant = int(rng.integers(gpu_tenants))
+        flap_at = float(np.round(rng.uniform(0.1, 0.4) * duration_s, 9))
+        flap_outage = float(np.round(rng.uniform(0.02, 0.08), 9))
+        flap_gap = float(np.round(rng.uniform(0.05, 0.15) * duration_s, 9))
+        for at_s in (flap_at, float(np.round(flap_at + flap_gap, 9))):
+            faults.append(
+                DeviceFaultEvent(
+                    at_s=at_s,
+                    slot=flap_tenant,
+                    outage_s=flap_outage,
+                    device_class="gpu",
+                )
+            )
+        for _ in range(int(rng.integers(0, 3))):
+            faults.append(
+                DeviceFaultEvent(
+                    at_s=float(
+                        np.round(rng.uniform(0.0, duration_s), 9)
+                    ),
+                    slot=int(rng.integers(gpu_tenants)),
+                    outage_s=float(np.round(rng.uniform(0.02, 0.1), 9)),
+                    device_class="gpu",
+                )
+            )
+        # The guaranteed cross-class fault: one FPGA slot outage.
+        for _ in range(int(rng.integers(1, 3))):
+            faults.append(
+                DeviceFaultEvent(
+                    at_s=float(
+                        np.round(rng.uniform(0.0, duration_s), 9)
+                    ),
+                    slot=int(rng.integers(fpga_slots)),
+                    outage_s=float(np.round(rng.uniform(0.02, 0.15), 9)),
+                    device_class="fpga",
+                )
+            )
+        return PlacementFaultSchedule(
+            rate_rps=rate, device_faults=tuple(faults)
         )
 
     def solver_schedule(

@@ -47,12 +47,14 @@ from repro.serve.api import Outcome
 from repro.serve.cluster.autoscale import ScaleAction
 from repro.serve.cluster.service import run_cluster_loadtest
 from repro.serve.cluster.trace import ClusterLoadSpec
-from repro.serve.service import run_service
+from repro.serve.loadgen import LoadSpec
+from repro.serve.service import run_loadtest, run_service
 from repro.telemetry import Telemetry
 from repro.faults.injectors import (
     ChaosExecutorFactory,
     ForcedDivergenceHook,
     chaos_cluster_config,
+    chaos_placement_config,
     chaos_service_config,
     storm_requests,
 )
@@ -71,6 +73,10 @@ SERVE_SOURCE_COUNT = 10
 SOLVER_RECOVERY_GRIDS = (10, 16)
 CLUSTER_DURATION_S = 8.0
 CLUSTER_SOURCE_COUNT = 10
+PLACEMENT_DURATION_S = 2.0
+PLACEMENT_FPGA_SLOTS = 2
+PLACEMENT_GPU_TENANTS = 2
+PLACEMENT_SOURCES = ("Wi", "Ga", "Ns", "If")
 
 
 @dataclass(frozen=True)
@@ -670,11 +676,145 @@ def run_cluster_profile(plan: FaultPlan) -> ProfileOutcome:
     return ProfileOutcome("cluster", injected, observed, tuple(findings))
 
 
+# -- placement profile --------------------------------------------------
+
+
+def run_placement_profile(plan: FaultPlan) -> ProfileOutcome:
+    """Flapping-GPU-tenant chaos against a mixed FPGA+GPU fleet.
+
+    The plan schedules class-tagged device outages — a GPU tenant that
+    flaps (two short outages back to back) plus FPGA-slot outages — on
+    a fleet tenanting both classes with CPU assist.  The audits pin the
+    class-isolation contract: a GPU fault must never evict an FPGA
+    resident (and vice versa), placement decisions must cover every
+    profiled source un-forced, and both slot pools must carry real
+    batches while the tenants flap.
+    """
+    schedule = plan.placement_schedule(
+        duration_s=PLACEMENT_DURATION_S,
+        fpga_slots=PLACEMENT_FPGA_SLOTS,
+        gpu_tenants=PLACEMENT_GPU_TENANTS,
+    )
+    collector = Telemetry()
+    with collector.activate():
+        config = chaos_placement_config(
+            schedule,
+            fpga_slots=PLACEMENT_FPGA_SLOTS,
+            gpu_tenants=PLACEMENT_GPU_TENANTS,
+        )
+        spec = LoadSpec(
+            seed=plan.seed,
+            duration_s=PLACEMENT_DURATION_S,
+            rate_rps=schedule.rate_rps,
+            mix="uniform",
+            sources=PLACEMENT_SOURCES,
+        )
+        report = run_loadtest(spec, config)
+
+    findings: list[ChaosFinding] = []
+
+    def violated(check: str, message: str) -> None:
+        findings.append(ChaosFinding("placement", check, message))
+
+    if report.unaccounted != 0:
+        violated(
+            "CHS-PLACE-ACCOUNT",
+            f"{report.unaccounted} request(s) dropped without a response "
+            "on the mixed fleet",
+        )
+    applied_faults = report.counters.get("serve.device_faults", 0)
+    if applied_faults != len(schedule.device_faults):
+        violated(
+            "CHS-PLACE-INJECT",
+            f"scheduled {len(schedule.device_faults)} class-tagged "
+            f"outage(s) but {applied_faults} were applied — both slot "
+            "pools exist, so none may be skipped",
+        )
+    slots = report.scheduler.slots
+    for name in ("fpga", "gpu"):
+        observed = sum(
+            s.outages for s in slots if s.device_class == name
+        )
+        scheduled = len(schedule.faults_for(name))
+        if observed != scheduled:
+            violated(
+                "CHS-PLACE-ISOLATE",
+                f"{scheduled} {name} outage(s) scheduled but {name} "
+                f"slots record {observed} — a fault crossed device "
+                "classes",
+            )
+    decisions = {}
+    for source, profile in report.scheduler.profiles.items():
+        if isinstance(profile, str):
+            continue
+        decision = report.scheduler.placement_for(source)
+        if decision is None:
+            violated(
+                "CHS-PLACE-DECIDE",
+                f"source {source} has a profile but no placement "
+                "decision",
+            )
+            continue
+        decisions[source] = decision
+        if decision.device_class not in ("fpga", "gpu"):
+            violated(
+                "CHS-PLACE-DECIDE",
+                f"source {source} placed on unknown class "
+                f"{decision.device_class!r}",
+            )
+        if decision.forced:
+            violated(
+                "CHS-PLACE-DECIDE",
+                f"source {source} placement was forced although both "
+                "device classes are tenanted",
+            )
+    fpga_batches = report.counters.get("placement.fpga_batches", 0)
+    gpu_batches = report.counters.get("placement.gpu_batches", 0)
+    if fpga_batches == 0 or gpu_batches == 0:
+        violated(
+            "CHS-PLACE-SERVE",
+            f"both slot pools must carry batches under chaos, got "
+            f"{fpga_batches} fpga / {gpu_batches} gpu",
+        )
+    if gpu_batches and not report.counters.get("gpu.transfers", 0):
+        violated(
+            "CHS-PLACE-SERVE",
+            f"{gpu_batches} GPU batch(es) served without a single PCIe "
+            "structure transfer — flapping tenants must re-upload",
+        )
+
+    injected = _injected(collector)
+    observed = {
+        "rate_rps": schedule.rate_rps,
+        "scheduled_outages": {
+            "fpga": len(schedule.faults_for("fpga")),
+            "gpu": len(schedule.faults_for("gpu")),
+        },
+        "placement": {
+            source: decisions[source].device_class
+            for source in sorted(decisions)
+        },
+        "batches": {"fpga": fpga_batches, "gpu": gpu_batches},
+        "gpu_transfers": report.counters.get("gpu.transfers", 0),
+        "cpu_assist_offloads": report.counters.get(
+            "placement.cpu_assist_offloads", 0
+        ),
+        "requests": {
+            "offered": report.counters.get("serve.requests", 0),
+            "completed": len(report.completed),
+            "shed": report.shed_count,
+            "expired": report.expired_count,
+        },
+    }
+    return ProfileOutcome("placement", injected, observed, tuple(findings))
+
+
 PROFILE_RUNNERS: dict[str, Callable[[FaultPlan], ProfileOutcome]] = {
     "pool": run_pool_profile,
     "serve": run_serve_profile,
     "solver": run_solver_profile,
     "cluster": run_cluster_profile,
+    "placement": run_placement_profile,
 }
 
 

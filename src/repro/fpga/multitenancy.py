@@ -70,26 +70,56 @@ class FleetSpec:
     serving scheduler dispatches micro-batches onto; each slot remembers
     the reconfiguration-plan signature it was last configured with, so
     routing a compatible batch to it skips the ICAP configuration load.
+
+    A fleet may additionally declare **GPU tenants** (``gpu_tenants``
+    MPS partitions running the cuSPARSE SpMV backend) and a **CPU-assist
+    tier** (``cpu_assist``: cold-batch structure analysis offloaded to
+    the host).  GPU tenants are dispatch slots of their own device
+    class; the scheduler places each micro-batch on the cheaper backend
+    per the placement cost models.  ``slots_per_device`` may be 0 to
+    model a GPU-only fleet, but the fleet must keep at least one
+    dispatchable slot overall.
     """
 
     devices: int = 1
     slots_per_device: int = 4
     device: FPGADevice = ALVEO_U55C
+    gpu_tenants: int = 0
+    cpu_assist: bool = False
 
     def __post_init__(self) -> None:
         if self.devices < 1:
             raise ConfigurationError(
                 f"fleet needs >= 1 device, got {self.devices}"
             )
-        if self.slots_per_device < 1:
+        if self.slots_per_device < 0:
             raise ConfigurationError(
-                f"fleet needs >= 1 slot per device, got {self.slots_per_device}"
+                f"fleet needs >= 0 slots per device, got {self.slots_per_device}"
+            )
+        if self.gpu_tenants < 0:
+            raise ConfigurationError(
+                f"fleet needs >= 0 GPU tenants, got {self.gpu_tenants}"
+            )
+        if self.devices * self.slots_per_device + self.gpu_tenants < 1:
+            raise ConfigurationError(
+                "fleet needs at least one dispatchable slot "
+                "(FPGA slots + GPU tenants)"
             )
 
     @property
     def total_slots(self) -> int:
-        """Concurrent solver instances across the fleet."""
+        """Concurrent FPGA solver instances across the fleet.
+
+        GPU tenants are counted separately (:attr:`dispatch_slots`), so
+        fleets with ``gpu_tenants=0`` keep byte-identical accounting
+        with pre-placement reports.
+        """
         return self.devices * self.slots_per_device
+
+    @property
+    def dispatch_slots(self) -> int:
+        """All dispatchable slots: FPGA instances plus GPU tenants."""
+        return self.total_slots + self.gpu_tenants
 
     @classmethod
     def sized_for(

@@ -32,6 +32,25 @@ CSR_BYTES_PER_ROW = 16.0
 """Traffic per row: indptr reads plus ``y`` write-back."""
 
 
+def _validated_row_lengths(row_lengths: np.ndarray) -> np.ndarray:
+    """Coerce a row-length profile to int64 and reject negatives.
+
+    The serving placement model calls these helpers per profiled source,
+    so malformed inputs must fail loudly here rather than produce NaN
+    underutilization downstream.
+    """
+    nnz = np.asarray(row_lengths, dtype=np.int64)
+    if nnz.ndim != 1:
+        raise ConfigurationError(
+            f"row_lengths must be one-dimensional, got shape {nnz.shape}"
+        )
+    if nnz.size and int(nnz.min()) < 0:
+        raise ConfigurationError(
+            f"row_lengths must be >= 0, got minimum {int(nnz.min())}"
+        )
+    return nnz
+
+
 @dataclass(frozen=True)
 class GPUSpMVReport:
     """Modeled execution of one cuSPARSE CSR SpMV pass."""
@@ -45,7 +64,13 @@ class GPUSpMVReport:
 
     @property
     def achieved_fraction(self) -> float:
-        """Achieved / peak throughput (Figure 9 bottom's y-axis)."""
+        """Achieved / peak throughput (Figure 9 bottom's y-axis).
+
+        Defined on every sweep the model can produce: a zero-FLOP pass
+        (empty matrix, or all rows empty) reports exactly 0.0, and a
+        device modeled with zero peak FLOPs reports 0.0 rather than
+        dividing by zero.
+        """
         if self.peak_flops == 0:
             return 0.0
         return self.achieved_flops / self.peak_flops
@@ -60,9 +85,12 @@ def warp_lane_underutilization(row_lengths: np.ndarray, warp_size: int = 32) -> 
     """Mean idle-lane fraction of the warp-per-row (CSR-vector) kernel.
 
     A row with zero non-zeros still schedules its warp for the reduction
-    epilogue, wasting all lanes.
+    epilogue, wasting all lanes — an all-empty matrix is therefore fully
+    underutilized (1.0), while a zero-row matrix schedules no warps at
+    all and reports 0.0.  Both edges are defined (no division by zero):
+    the per-row lane-slot count is floored at one warp.
     """
-    nnz = np.asarray(row_lengths, dtype=np.int64)
+    nnz = _validated_row_lengths(row_lengths)
     if len(nnz) == 0:
         return 0.0
     slots = np.maximum(1, -(-nnz // warp_size))
@@ -78,8 +106,13 @@ def scalar_kernel_underutilization(
     Thirty-two consecutive rows share a warp; every lane iterates until
     the warp's *longest* row finishes, so the divergence waste of a warp
     is ``1 - sum(nnz) / (32 · max(nnz))``.
+
+    Edge cases are defined, not accidental: a zero-row matrix reports
+    0.0 (no warps scheduled), and an all-empty-row matrix reports 1.0
+    because each warp still runs its floor of one iteration with every
+    lane idle (``longest`` is clamped below at 1).
     """
-    nnz = np.asarray(row_lengths, dtype=np.int64)
+    nnz = _validated_row_lengths(row_lengths)
     if len(nnz) == 0:
         return 0.0
     pad = (-len(nnz)) % warp_size
@@ -128,8 +161,25 @@ class CuSparseSpMVModel:
         return self.sweep_from_row_lengths(matrix.row_lengths())
 
     def sweep_from_row_lengths(self, row_lengths: np.ndarray) -> GPUSpMVReport:
-        """Model one pass given only the NNZ/row profile."""
-        nnz_per_row = np.asarray(row_lengths, dtype=np.int64)
+        """Model one pass given only the NNZ/row profile.
+
+        A zero-row profile is a defined no-op — zero seconds, zero
+        FLOPs, zero underutilization, memory-bound by convention (the
+        pass moves no data and runs no lanes).  An all-empty-row
+        profile still pays the indptr traffic and the per-warp floor
+        iteration, so it takes nonzero seconds for zero FLOPs and its
+        achieved fraction is exactly 0.0.
+        """
+        nnz_per_row = _validated_row_lengths(row_lengths)
+        if len(nnz_per_row) == 0:
+            return GPUSpMVReport(
+                seconds=0.0,
+                flops=0.0,
+                lane_underutilization=0.0,
+                achieved_flops=0.0,
+                peak_flops=self.device.peak_flops,
+                memory_bound=True,
+            )
         nnz = int(nnz_per_row.sum())
         n_rows = len(nnz_per_row)
         device = self.device

@@ -1,0 +1,169 @@
+"""The per-source placement decision and the Table-II-style matrix.
+
+A placement decision compares the amortized cost of one *full micro-
+batch* on each backend:
+
+- **FPGA**: ``max_batch`` warm final-attempt computes plus the ICAP
+  solver-region load amortized over the expected residency run,
+- **GPU**: ``max_batch`` warm iterative solves at roofline-plus-launch
+  cost plus the PCIe structure upload amortized the same way.
+
+Irregular matrices with short rows waste GPU lanes (Fig 8) and lean
+FPGA; large regular structures amortize the warp-wide reduction and
+lean GPU — exactly the division of labor the paper's underutilization
+argument predicts.  Ties go to the FPGA (the reconfigurable fabric is
+the deployment's home team, and a deterministic tie-break is part of
+the byte-identity contract).
+
+Decisions are pure functions of profile scalars, so every scheduler —
+single-fleet, cluster, DSE sweep — reaches the identical placement for
+a source regardless of run, machine or worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.placement.device import FPGA, GPU
+
+SYMMETRIC = "symmetric"
+DIAGONALLY_DOMINANT = "diagonally-dominant"
+GENERAL = "general"
+
+STRUCTURAL_CLASSES = (SYMMETRIC, DIAGONALLY_DOMINANT, GENERAL)
+"""Structural classes of the scenario matrix, in Table-II order."""
+
+RESIDENCY_AMORTIZATION_BATCHES = 32
+"""Expected consecutive batches a source's configuration stays resident
+on its slot (plan-signature affinity keeps recurring traffic on the
+slot it configured).  The one-time residency-miss charges — the FPGA's
+ICAP solver-region load, the GPU's PCIe structure upload — are
+amortized over this run length in the placement comparison, so the
+decision weighs steady-state service cost rather than assuming every
+batch pays a worst-case miss."""
+
+_SOLVER_TO_CLASS = {
+    "cg": SYMMETRIC,
+    "jacobi": DIAGONALLY_DOMINANT,
+}
+
+
+def structural_class_of(solver_sequence: tuple[str, ...]) -> str:
+    """Structural class implied by the Matrix Structure unit's pick.
+
+    The decision loop selects CG for symmetric matrices and Jacobi for
+    strictly diagonally dominant ones; everything else falls to the
+    general (BiCGStab-first) class.  The first solver of the sequence is
+    the selection, later entries are Solver Modifier fallbacks.
+    """
+    if not solver_sequence:
+        return GENERAL
+    return _SOLVER_TO_CLASS.get(solver_sequence[0], GENERAL)
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Where one source's micro-batches run, and why."""
+
+    source: str
+    device_class: str
+    structural_class: str
+    fpga_batch_s: float
+    gpu_batch_s: float
+    forced: bool
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "source": self.source,
+            "device_class": self.device_class,
+            "structural_class": self.structural_class,
+            "fpga_batch_s": round(self.fpga_batch_s, 12),
+            "gpu_batch_s": round(self.gpu_batch_s, 12),
+            "forced": self.forced,
+        }
+
+
+def decide_placement(
+    profile: Any,
+    *,
+    fpga_slots: int,
+    gpu_tenants: int,
+    max_batch: int,
+) -> PlacementDecision:
+    """Place one source given the fleet's tenancy mix.
+
+    ``profile`` is a :class:`repro.serve.profile.SolveProfile` (typed as
+    ``Any`` to keep the layering acyclic — serve builds on placement,
+    not the reverse).  A fleet with only one dispatchable class forces
+    that class regardless of cost.
+    """
+    structural = structural_class_of(tuple(profile.solver_sequence))
+    batch = max(1, int(max_batch))
+    fpga_batch = (
+        profile.solver_swap_s / RESIDENCY_AMORTIZATION_BATCHES
+        + batch * profile.warm_service_s
+    )
+    gpu_batch = (
+        profile.gpu_transfer_s / RESIDENCY_AMORTIZATION_BATCHES
+        + batch * profile.gpu_warm_service_s
+    )
+    if gpu_tenants < 1:
+        chosen, forced = FPGA, True
+    elif fpga_slots < 1:
+        chosen, forced = GPU, True
+    else:
+        chosen, forced = (GPU, False) if gpu_batch < fpga_batch else (
+            FPGA, False
+        )
+    return PlacementDecision(
+        source=profile.label,
+        device_class=chosen,
+        structural_class=structural,
+        fpga_batch_s=fpga_batch,
+        gpu_batch_s=gpu_batch,
+        forced=forced,
+    )
+
+
+def placement_counts(
+    decisions: Iterable[PlacementDecision],
+) -> dict[str, int]:
+    """Sources per chosen device class (stable key order)."""
+    counts = {FPGA: 0, GPU: 0}
+    for decision in decisions:
+        counts[decision.device_class] = (
+            counts.get(decision.device_class, 0) + 1
+        )
+    return counts
+
+
+def scenario_matrix(
+    decisions: Iterable[PlacementDecision],
+) -> dict[str, dict[str, int]]:
+    """Structural class × backend winner, Table-II style.
+
+    Rows are structural classes, columns the chosen device class; every
+    row appears even when empty so the committed matrix shape is stable
+    across traffic mixes.
+    """
+    matrix = {
+        structural: {FPGA: 0, GPU: 0}
+        for structural in STRUCTURAL_CLASSES
+    }
+    for decision in decisions:
+        row = matrix[decision.structural_class]
+        row[decision.device_class] = row.get(decision.device_class, 0) + 1
+    return matrix
+
+
+def placement_section(
+    decisions: Mapping[str, PlacementDecision],
+) -> dict[str, Any]:
+    """Report fragment: per-source decisions plus the scenario matrix."""
+    ordered = [decisions[key] for key in sorted(decisions)]
+    return {
+        "sources": {d.source: d.as_dict() for d in ordered},
+        "by_class": placement_counts(ordered),
+        "scenario_matrix": scenario_matrix(ordered),
+    }

@@ -1,0 +1,114 @@
+"""GPU serving cost model: cuSPARSE roofline plus launch and transfer.
+
+The Fig 8/9 analysis model (:mod:`repro.gpu.cusparse_model`) prices one
+SpMV *pass*; a schedulable backend needs whole-service terms.  This
+module composes them:
+
+- **warm service** — ``iterations × (spmv_pass + kernel launch)``: the
+  structure is resident in device memory, each solver iteration launches
+  one SpMV kernel and rides its roofline time,
+- **transfer** — the PCIe upload of the CSR structure plus the dense
+  vectors, charged when a batch lands on a GPU tenant whose resident
+  structure differs (the GPU analogue of the FPGA's ICAP configuration
+  load — bandwidth-bound instead of configuration-port-bound),
+- **cold service** — host analysis plus the full fallback-attempt chain
+  re-priced at GPU iteration cost (attempt seconds scale from the FPGA
+  profile's attempt/final compute ratio, which is iteration-count
+  driven and device-independent).
+
+All terms are pure functions of the row-length profile and the solve
+profile scalars, so they are computed once per source at profiling time
+and the schedulers compare precomputed floats — byte-deterministic by
+construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.cusparse_model import (
+    CSR_BYTES_PER_NNZ,
+    CSR_BYTES_PER_ROW,
+    CuSparseSpMVModel,
+)
+from repro.gpu.device import GTX_1650_SUPER, GPUDevice
+from repro.placement.device import (
+    GPU_KERNEL_LAUNCH_SECONDS,
+    GPU_TENANT_FRACTION,
+    PCIE_BANDWIDTH_BPS,
+)
+
+VECTOR_BYTES_PER_ROW = 8.0
+"""Dense payload per row of the transfer: the fp32 ``b`` upload and the
+``x`` download."""
+
+
+@dataclass(frozen=True)
+class GPUServiceEstimate:
+    """Precomputed GPU serving terms for one problem source."""
+
+    warm_service_s: float
+    transfer_s: float
+    spmv_seconds: float
+    lane_underutilization: float
+    memory_bound: bool
+
+
+def transfer_seconds(n_rows: int, nnz: int) -> float:
+    """PCIe seconds to make a CSR structure resident on the GPU."""
+    traffic = (
+        CSR_BYTES_PER_NNZ * nnz
+        + (CSR_BYTES_PER_ROW + VECTOR_BYTES_PER_ROW) * n_rows
+    )
+    return traffic / PCIE_BANDWIDTH_BPS
+
+
+def tenant_partition(
+    device: GPUDevice = GTX_1650_SUPER,
+    fraction: float = GPU_TENANT_FRACTION,
+) -> GPUDevice:
+    """The slice of ``device`` one MPS tenant owns.
+
+    A fractional partition keeps its share of SMs/lanes and — because
+    SpMV is bandwidth-bound — the same share of sustained DRAM
+    bandwidth.  Clock, warp size and efficiency are per-SM properties
+    and carry over unchanged.
+    """
+    return dataclasses.replace(
+        device,
+        name=f"{device.name}-tenant",
+        cuda_cores=max(1, int(device.cuda_cores * fraction)),
+        n_sms=max(1, int(device.n_sms * fraction)),
+        memory_bandwidth_bps=device.memory_bandwidth_bps * fraction,
+    )
+
+
+def estimate_gpu_service(
+    row_lengths: np.ndarray,
+    iterations: int,
+    device: GPUDevice = GTX_1650_SUPER,
+) -> GPUServiceEstimate:
+    """Price one warm solve of ``iterations`` on a GPU tenant.
+
+    The sweep runs on :func:`tenant_partition` of ``device`` — one MPS
+    quarter partition, matching the area the DSE pricing charges — with
+    the adaptive kernel policy (vector for long rows, scalar for short
+    ones) the way cuSPARSE's internal heuristics do, so irregular
+    scientific matrices see the divergence penalty Figures 8/9 measure.
+    """
+    nnz_per_row = np.asarray(row_lengths, dtype=np.int64)
+    model = CuSparseSpMVModel(tenant_partition(device), kernel="adaptive")
+    report = model.sweep_from_row_lengths(nnz_per_row)
+    per_iteration = report.seconds + GPU_KERNEL_LAUNCH_SECONDS
+    n_rows = int(len(nnz_per_row))
+    nnz = int(nnz_per_row.sum())
+    return GPUServiceEstimate(
+        warm_service_s=max(0, int(iterations)) * per_iteration,
+        transfer_s=transfer_seconds(n_rows, nnz),
+        spmv_seconds=report.seconds,
+        lane_underutilization=report.lane_underutilization,
+        memory_bound=report.memory_bound,
+    )

@@ -54,6 +54,14 @@ import numpy as np
 from repro import telemetry as tm
 from repro.config import AcamarConfig
 from repro.errors import ConfigurationError
+from repro.placement import (
+    CPU_ASSIST_ROUNDTRIP_SECONDS,
+    FPGA,
+    GPU,
+    PlacementDecision,
+    decide_placement,
+    placement_section,
+)
 from repro.serve.api import PRIORITY_NAMES, Priority
 from repro.serve.cluster.autoscale import (
     Autoscaler,
@@ -73,7 +81,7 @@ from repro.serve.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.serve.cluster.trace import ClusterLoadSpec, RequestTrace
 from repro.serve.profile import DISPATCH_OVERHEAD_SECONDS, SolveProfile
 from repro.serve.service import DRAIN_LIMIT_FACTOR, build_profiles
-from repro.serve.stats import latency_summary_ms_array
+from repro.serve.stats import format_latency_ms, latency_summary_ms_array
 from repro.telemetry import Telemetry, percentile
 
 CLUSTER_SCHEMA_VERSION = 1
@@ -121,6 +129,9 @@ class ClusterConfig:
     min_fleets: int = 1
     max_fleets: int = 8
     slots_per_fleet: int = 4
+    gpu_tenants_per_fleet: int = 0
+    cpu_assist: bool = False
+    max_gpu_tenants: int | None = None
     max_batch: int = 64
     batch_fill_ms: float = 40.0
     queue_capacity: int = 4096
@@ -149,9 +160,23 @@ class ClusterConfig:
                 f"{self.min_fleets} / {self.initial_fleets} / "
                 f"{self.max_fleets}"
             )
-        if self.slots_per_fleet < 1:
+        if self.slots_per_fleet < 0:
             raise ConfigurationError(
-                f"slots_per_fleet must be >= 1, got {self.slots_per_fleet}"
+                f"slots_per_fleet must be >= 0, got {self.slots_per_fleet}"
+            )
+        if self.gpu_tenants_per_fleet < 0:
+            raise ConfigurationError(
+                "gpu_tenants_per_fleet must be >= 0, got "
+                f"{self.gpu_tenants_per_fleet}"
+            )
+        if self.slots_per_fleet + self.gpu_tenants_per_fleet < 1:
+            raise ConfigurationError(
+                "a fleet needs at least one dispatchable slot "
+                "(slots_per_fleet + gpu_tenants_per_fleet >= 1)"
+            )
+        if self.max_gpu_tenants is not None and self.max_gpu_tenants < 0:
+            raise ConfigurationError(
+                f"max_gpu_tenants must be >= 0, got {self.max_gpu_tenants}"
             )
         if self.queue_capacity < 1:
             raise ConfigurationError(
@@ -176,8 +201,16 @@ class ClusterConfig:
                 f"workers must be >= 1, got {self.workers}"
             )
 
+    @property
+    def heterogeneous(self) -> bool:
+        """Whether any non-FPGA tenancy is configured (schema gate:
+        pure-FPGA reports must stay byte-identical with earlier
+        releases, so every placement-specific key is conditional on
+        this)."""
+        return self.gpu_tenants_per_fleet > 0 or self.cpu_assist
+
     def as_dict(self) -> dict[str, Any]:
-        return {
+        document: dict[str, Any] = {
             "initial_fleets": self.initial_fleets,
             "min_fleets": self.min_fleets,
             "max_fleets": self.max_fleets,
@@ -195,18 +228,37 @@ class ClusterConfig:
             "fleet_faults": len(self.fleet_faults),
             "forced_scale": len(self.forced_scale),
         }
+        if self.heterogeneous:
+            document["gpu_tenants_per_fleet"] = self.gpu_tenants_per_fleet
+            document["cpu_assist"] = self.cpu_assist
+            document["max_gpu_tenants"] = self.max_gpu_tenants
+        return document
 
 
 class FleetState:
-    """Mutable per-fleet simulation state (slots, queues, lifecycle)."""
+    """Mutable per-fleet simulation state (slots, queues, lifecycle).
 
-    def __init__(self, fleet_id: int, slots: int, at_s: float) -> None:
+    Slot indices are class-partitioned: FPGA slots occupy
+    ``[0, fpga_slots)`` and GPU tenants ``[fpga_slots, slots)``, so the
+    dispatch loop scans a contiguous range per device class instead of
+    filtering.
+    """
+
+    def __init__(
+        self,
+        fleet_id: int,
+        slots: int,
+        at_s: float,
+        gpu_tenants: int = 0,
+    ) -> None:
         self.fleet_id = fleet_id
+        self.fpga_slots = slots
+        self.gpu_tenants = gpu_tenants
         # Plain Python floats: slot counts are single digits and the
         # dispatch loop touches them per batch, where small-ndarray
         # operator overhead would dominate the whole simulation.
-        self.slot_free: list[float] = [at_s] * slots
-        self.slot_resident: list[str] = [""] * slots
+        self.slot_free: list[float] = [at_s] * (slots + gpu_tenants)
+        self.slot_resident: list[str] = [""] * (slots + gpu_tenants)
         # source_idx -> [trace-index array, arrival array, pointer]
         self.queues: dict[int, list[Any]] = {}
         self.backlog = 0
@@ -221,6 +273,8 @@ class FleetState:
         self.batch_members = 0
         self.max_batch_size = 0
         self.config_loads = 0
+        self.gpu_transfers = 0
+        self.gpu_batches = 0
         self.outages = 0
         self.last_routed_s: float | None = None
 
@@ -232,12 +286,26 @@ class FleetState:
     def slots(self) -> int:
         return len(self.slot_free)
 
+    def slot_range(self, device_class: str) -> tuple[int, int]:
+        """Index range of the slots serving ``device_class``.
+
+        A class the fleet does not tenant falls back to the other
+        class's range — placement decisions are cluster-wide, but a
+        clamped or legacy fleet must still serve every source routed to
+        it.
+        """
+        if device_class == GPU and self.gpu_tenants > 0:
+            return self.fpga_slots, self.fpga_slots + self.gpu_tenants
+        if self.fpga_slots > 0:
+            return 0, self.fpga_slots
+        return self.fpga_slots, self.fpga_slots + self.gpu_tenants
+
     def as_dict(self, horizon_s: float) -> dict[str, Any]:
         lifetime = (
             self.retired_s if self.retired_s is not None else horizon_s
         ) - self.joined_s
         slot_seconds = lifetime * self.slots
-        return {
+        document: dict[str, Any] = {
             "fleet_id": self.fleet_id,
             "slots": self.slots,
             "joined_s": round(self.joined_s, 9),
@@ -256,6 +324,11 @@ class FleetState:
                 self.busy_seconds / slot_seconds, 9
             ) if slot_seconds > 0 else 0.0,
         }
+        if self.gpu_tenants > 0:
+            document["gpu_tenants"] = self.gpu_tenants
+            document["gpu_batches"] = self.gpu_batches
+            document["gpu_transfers"] = self.gpu_transfers
+        return document
 
 
 @dataclass
@@ -281,6 +354,7 @@ class ClusterReport:
     horizon_s: float
     queue_depth_samples: list[int]
     counters: dict[str, int]
+    placements: dict[str, PlacementDecision] = field(default_factory=dict)
     telemetry: Telemetry = field(default_factory=Telemetry)
     # Cached document: the latency section partitions a multi-million
     # element array, so summary_lines() + write_json() must not pay for
@@ -338,6 +412,7 @@ class ClusterReport:
         batch_count = sum(f.batches for f in self.fleets)
         provisioned_fleet_s = 0.0
         provisioned_slot_s = 0.0
+        provisioned_gpu_s = 0.0
         for fleet in self.fleets:
             lifetime = (
                 fleet.retired_s
@@ -346,6 +421,7 @@ class ClusterReport:
             ) - fleet.joined_s
             provisioned_fleet_s += lifetime
             provisioned_slot_s += lifetime * fleet.slots
+            provisioned_gpu_s += lifetime * fleet.gpu_tenants
         document: dict[str, Any] = {
             "schema_version": CLUSTER_SCHEMA_VERSION,
             "cluster": {**self.meta, **self.config.as_dict()},
@@ -421,6 +497,17 @@ class ClusterReport:
             },
             "counters": dict(sorted(self.counters.items())),
         }
+        if self.config.heterogeneous:
+            document["fleets"]["provisioned_gpu_tenant_seconds"] = round(
+                provisioned_gpu_s, 9
+            )
+            document["batches"]["gpu_batches"] = sum(
+                f.gpu_batches for f in self.fleets
+            )
+            document["batches"]["gpu_transfers"] = sum(
+                f.gpu_transfers for f in self.fleets
+            )
+            document["placement"] = placement_section(self.placements)
         self._doc = document
         return document
 
@@ -444,8 +531,8 @@ class ClusterReport:
             f"{doc['requests']['shed_drain_limit']} "
             f"(+{doc['requests']['expired']} expired, "
             f"shed rate {doc['requests']['shed_rate']:.1%})",
-            f"latency p50 / p99      : {overall['p50']:.3f} / "
-            f"{overall['p99']:.3f} ms",
+            f"latency p50 / p99      : {format_latency_ms(overall['p50'])} / "
+            f"{format_latency_ms(overall['p99'])} ms",
             f"cache local hit rate   : {lookups['local_hit_rate']:.1%} "
             f"({lookups['remote_hits']} remote, {lookups['misses']} miss)",
             f"fleets peak / final    : {doc['fleets']['peak']} / "
@@ -489,20 +576,61 @@ class _ClusterSimulation:
         # Per-source scalar cost tables: the dispatch loop runs once per
         # micro-batch, so profile property lookups there would be pure
         # overhead.  ``*_total`` includes the per-request dispatch cost.
+        # CPU assist is folded into the cold totals here — the dispatch
+        # loop only ever sees the effective cold cost.
         overhead = DISPATCH_OVERHEAD_SECONDS
+        assist = config.cpu_assist
         self.warm_total = [
             (p.warm_service_s + overhead) if p else 0.0
             for p in self.profiles
         ]
         self.cold_total = [
-            (p.cold_service_s + overhead) if p else 0.0
+            (
+                p.cold_service_s + overhead
+                - (
+                    (p.analysis_s - CPU_ASSIST_ROUNDTRIP_SECONDS)
+                    if assist else 0.0
+                )
+            ) if p else 0.0
+            for p in self.profiles
+        ]
+        self.gpu_warm_total = [
+            (p.gpu_warm_service_s + overhead) if p else 0.0
+            for p in self.profiles
+        ]
+        self.gpu_cold_total = [
+            (
+                p.gpu_cold_service_s + overhead
+                - (
+                    (p.analysis_s - CPU_ASSIST_ROUNDTRIP_SECONDS)
+                    if assist else 0.0
+                )
+            ) if p else 0.0
             for p in self.profiles
         ]
         self.swap_s = [
             p.solver_swap_s if p else 0.0 for p in self.profiles
         ]
+        self.transfer_s = [
+            p.gpu_transfer_s if p else 0.0 for p in self.profiles
+        ]
         self.signatures = [
             p.plan_signature if p else "" for p in self.profiles
+        ]
+        # Placement is decided once per source from the *cluster-wide*
+        # tenancy mix (every fleet shares the config), so routing and
+        # scaling never change a source's device class mid-run.
+        self.placements: list[PlacementDecision | None] = [
+            decide_placement(
+                p,
+                fpga_slots=config.slots_per_fleet,
+                gpu_tenants=config.gpu_tenants_per_fleet,
+                max_batch=config.max_batch,
+            ) if p else None
+            for p in self.profiles
+        ]
+        self.placed_class = [
+            d.device_class if d else FPGA for d in self.placements
         ]
         self.entries = [p.cache_entry() if p else None for p in self.profiles]
         self.ring = HashRing(vnodes=config.vnodes)
@@ -527,6 +655,7 @@ class _ClusterSimulation:
             "peak_fleets": 0,
             "fleet_outages": 0,
             "forced_scale": 0,
+            "cpu_assist_offloads": 0,
         }
         n = len(trace)
         # Latency bookkeeping is deferred: the dispatch loop records one
@@ -588,8 +717,27 @@ class _ClusterSimulation:
         self.route_map = new_map
 
     def _add_fleet(self, at_s: float) -> FleetState:
+        # Per-device-class scaling bound: a new fleet's GPU tenancy is
+        # clamped so the cluster never holds more than
+        # ``max_gpu_tenants`` across alive fleets (the FPGA side scales
+        # with ``max_fleets`` as before).  A fleet with no FPGA slots
+        # keeps one tenant regardless — an empty fleet can serve
+        # nothing, and the bound still caps everything above the floor.
+        tenants = self.config.gpu_tenants_per_fleet
+        if self.config.max_gpu_tenants is not None:
+            existing = sum(
+                f.gpu_tenants for f in self.fleets.values() if f.alive
+            )
+            tenants = min(
+                tenants, max(0, self.config.max_gpu_tenants - existing)
+            )
+            if self.config.slots_per_fleet == 0:
+                tenants = max(1, tenants)
         fleet = FleetState(
-            self.next_fleet_id, self.config.slots_per_fleet, at_s
+            self.next_fleet_id,
+            self.config.slots_per_fleet,
+            at_s,
+            gpu_tenants=tenants,
         )
         self.next_fleet_id += 1
         self.fleets[fleet.fleet_id] = fleet
@@ -821,6 +969,7 @@ class _ClusterSimulation:
         max_batch = self.config.max_batch
         fill = self.config.batch_fill_ms * 1e-3
         fleet_id = fleet.fleet_id
+        assist = self.config.cpu_assist
         lookup = self.cache.lookup
         lat_idx = self.lat_idx
         lat_arrival = self.lat_arrival
@@ -828,18 +977,29 @@ class _ClusterSimulation:
         batch_step = self.batch_step
         batch_size = self.batch_size
         counts = self.counts
+        # A class's slot pool can saturate (no start before ``t1``)
+        # while the other class still has room, so saturation is
+        # tracked per class and the loop only stops when every class
+        # the fleet tenants is saturated.
+        saturated_fpga = False
+        saturated_gpu = False
         while heap and min(slot_free) < t1:
             head_arrival, source = heapq.heappop(heap)
             queue = queues[source]
             idx_arr, arr_arr, ptr = queue
             signature = self.signatures[source]
+            lo, hi = fleet.slot_range(self.placed_class[source])
+            on_gpu = lo >= fleet.fpga_slots
+            if saturated_gpu if on_gpu else saturated_fpga:
+                continue
             # Pick the slot with the earliest achievable start; among
             # equal starts prefer a resident-matching slot (same modeled
             # start, one config load saved), then the lowest index.
             ready = head_arrival + fill
             start = float("inf")
-            slot = 0
-            for index, free in enumerate(slot_free):
+            slot = lo
+            for index in range(lo, hi):
+                free = slot_free[index]
                 candidate = free if free > ready else ready
                 if candidate < start or (
                     candidate == start
@@ -848,33 +1008,59 @@ class _ClusterSimulation:
                 ):
                     start = candidate
                     slot = index
-            # Leftovers carry to the next epoch once no slot can start
-            # inside this one.  Sources later in the heap have later
-            # heads, so their starts are no earlier: safe to stop.
+            # Leftovers carry to the next epoch once no slot of the
+            # class can start inside this one.  Sources later in the
+            # heap have later heads, so their starts are no earlier:
+            # safe to mark the class saturated.  (Deferred sources keep
+            # their queue pointer, so the next epoch re-heaps them.)
             if start >= t1:
-                heapq.heappush(heap, (head_arrival, source))
-                break
+                if on_gpu:
+                    saturated_gpu = True
+                else:
+                    saturated_fpga = True
+                if (saturated_fpga or fleet.fpga_slots == 0) and (
+                    saturated_gpu or fleet.gpu_tenants == 0
+                ):
+                    break
+                continue
             ripe = int(arr_arr.searchsorted(start, side="right")) - ptr
             k = ripe if ripe < max_batch else max_batch
             tier, _, tier_charge = lookup(
                 fleet_id, self.fingerprints[source]
             )
             if tier == MISS:
-                first_total = self.cold_total[source]
+                first_total = (
+                    self.gpu_cold_total[source] if on_gpu
+                    else self.cold_total[source]
+                )
                 self.cache.publish(fleet_id, self.entries[source])
+                if assist:
+                    counts["cpu_assist_offloads"] += 1
             else:
-                first_total = self.warm_total[source]
+                first_total = (
+                    self.gpu_warm_total[source] if on_gpu
+                    else self.warm_total[source]
+                )
             base = start + tier_charge
             if residents[slot] != signature:
-                base += self.swap_s[source]
+                if on_gpu:
+                    base += self.transfer_s[source]
+                    fleet.gpu_transfers += 1
+                else:
+                    base += self.swap_s[source]
+                    fleet.config_loads += 1
                 residents[slot] = signature
-                fleet.config_loads += 1
-            step = self.warm_total[source]
+            step = (
+                self.gpu_warm_total[source] if on_gpu
+                else self.warm_total[source]
+            )
             first_finish = base + first_total
             end = first_finish + step * (k - 1)
             slot_free[slot] = end
             fleet.busy_seconds += end - start
             fleet.batches += 1
+            if on_gpu:
+                fleet.gpu_batches += 1
             fleet.batch_members += k
             if k > fleet.max_batch_size:
                 fleet.max_batch_size = k
@@ -1063,6 +1249,24 @@ class _ClusterSimulation:
             "cluster.config_loads",
             sum(f.config_loads for f in self.fleets.values()),
         )
+        if self.config.gpu_tenants_per_fleet > 0:
+            gpu_batches = sum(
+                f.gpu_batches for f in self.fleets.values()
+            )
+            tm.count(
+                "placement.fpga_batches",
+                sum(f.batches for f in self.fleets.values()) - gpu_batches,
+            )
+            tm.count("placement.gpu_batches", gpu_batches)
+            tm.count(
+                "gpu.transfers",
+                sum(f.gpu_transfers for f in self.fleets.values()),
+            )
+        if self.config.cpu_assist:
+            tm.count(
+                "placement.cpu_assist_offloads",
+                self.counts["cpu_assist_offloads"],
+            )
         tm.count("router.routed", self.counts["routed"])
         tm.count("router.remapped", self.counts["remapped"])
         tm.count("router.ring_rebuilds", self.counts["ring_rebuilds"])
@@ -1165,6 +1369,9 @@ def run_cluster(
         horizon_s=simulation.horizon_s,
         queue_depth_samples=simulation.queue_depth_samples,
         counters=dict(collector.counters),
+        placements={
+            d.source: d for d in simulation.placements if d is not None
+        },
         telemetry=collector,
     )
 

@@ -25,6 +25,11 @@ from typing import Any, Sequence
 from repro import telemetry as tm
 from repro.config import AcamarConfig
 from repro.parallel import ItemResult, WorkItem, source_label
+from repro.placement import (
+    CPU_ASSIST_ROUNDTRIP_SECONDS,
+    estimate_gpu_service,
+    structural_class_of,
+)
 from repro.serve.cache import CacheEntry, plan_signature, structure_fingerprint
 from repro.telemetry import Telemetry
 
@@ -51,7 +56,16 @@ batched solver backend's amortized host analysis."""
 
 @dataclass(frozen=True)
 class SolveProfile:
-    """Deterministic serving profile of one problem source."""
+    """Deterministic serving profile of one problem source.
+
+    The GPU fields price the same solve on a cuSPARSE SpMV tenant (see
+    :mod:`repro.placement.gpu_cost`): ``gpu_warm_service_s`` is the
+    roofline-plus-launch cost of the final attempt's iterations,
+    ``gpu_transfer_s`` the PCIe structure upload a residency miss pays
+    instead of an ICAP configuration load.  ``structural_class`` is the
+    Table-II row the source belongs to.  All are plain profile scalars
+    so placement decisions stay byte-deterministic.
+    """
 
     label: str
     fingerprint: str
@@ -64,6 +78,9 @@ class SolveProfile:
     attempt_compute_s: tuple[float, ...]
     solver_swap_s: float
     analysis_s: float
+    structural_class: str = "general"
+    gpu_warm_service_s: float = 0.0
+    gpu_transfer_s: float = 0.0
 
     @property
     def final_compute_s(self) -> float:
@@ -87,6 +104,50 @@ class SolveProfile:
     def warm_service_s(self) -> float:
         """Device seconds when analysis and solver choice come from cache."""
         return self.final_compute_s
+
+    @property
+    def attempt_scale(self) -> float:
+        """Fallback-chain inflation: total attempt seconds over final.
+
+        Iteration-count driven and therefore device-independent; used to
+        re-price the cold fallback chain on a GPU tenant without a
+        second ground-truth solve.
+        """
+        if self.final_compute_s <= 0.0:
+            return 1.0
+        return sum(self.attempt_compute_s) / self.final_compute_s
+
+    @property
+    def gpu_cold_service_s(self) -> float:
+        """GPU seconds for a cache-miss solve on a tenant.
+
+        Host analysis is unchanged (it runs on the CPU either way); the
+        fallback-attempt chain scales the warm GPU cost by the same
+        attempt/final ratio the FPGA profile measured.
+        """
+        return self.analysis_s + self.attempt_scale * self.gpu_warm_service_s
+
+    def member_service_s(
+        self, device_class: str, cold: bool, cpu_assist: bool = False
+    ) -> float:
+        """Modeled service seconds of one batch member on ``device_class``.
+
+        With ``cpu_assist`` the cold analysis runs concurrently on the
+        host assist tier: the accelerator pays only the offload
+        round-trip instead of the full structure analysis (the warm
+        path never pays analysis, so assist changes nothing there).
+        """
+        if device_class == "gpu":
+            service = (
+                self.gpu_cold_service_s if cold else self.gpu_warm_service_s
+            )
+        else:
+            service = self.cold_service_s if cold else self.warm_service_s
+        if cold and cpu_assist:
+            service = (
+                service - self.analysis_s + CPU_ASSIST_ROUNDTRIP_SECONDS
+            )
+        return service
 
     def cache_entry(self) -> CacheEntry:
         return CacheEntry(
@@ -112,6 +173,9 @@ def build_profile(problem: Any, config: AcamarConfig) -> SolveProfile:
     with tm.span("serve.profile.cost_model"):
         latency = model.acamar_latency(problem.matrix, result)
     matrix = problem.matrix
+    gpu = estimate_gpu_service(
+        matrix.row_lengths(), result.final.iterations
+    )
     return SolveProfile(
         label=problem.name,
         fingerprint=structure_fingerprint(matrix),
@@ -129,6 +193,9 @@ def build_profile(problem: Any, config: AcamarConfig) -> SolveProfile:
             ANALYSIS_SECONDS_PER_NNZ * matrix.nnz
             + PLANNING_SECONDS_PER_ROW * matrix.n_rows
         ),
+        structural_class=structural_class_of(result.solver_sequence),
+        gpu_warm_service_s=gpu.warm_service_s,
+        gpu_transfer_s=gpu.transfer_s,
     )
 
 

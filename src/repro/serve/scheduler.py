@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from repro import telemetry as tm
 from repro.errors import ConfigurationError
 from repro.fpga.multitenancy import FleetSpec
+from repro.placement import FPGA, GPU, PlacementDecision, decide_placement
 from repro.serve.admission import QueuedRequest
 from repro.serve.api import Outcome, Priority, SolveResponse
 from repro.serve.cache import PlanCache
@@ -52,16 +53,27 @@ class DeviceFaultEvent:
     revoked — the model treats in-flight batches as completing before
     the region is recovered, which keeps the accounting invariant
     ("every request gets exactly one response") intact by construction.
+
+    ``device_class`` scopes the fault: ``slot`` indexes into that
+    class's slot pool only, so a fault aimed at a GPU tenant can never
+    evict a resident FPGA plan (and vice versa).  A fault naming a
+    class the fleet does not host is consumed without effect.
     """
 
     at_s: float
     slot: int
     outage_s: float
+    device_class: str = FPGA
 
 
 @dataclass
 class FleetSlot:
-    """One solver instance's dispatch state on the virtual clock."""
+    """One dispatch slot's state on the virtual clock.
+
+    A slot is either an FPGA Reconfigurable Solver instance or a GPU
+    tenant (``device_class``); both track residency the same way — the
+    plan signature whose structure/configuration they currently hold.
+    """
 
     index: int
     busy_until_s: float = 0.0
@@ -70,6 +82,7 @@ class FleetSlot:
     config_loads: int = 0
     batches: int = 0
     outages: int = 0
+    device_class: str = FPGA
 
     def free_at(self, now: float) -> bool:
         return self.busy_until_s <= now
@@ -86,6 +99,7 @@ class BatchRecord:
     end_s: float
     cold: bool
     config_load: bool
+    device_class: str = FPGA
 
 
 @dataclass
@@ -120,7 +134,10 @@ class MicroBatchScheduler:
                 f"batch window must be >= 0, got {self.batch_window_s}"
             )
         self.device_faults = tuple(
-            sorted(self.device_faults, key=lambda e: (e.at_s, e.slot))
+            sorted(
+                self.device_faults,
+                key=lambda e: (e.at_s, e.device_class, e.slot),
+            )
         )
         for event in self.device_faults:
             if event.outage_s < 0:
@@ -130,6 +147,11 @@ class MicroBatchScheduler:
         if not self.slots:
             self.slots = [
                 FleetSlot(index=i) for i in range(self.fleet.total_slots)
+            ] + [
+                FleetSlot(
+                    index=self.fleet.total_slots + j, device_class=GPU
+                )
+                for j in range(self.fleet.gpu_tenants)
             ]
         if not self.solver_swap_s:
             from repro.fpga import PerformanceModel
@@ -137,10 +159,39 @@ class MicroBatchScheduler:
             self.solver_swap_s = PerformanceModel(
                 self.fleet.device
             ).reconfig.solver_swap_seconds()
+        self._placements: dict[str, PlacementDecision] = {}
+
+    # -- placement decisions ------------------------------------------
+
+    def placement_for(self, source: str) -> PlacementDecision | None:
+        """Memoized per-source placement (``None`` for failed profiles).
+
+        Decisions are pure functions of the profile and the fleet's
+        tenancy mix, so memoization is a pure speedup — every run,
+        machine and worker count computes the identical placement.
+        """
+        if source in self._placements:
+            return self._placements[source]
+        profile = self.profiles[source]
+        if isinstance(profile, str):
+            return None
+        decision = decide_placement(
+            profile,
+            fpga_slots=self.fleet.total_slots,
+            gpu_tenants=self.fleet.gpu_tenants,
+            max_batch=self.max_batch,
+        )
+        self._placements[source] = decision
+        return decision
+
+    @property
+    def _default_class(self) -> str:
+        """Device class for batches with no profile (failed analyses)."""
+        return FPGA if self.fleet.total_slots > 0 else GPU
 
     # -- batch formation ----------------------------------------------
 
-    def group_key(self, queued: QueuedRequest) -> tuple[str, str]:
+    def group_key(self, queued: QueuedRequest) -> tuple[str, str, str]:
         """Compatibility key: plan signature when cached, else fingerprint.
 
         A fingerprint's plan signature is only *known* to the service
@@ -148,21 +199,27 @@ class MicroBatchScheduler:
         (batching different structures that share a schedule) engages
         for warm traffic only.  Failed profiles group by source so one
         poisoned source cannot contaminate a healthy batch.
+
+        The third element is the placement's device class: requests
+        bound for different backends never share a micro-batch, so the
+        batch's charge model is unambiguous.
         """
         profile = self.profiles[queued.request.source]
         if isinstance(profile, str):
-            return ("error", queued.request.source)
+            return ("error", queued.request.source, self._default_class)
+        placed = self.placement_for(queued.request.source)
+        device_class = placed.device_class if placed else self._default_class
         if self.cache is not None and self.cache.peek(profile.fingerprint):
-            return ("plan", profile.plan_signature)
-        return ("fp", profile.fingerprint)
+            return ("plan", profile.plan_signature, device_class)
+        return ("fp", profile.fingerprint, device_class)
 
     def _form_groups(
         self, queue: list[QueuedRequest]
-    ) -> list[tuple[tuple[str, str], list[QueuedRequest]]]:
+    ) -> list[tuple[tuple[str, str, str], list[QueuedRequest]]]:
         """Partition the (priority-sorted) queue into compatible groups,
         preserving the order of each group's head."""
-        groups: dict[tuple[str, str], list[QueuedRequest]] = {}
-        order: list[tuple[str, str]] = []
+        groups: dict[tuple[str, str, str], list[QueuedRequest]] = {}
+        order: list[tuple[str, str, str]] = []
         for queued in queue:
             key = self.group_key(queued)
             if key not in groups:
@@ -185,26 +242,45 @@ class MicroBatchScheduler:
         """Apply every scheduled fault whose time has come (idempotent).
 
         Called at the top of each dispatch tick; events are consumed in
-        ``(at_s, slot)`` order, so a fixed fault schedule perturbs the
-        simulation identically on every run.
+        ``(at_s, device_class, slot)`` order, so a fixed fault schedule
+        perturbs the simulation identically on every run.
+
+        Each event resolves its slot ordinal *within its device class's
+        pool*: a GPU-tenant fault can only darken (and evict the
+        residency of) a GPU slot, never a co-scheduled FPGA instance.
+        An event naming a class this fleet does not host is consumed
+        without effect or counter.
         """
         while self._faults_applied < len(self.device_faults):
             event = self.device_faults[self._faults_applied]
             if event.at_s > now:
                 break
-            slot = self.slots[event.slot % len(self.slots)]
+            self._faults_applied += 1
+            pool = [
+                slot
+                for slot in self.slots
+                if slot.device_class == event.device_class
+            ]
+            if not pool:
+                continue
+            slot = pool[event.slot % len(pool)]
             slot.busy_until_s = max(
                 slot.busy_until_s, event.at_s + event.outage_s
             )
             slot.resident_signature = None
             slot.outages += 1
             tm.count("serve.device_faults")
-            self._faults_applied += 1
 
     # -- placement ----------------------------------------------------
 
-    def _pick_slot(self, now: float, signature: str | None) -> FleetSlot | None:
-        free = [slot for slot in self.slots if slot.free_at(now)]
+    def _pick_slot(
+        self, now: float, signature: str | None, device_class: str
+    ) -> FleetSlot | None:
+        free = [
+            slot
+            for slot in self.slots
+            if slot.device_class == device_class and slot.free_at(now)
+        ]
         if not free:
             return None
         if signature is not None:
@@ -228,18 +304,27 @@ class MicroBatchScheduler:
         # Residency matching needs the cache: without it the service
         # never learns a structure's plan signature ahead of dispatch, so
         # it cannot prove the slot's resident configuration matches and
-        # must reload the region for every batch.
+        # must reload the region for every batch.  On an FPGA slot a
+        # residency miss is an ICAP configuration load; on a GPU tenant
+        # it is the PCIe structure upload.
         config_load = (
             self.cache is None or slot.resident_signature != signature
         )
-        cursor = now + (self.solver_swap_s if config_load else 0.0)
+        on_gpu = slot.device_class == GPU
+        swap_charge = profile.gpu_transfer_s if on_gpu else self.solver_swap_s
+        cursor = now + (swap_charge if config_load else 0.0)
         if config_load:
             slot.config_loads += 1
-            tm.count("serve.config_loads")
+            if on_gpu:
+                tm.count("gpu.transfers")
+            else:
+                tm.count("serve.config_loads")
         entry = self.cache.get(profile.fingerprint) if self.cache else None
         batch_warm = entry is not None
         if self.cache is not None and not batch_warm:
             self.cache.put(profile.cache_entry())
+        if not batch_warm and self.fleet.cpu_assist:
+            tm.count("placement.cpu_assist_offloads")
         responses: list[SolveResponse] = []
         for position, queued in enumerate(members):
             # The first member of a cold batch pays the full analysis and
@@ -254,8 +339,8 @@ class MicroBatchScheduler:
                 if position == 0
                 else BATCH_MEMBER_DISPATCH_SECONDS
             )
-            service = dispatch + (
-                profile.cold_service_s if cold_member else profile.warm_service_s
+            service = dispatch + profile.member_service_s(
+                slot.device_class, cold_member, self.fleet.cpu_assist
             )
             start = cursor
             cursor += service
@@ -291,9 +376,18 @@ class MicroBatchScheduler:
                 end_s=cursor,
                 cold=not batch_warm,
                 config_load=config_load,
+                device_class=slot.device_class,
             )
         )
         tm.count("serve.batches")
+        # Per-class batch counters only exist once placement is active
+        # (a mixed fleet); pure-FPGA fleets keep their pre-placement
+        # counter schema byte-for-byte.
+        if self.fleet.gpu_tenants > 0:
+            if on_gpu:
+                tm.count("placement.gpu_batches")
+            else:
+                tm.count("placement.fpga_batches")
         return responses
 
     def _fail_batch(
@@ -339,6 +433,7 @@ class MicroBatchScheduler:
                 end_s=cursor,
                 cold=True,
                 config_load=False,
+                device_class=slot.device_class,
             )
         )
         return responses
@@ -367,9 +462,13 @@ class MicroBatchScheduler:
                     and not isinstance(profile, str)
                     else None
                 )
-                slot = self._pick_slot(now, signature)
+                # The group's device class rode in on its key; a class
+                # with no free slot must not block groups placed on the
+                # other class, so exhaustion skips the group rather
+                # than ending the tick.
+                slot = self._pick_slot(now, signature, key[2])
                 if slot is None:
-                    break
+                    continue
                 if isinstance(profile, str):
                     responses.extend(
                         self._fail_batch(slot, take, profile, now, next_batch_id)

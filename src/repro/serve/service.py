@@ -41,7 +41,7 @@ from repro.serve.api import (
 from repro.serve.cache import PlanCache
 from repro.serve.profile import SolveProfile, profile_items
 from repro.serve.scheduler import DeviceFaultEvent, MicroBatchScheduler
-from repro.serve.stats import latency_summary_ms
+from repro.serve.stats import format_latency_ms, latency_summary_ms
 from repro.telemetry import Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover — type name only, avoids eager import
@@ -80,6 +80,17 @@ class ServiceConfig:
             )
 
     def as_dict(self) -> dict[str, Any]:
+        fleet: dict[str, Any] = {
+            "devices": self.fleet.devices,
+            "slots_per_device": self.fleet.slots_per_device,
+            "total_slots": self.fleet.total_slots,
+        }
+        # Tenancy-mix keys appear only on heterogeneous fleets so the
+        # pure-FPGA config schema (and its committed goldens) stay
+        # byte-identical.
+        if self.fleet.gpu_tenants or self.fleet.cpu_assist:
+            fleet["gpu_tenants"] = self.fleet.gpu_tenants
+            fleet["cpu_assist"] = self.fleet.cpu_assist
         return {
             "queue_capacity": self.queue_capacity,
             "max_batch": self.max_batch,
@@ -87,11 +98,7 @@ class ServiceConfig:
             "tick_ms": self.tick_ms,
             "cache_enabled": self.cache_enabled,
             "cache_capacity": self.cache_capacity,
-            "fleet": {
-                "devices": self.fleet.devices,
-                "slots_per_device": self.fleet.slots_per_device,
-                "total_slots": self.fleet.total_slots,
-            },
+            "fleet": fleet,
             "device_faults": len(self.device_faults),
         }
 
@@ -221,9 +228,40 @@ class ServingReport:
             },
             "counters": dict(sorted(self.counters.items())),
         }
+        if self.scheduler.fleet.gpu_tenants > 0:
+            document["placement"] = self._placement_section()
+            document["fleet"]["by_class"] = self._fleet_by_class()
         if include_responses:
             document["responses"] = [r.as_dict() for r in self.responses]
         return document
+
+    def _placement_section(self) -> dict[str, Any]:
+        """Per-source decisions plus the Table-II-style scenario matrix."""
+        from repro.placement import placement_section
+
+        decisions = {}
+        for source, profile in self.scheduler.profiles.items():
+            if isinstance(profile, str):
+                continue
+            decisions[source] = self.scheduler.placement_for(source)
+        return placement_section(decisions)
+
+    def _fleet_by_class(self) -> dict[str, Any]:
+        """Busy-time and batch accounting split by device class."""
+        section: dict[str, Any] = {}
+        for slot in self.scheduler.slots:
+            stats = section.setdefault(
+                slot.device_class,
+                {"slots": 0, "device_seconds": 0.0, "batches": 0,
+                 "config_loads": 0},
+            )
+            stats["slots"] += 1
+            stats["device_seconds"] += slot.busy_seconds
+            stats["batches"] += slot.batches
+            stats["config_loads"] += slot.config_loads
+        for stats in section.values():
+            stats["device_seconds"] = round(stats["device_seconds"], 9)
+        return dict(sorted(section.items()))
 
     def to_json(self, include_responses: bool = True) -> str:
         return json.dumps(
@@ -256,8 +294,8 @@ class ServingReport:
             f"shed / expired        : {doc['requests']['shed']} / "
             f"{doc['requests']['expired']} "
             f"(shed rate {doc['requests']['shed_rate']:.1%})",
-            f"latency p50 / p99     : {overall['p50']:.3f} / "
-            f"{overall['p99']:.3f} ms",
+            f"latency p50 / p99     : {format_latency_ms(overall['p50'])} / "
+            f"{format_latency_ms(overall['p99'])} ms",
             f"cache hit rate        : {doc['cache']['hit_rate']:.1%} "
             f"({doc['cache']['entries']} entries)",
             f"batches (mean size)   : {doc['batches']['count']} "

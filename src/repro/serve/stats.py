@@ -21,16 +21,43 @@ from repro.telemetry import percentile
 
 
 def latency_summary_ms(values: Sequence[float]) -> dict[str, Any]:
-    """Percentile summary of a latency population (milliseconds)."""
+    """Percentile summary of a latency population (milliseconds).
+
+    An empty population reports ``count: 0`` with null statistics — an
+    idle fleet's p50/p99 must be distinguishable from a fleet that
+    genuinely served in zero milliseconds (the old 0.0 sentinel made
+    zero-completion configurations look infinitely fast to capacity
+    planning and frontier extraction).
+    """
     data = [float(v) for v in values]
+    if not data:
+        return {
+            "count": 0,
+            "mean": None,
+            "p50": None,
+            "p90": None,
+            "p99": None,
+            "max": None,
+        }
     return {
         "count": len(data),
-        "mean": round(sum(data) / len(data), 6) if data else 0.0,
+        "mean": round(sum(data) / len(data), 6),
         "p50": round(percentile(data, 50.0), 6),
         "p90": round(percentile(data, 90.0), 6),
         "p99": round(percentile(data, 99.0), 6),
-        "max": round(max(data), 6) if data else 0.0,
+        "max": round(max(data), 6),
     }
+
+
+def format_latency_ms(value: Any) -> str:
+    """Render one summary statistic for human-facing summary lines.
+
+    Null statistics (empty populations) render as ``n/a`` so idle-fleet
+    summaries read as "no data" instead of "0.000 ms".
+    """
+    if value is None:
+        return "n/a"
+    return f"{float(value):.3f}"
 
 
 def latency_summary_ms_array(

@@ -26,6 +26,7 @@ from repro.sparse.csr import CSRMatrix
 from repro.sparse.properties import (
     diagonal_dominance_margin,
     estimate_spectral_radius,
+    gershgorin_upper_bound,
 )
 
 
@@ -59,15 +60,24 @@ class ChebyshevSolver(IterativeSolver):
     def _estimate_interval(self, matrix: CSRMatrix) -> tuple[float, float]:
         if self.eig_bounds is not None:
             return self.eig_bounds
-        lam_max = estimate_spectral_radius(
+        # Power iteration converges to lambda_max from below, and on a
+        # clustered spectrum a finite number of iterations can still sit
+        # under it — a Chebyshev interval that misses the top of the
+        # spectrum diverges.  The rightmost Gershgorin disc edge is a
+        # guaranteed upper bound (tight on the dominant matrices this
+        # solver targets), and an interval that is only too wide merely
+        # slows convergence, so take the bound outright and keep the
+        # power estimate as a floor for the degenerate-spectrum check.
+        lam_est = estimate_spectral_radius(
             matrix.matvec, matrix.shape[0], n_iters=60, seed=0
         )
+        lam_max = max(lam_est, gershgorin_upper_bound(matrix))
         if lam_max <= 0 or not np.isfinite(lam_max):
             raise ConfigurationError("could not estimate a positive spectrum")
         margin = float(diagonal_dominance_margin(matrix).min())
         lam_min = margin if margin > 0 else lam_max * 1e-3
         lam_min = min(lam_min, 0.9 * lam_max)
-        return lam_min, lam_max * 1.05  # small safety factor on top
+        return lam_min, lam_max
 
     @tolerate_float_excursions
     def solve(

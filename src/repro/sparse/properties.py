@@ -56,6 +56,15 @@ def diagonal_dominance_margin(matrix: CSRMatrix) -> np.ndarray:
     return diag - _off_diagonal_abs_sums(matrix)
 
 
+def gershgorin_upper_bound(matrix: CSRMatrix) -> float:
+    """``max_i (|A_ii| + sum_{j != i} |A_ij|)`` — the rightmost Gershgorin
+    disc edge.  For a symmetric matrix this bounds ``lambda_max`` from
+    above (for any matrix it bounds the spectral radius), so it is a safe
+    cap where an iterative estimate may undershoot."""
+    diag = np.abs(matrix.diagonal()).astype(np.float64)
+    return float((diag + _off_diagonal_abs_sums(matrix)).max())
+
+
 def is_symmetric(matrix: CSRMatrix, rtol: float = 1e-6) -> bool:
     """Check Eq. 2 the way the Matrix Structure unit does: CSR vs CSC.
 

@@ -147,6 +147,14 @@ KNOWN_COUNTERS = frozenset({
     "lint.files_parsed",
     "lint.cache_hits",
     "lint.cache_misses",
+    # heterogeneous placement (repro.placement consumers): micro-batches
+    # dispatched per device class, GPU structure uploads (the PCIe
+    # analogue of serve.config_loads) and cold analyses offloaded to the
+    # CPU-assist tier
+    "placement.fpga_batches",
+    "placement.gpu_batches",
+    "placement.cpu_assist_offloads",
+    "gpu.transfers",
 })
 """Sanctioned monotonic counter names."""
 
@@ -217,7 +225,10 @@ def percentile(values: list[float], q: float) -> float:
 
     Matches ``numpy.percentile``'s default method but works on plain
     lists, keeping telemetry serialization free of array round-trips.
-    Returns 0.0 for an empty list.
+    Returns 0.0 for an empty list — callers that must distinguish "no
+    data" from "zero" (summaries, reports) check emptiness themselves
+    and publish ``None``; see :meth:`Telemetry._distribution_summary`
+    and :func:`repro.serve.stats.latency_summary_ms`.
     """
     if not values:
         return 0.0
@@ -296,7 +307,11 @@ class Telemetry:
             counter_items = other.get("counters", {}).items()
             for name, stats in other.get("distributions", {}).items():
                 values = [float(v) for v in stats.get("values", [])]
-                self.distributions.setdefault(name, []).extend(values)
+                # Merging an empty summary must not materialize an empty
+                # distribution entry (it would surface as a null-stats
+                # row the source collector never actually recorded).
+                if values:
+                    self.distributions.setdefault(name, []).extend(values)
         for name, stats in span_items:
             mine = self.spans.setdefault(name, SpanStats())
             self.spans[name] = mine.merged_with(stats)
@@ -304,13 +319,27 @@ class Telemetry:
             self.count(name, value)
 
     def _distribution_summary(self, values: list[float]) -> dict[str, Any]:
+        # An empty population's statistics are null, not 0.0: an idle
+        # fleet's p50/p95/p99 must be distinguishable from genuinely
+        # zero latency (the 0.0 sentinel misled autoscaler/capacity
+        # consumers into reading "no data" as "instant").
+        if not values:
+            return {
+                "count": 0,
+                "mean": None,
+                "p50": None,
+                "p95": None,
+                "p99": None,
+                "max": None,
+                "values": [],
+            }
         return {
             "count": len(values),
-            "mean": round(sum(values) / len(values), 9) if values else 0.0,
+            "mean": round(sum(values) / len(values), 9),
             "p50": round(percentile(values, 50.0), 9),
             "p95": round(percentile(values, 95.0), 9),
             "p99": round(percentile(values, 99.0), 9),
-            "max": round(max(values), 9) if values else 0.0,
+            "max": round(max(values), 9),
             # Raw observations ride along so dict-form merges stay
             # associative (summary percentiles alone are not mergeable).
             "values": [round(v, 9) for v in values],

@@ -106,7 +106,7 @@ class TestRunChaos:
             report = run_chaos(seed)
             assert report.clean, [f.render() for f in report.findings]
             assert [p.profile for p in report.profiles] == [
-                "pool", "serve", "solver", "cluster",
+                "pool", "serve", "solver", "cluster", "placement",
             ]
 
     def test_byte_identical_reports_for_a_seed(self):

@@ -1,0 +1,105 @@
+"""Pinned edge-case tests for the cuSPARSE model's divide-by-zero
+hardening (zero-row and all-empty-row profiles).
+
+The serving placement layer calls this model once per profiled source,
+so every edge the request stream can produce must map to a *defined*
+report — never NaN, never a ZeroDivisionError.  These tests pin the
+exact contracted values so a regression shows up as a comparison
+failure, not a crash three layers up.
+"""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import (
+    CuSparseSpMVModel,
+    scalar_kernel_underutilization,
+    warp_lane_underutilization,
+)
+
+
+ZERO_ROWS = np.array([], dtype=np.int64)
+ALL_EMPTY = np.zeros(64, dtype=np.int64)
+
+
+class TestZeroRowProfile:
+    """A matrix with no rows: the pass is a defined no-op."""
+
+    @pytest.mark.parametrize("kernel", CuSparseSpMVModel.KERNELS)
+    def test_sweep_is_a_noop(self, kernel):
+        report = CuSparseSpMVModel(kernel=kernel).sweep_from_row_lengths(
+            ZERO_ROWS
+        )
+        assert report.seconds == 0.0
+        assert report.flops == 0.0
+        assert report.lane_underutilization == 0.0
+        assert report.achieved_flops == 0.0
+        assert report.memory_bound is True
+        assert report.achieved_fraction == 0.0
+
+    def test_underutilization_metrics_are_zero(self):
+        assert warp_lane_underutilization(ZERO_ROWS) == 0.0
+        assert scalar_kernel_underutilization(ZERO_ROWS) == 0.0
+
+
+class TestAllEmptyRowProfile:
+    """Rows exist but hold no non-zeros: indptr traffic still flows."""
+
+    @pytest.mark.parametrize("kernel", CuSparseSpMVModel.KERNELS)
+    def test_sweep_pays_traffic_for_zero_flops(self, kernel):
+        report = CuSparseSpMVModel(kernel=kernel).sweep_from_row_lengths(
+            ALL_EMPTY
+        )
+        assert report.seconds > 0.0
+        assert report.flops == 0.0
+        assert report.achieved_flops == 0.0
+        assert report.achieved_fraction == 0.0
+        assert report.lane_underutilization == 1.0
+        assert math.isfinite(report.seconds)
+
+    def test_underutilization_metrics_are_total(self):
+        assert warp_lane_underutilization(ALL_EMPTY) == 1.0
+        assert scalar_kernel_underutilization(ALL_EMPTY) == 1.0
+
+
+class TestAchievedFraction:
+    def test_zero_flop_pass_is_exactly_zero(self):
+        report = CuSparseSpMVModel().sweep_from_row_lengths(ALL_EMPTY)
+        assert report.achieved_fraction == 0.0
+
+    def test_zero_peak_device_does_not_divide_by_zero(self):
+        report = CuSparseSpMVModel().sweep_from_row_lengths(
+            np.full(8, 6, dtype=np.int64)
+        )
+        degenerate = dataclasses.replace(report, peak_flops=0.0)
+        assert degenerate.achieved_fraction == 0.0
+
+    def test_normal_pass_stays_in_unit_interval(self):
+        report = CuSparseSpMVModel().sweep_from_row_lengths(
+            np.full(1024, 6, dtype=np.int64)
+        )
+        assert 0.0 < report.achieved_fraction < 1.0
+
+
+class TestValidation:
+    def test_negative_row_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CuSparseSpMVModel().sweep_from_row_lengths(
+                np.array([3, -1, 2], dtype=np.int64)
+            )
+
+    def test_negative_row_length_rejected_in_metrics(self):
+        with pytest.raises(ConfigurationError):
+            warp_lane_underutilization(np.array([-4]))
+        with pytest.raises(ConfigurationError):
+            scalar_kernel_underutilization(np.array([-4]))
+
+    def test_two_dimensional_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CuSparseSpMVModel().sweep_from_row_lengths(
+                np.ones((4, 4), dtype=np.int64)
+            )
